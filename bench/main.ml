@@ -1,0 +1,994 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation, plus the simulation study its conclusion announces.
+
+     dune exec bench/main.exe            -- all paper sections + micro benches
+     dune exec bench/main.exe -- table1  -- a single section
+     dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks only
+
+   Sections:
+     table1   Table I    worst-case messages and proofs per scheme
+     figure1  Figure 1   Bob's anomalous interaction
+     figure2  Figure 2   component interaction (message sequence)
+     figures  Figures 3-6 proof-evaluation timelines per scheme
+     figure7  Figure 7   basic 2PC sequence and log complexity
+     tradeoff Section VI-B  txn length vs policy-update interval
+     logging  Section V/VI-A  forced-log counts, 2PC variants vs 2PVC
+     ablations design knobs beyond the paper (read-only opt, master modes,
+              OCSP pricing, gossip, master placement, MVCC snapshot reads,
+              contention + wait-die aging)
+     micro    Bechamel wall-clock micro-benchmarks *)
+
+module Cluster = Cloudtx_core.Cluster
+module Manager = Cloudtx_core.Manager
+module Scheme = Cloudtx_core.Scheme
+module Consistency = Cloudtx_core.Consistency
+module Complexity = Cloudtx_core.Complexity
+module Outcome = Cloudtx_core.Outcome
+module Message = Cloudtx_core.Message
+module Participant = Cloudtx_core.Participant
+module Counter = Cloudtx_metrics.Counter
+module Table = Cloudtx_metrics.Table
+module Timeline = Cloudtx_metrics.Timeline
+module Sample_set = Cloudtx_metrics.Sample_set
+module Running_stats = Cloudtx_metrics.Running_stats
+module Transport = Cloudtx_sim.Transport
+module Trace = Cloudtx_sim.Trace
+module Latency = Cloudtx_sim.Latency
+module Splitmix = Cloudtx_sim.Splitmix
+module Scenario = Cloudtx_workload.Scenario
+module Generator = Cloudtx_workload.Generator
+module Churn = Cloudtx_workload.Churn
+module Experiment = Cloudtx_workload.Experiment
+module Tpc = Cloudtx_txn.Tpc
+module Tpc_run = Cloudtx_txn.Tpc_run
+module Server = Cloudtx_store.Server
+module Wal = Cloudtx_store.Wal
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Table1 = Cloudtx_workload.Table1
+
+let section_table1 () =
+  let n = 4 and u = 4 in
+  let rows = Table1.matrix_rows ~n ~u in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Table I -- worst-case complexity, measured on the simulator (n=%d, u=%d)"
+         n u)
+    ~headers:
+      [
+        "scheme"; "level"; "staleness"; "msgs formula"; "analytic"; "measured";
+        "proofs formula"; "analytic"; "measured";
+      ]
+    rows;
+  print_endline
+    "  note: under view consistency the paper's 2n+2nr message bound assumes all n";
+  print_endline
+    "  participants are re-polled in round 2; the participant that already holds";
+  print_endline
+    "  the freshest policy is not, so the measured value is the bound minus 2.";
+  print_endline
+    "  Master-version *requests* are not counted (the paper counts r retrievals);";
+  print_endline "  every other protocol message is."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_figure1 () =
+  print_newline ();
+  print_endline "== Figure 1 -- Bob's anomalous interaction ==";
+  print_endline
+    "  (full narrative: dune exec examples/bob_scenario.exe; summarized here)";
+  (* Summary matrix: stale capability access per scheme x level. *)
+  let module Rule = Cloudtx_policy.Rule in
+  let module Ca = Cloudtx_policy.Ca in
+  let module Credential = Cloudtx_policy.Credential in
+  let module Query = Cloudtx_txn.Query in
+  let module Transaction = Cloudtx_txn.Transaction in
+  let run_once scheme level =
+    let ca = Ca.create "compume-ca" in
+    let req_atoms =
+      [ Rule.atom "req_action" [ Rule.v "a" ]; Rule.atom "req_item" [ Rule.v "i" ] ]
+    in
+    let policy_p =
+      [
+        Rule.rule
+          (Rule.atom "permit" [ Rule.v "s"; Rule.v "a"; Rule.v "i" ])
+          (Rule.atom "role" [ Rule.v "s"; Rule.c "sales_rep" ] :: req_atoms);
+      ]
+    in
+    let policy_p' =
+      [
+        Rule.rule
+          (Rule.atom "permit" [ Rule.v "s"; Rule.v "a"; Rule.v "i" ])
+          (Rule.atom "role" [ Rule.v "s"; Rule.c "director" ] :: req_atoms);
+      ]
+    in
+    let cluster =
+      Cluster.create ~seed:5L ~latency:(Latency.Constant 1.) ~cas:[ ca ]
+        ~servers:
+          [
+            Cluster.server_spec ~name:"customers-db"
+              ~items:[ ("customer-recs", Cloudtx_store.Value.Int 1) ]
+              ();
+            Cluster.server_spec ~name:"inventory-db"
+              ~items:[ ("inventory-recs", Cloudtx_store.Value.Int 1) ]
+              ();
+          ]
+        ~domains:[ ("compume", policy_p) ]
+        ()
+    in
+    (* Bob's capability predates the policy change; P' never reaches the
+       inventory replica. *)
+    let cap =
+      Credential.make ~id:"bob-read-cap" ~subject:"bob" ~issuer:"customers-db"
+        ~kind:(Credential.Access { action = "read"; item = "inventory-recs" })
+        ~facts:[] ~issued_at:0. ~expires_at:1e9
+    in
+    ignore
+      (Cluster.publish cluster ~domain:"compume" ~accept_capabilities:false
+         ~delay:(`Fixed (fun s -> if String.equal s "customers-db" then 0. else infinity))
+         policy_p');
+    ignore (Cluster.run cluster);
+    let txn =
+      Transaction.make ~id:"t-bob" ~subject:"bob" ~credentials:[ cap ]
+        [
+          Query.make ~id:"t-bob-q1" ~server:"inventory-db"
+            ~reads:[ "inventory-recs" ] ();
+        ]
+    in
+    Manager.run_one cluster (Manager.config scheme level) txn
+  in
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun level ->
+            let o = run_once scheme level in
+            [
+              Scheme.name scheme;
+              Consistency.name level;
+              (if o.Outcome.committed then "COMMIT (unsafe!)" else "ABORT (safe)");
+              Outcome.reason_name o.Outcome.reason;
+            ])
+          [ Consistency.View; Consistency.Global ])
+      Scheme.all
+  in
+  Table.print
+    ~title:
+      "stale-capability access against a replica that never saw policy P'"
+    ~headers:[ "scheme"; "level"; "outcome"; "reason" ]
+    rows;
+  print_endline
+    "  paper's shape: view consistency admits the anomaly (stale participants";
+  print_endline
+    "  agree with each other); global consistency blocks it for every scheme";
+  print_endline "  that validates or version-checks against the master."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_figure2 () =
+  print_newline ();
+  print_endline
+    "== Figure 2 -- interaction among system components (message sequence) ==";
+  let scenario =
+    Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:2 ~n_subjects:1 ()
+  in
+  let cluster = scenario.Scenario.cluster in
+  let txn =
+    Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:2 ()
+  in
+  let outcome =
+    Manager.run_one cluster (Manager.config Scheme.Deferred Consistency.Global) txn
+  in
+  ignore outcome;
+  let trace = Transport.trace (Cluster.transport cluster) in
+  List.iter
+    (fun (time, src, dst, label) ->
+      Printf.printf "  %7.2fms  %-14s -> %-14s  %s\n" time src dst label)
+    (Trace.messages trace)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3-6                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let section_figures_3_to_6 () =
+  print_newline ();
+  print_endline
+    "== Figures 3-6 -- proof-of-authorization timelines (3 servers, u=3) ==";
+  print_endline Timeline.legend;
+  List.iter
+    (fun (scheme, figure) ->
+      let scenario =
+        Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:3
+          ~n_subjects:1 ()
+      in
+      let cluster = scenario.Scenario.cluster in
+      let txn =
+        Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1"
+          ~queries:3 ()
+      in
+      let outcome =
+        Manager.run_one cluster (Manager.config scheme Consistency.View) txn
+      in
+      let trace = Transport.trace (Cluster.transport cluster) in
+      let t_start = outcome.Outcome.submitted_at in
+      let t_end = outcome.Outcome.finished_at in
+      let starts_with prefix s =
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      let events_of server =
+        List.filter_map
+          (fun (time, node, label) ->
+            if node <> server then None
+            else if starts_with "query_start:" label then Some (time, `Query)
+            else if starts_with "proof_eval:" label then Some (time, `Proof)
+            else None)
+          (Trace.marks trace)
+      in
+      let syncs =
+        List.filter_map
+          (fun (time, node, label) ->
+            if node = "tm-t1" && starts_with "sync:" label then
+              Some (time, `Sync)
+            else None)
+          (Trace.marks trace)
+      in
+      let rows =
+        List.map
+          (fun server ->
+            { Timeline.label = server; events = events_of server @ syncs })
+          scenario.Scenario.servers
+      in
+      Printf.printf "\n%s -- %s proofs of authorization\n" figure
+        (Scheme.name scheme);
+      print_string (Timeline.render ~width:60 ~t_start ~t_end rows))
+    [
+      (Scheme.Deferred, "Figure 3");
+      (Scheme.Punctual, "Figure 4");
+      (Scheme.Incremental_punctual, "Figure 5");
+      (Scheme.Continuous, "Figure 6");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_figure7 () =
+  print_newline ();
+  print_endline "== Figure 7 -- the basic two-phase commit protocol ==";
+  let stats = Tpc_run.run Tpc.Basic ~votes:[ ("p1", true); ("p2", true) ] in
+  Printf.printf
+    "  all-YES run, n=2: outcome=%s, messages=%d, forced log writes=%d (2n+1=%d)\n"
+    (if stats.Tpc_run.outcome then "COMMIT" else "ABORT")
+    stats.Tpc_run.messages
+    (stats.Tpc_run.coordinator_forced + stats.Tpc_run.participants_forced)
+    ((2 * 2) + 1);
+  Printf.printf "  coordinator log: %s\n"
+    (String.concat " -> " stats.Tpc_run.coordinator_log);
+  List.iter
+    (fun (name, log) ->
+      Printf.printf "  %s log: %s\n" name (String.concat " -> " log))
+    stats.Tpc_run.participant_logs;
+  (* The same phases over the simulated network, as a sequence chart. *)
+  let scenario =
+    Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:2 ~n_subjects:1 ()
+  in
+  let cluster = scenario.Scenario.cluster in
+  let txn =
+    Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:2 ()
+  in
+  (* Incremental punctual commits through 2PVC-without-validation = 2PC. *)
+  ignore
+    (Manager.run_one cluster
+       (Manager.config Scheme.Incremental_punctual Consistency.View)
+       txn);
+  let trace = Transport.trace (Cluster.transport cluster) in
+  print_endline "  voting and decision phases on the wire:";
+  List.iter
+    (fun (time, src, dst, label) ->
+      match label with
+      | "commit-request" | "commit-reply" | "decision-commit" | "decision-abort"
+      | "decision-ack" ->
+        Printf.printf "  %7.2fms  %-12s -> %-12s  %s\n" time src dst label
+      | _ -> ())
+    (Trace.messages trace)
+
+(* ------------------------------------------------------------------ *)
+(* Section VI-B trade-off (the announced simulation study)             *)
+(* ------------------------------------------------------------------ *)
+
+let tradeoff_cell ~scheme ~level ~queries ~update_period ~n =
+  let scenario = Scenario.retail ~seed:11L ~n_servers:6 ~n_subjects:4 () in
+  if Float.is_finite update_period then
+    Churn.policy_refresh scenario ~period:update_period ~propagation:(0.5, 8.)
+      ~count:2000;
+  let rng = Splitmix.create 77L in
+  let params =
+    { Generator.default with queries_per_txn = queries; write_ratio = 0.3 }
+  in
+  Experiment.run_sequential scenario (Manager.config scheme level) ~n
+    (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+
+let section_tradeoff () =
+  print_newline ();
+  print_endline
+    "== Section VI-B -- scheme choice vs transaction length and update interval ==";
+  print_endline
+    "  (the simulation study the paper's conclusion announces; view consistency)";
+  List.iter
+    (fun (label, queries, update_period) ->
+      let rows =
+        List.map
+          (fun scheme ->
+            let stats =
+              tradeoff_cell ~scheme ~level:Consistency.View ~queries
+                ~update_period ~n:40
+            in
+            [
+              Scheme.name scheme;
+              Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio stats);
+              Printf.sprintf "%.2f" (Sample_set.mean stats.Experiment.latency_ms);
+              Printf.sprintf "%.2f"
+                (Sample_set.percentile stats.Experiment.latency_ms 95.);
+              Printf.sprintf "%.1f" (Running_stats.mean stats.Experiment.proofs);
+              Printf.sprintf "%.1f"
+                (Running_stats.mean stats.Experiment.protocol_messages);
+            ])
+          Scheme.all
+      in
+      Table.print
+        ~title:
+          (Printf.sprintf "%s (u=%d, update period %s)" label queries
+             (if Float.is_finite update_period then
+                Printf.sprintf "%.0fms" update_period
+              else "none"))
+        ~headers:[ "scheme"; "commit"; "lat ms"; "p95 ms"; "proofs"; "messages" ]
+        rows)
+    [
+      ("short txns, no churn", 3, infinity);
+      ("short txns, rare updates", 3, 400.);
+      ("long txns, rare updates", 10, 400.);
+      ("short txns, frequent updates", 3, 8.);
+      ("long txns, frequent updates", 10, 8.);
+    ];
+  print_endline "";
+  print_endline
+    "  expected shape (paper, VI-B): txn length < update interval -> Deferred /";
+  print_endline
+    "  Punctual are cheapest; txn length > update interval -> Incremental aborts";
+  print_endline
+    "  pervasively while Continuous keeps committing at quadratic proof cost."
+
+(* ------------------------------------------------------------------ *)
+(* Logging / 2PC-optimization compatibility                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_logging () =
+  print_newline ();
+  print_endline
+    "== Section V recovery / VI-A -- forced-log complexity and 2PC variants ==";
+  let n = 3 in
+  let votes = List.init n (fun i -> (Printf.sprintf "p%d" i, true)) in
+  let veto = ("p0", false) :: List.tl votes in
+  let rows =
+    List.concat_map
+      (fun variant ->
+        List.map
+          (fun (case, vs) ->
+            let stats = Tpc_run.run variant ~votes:vs in
+            [
+              Tpc.variant_name variant;
+              case;
+              (if stats.Tpc_run.outcome then "commit" else "abort");
+              string_of_int stats.Tpc_run.messages;
+              string_of_int
+                (stats.Tpc_run.coordinator_forced
+                + stats.Tpc_run.participants_forced);
+            ])
+          [ ("all yes", votes); ("one no", veto) ])
+      [ Tpc.Basic; Tpc.Presumed_abort; Tpc.Presumed_commit ]
+  in
+  Table.print
+    ~title:(Printf.sprintf "pure 2PC state machines (n=%d)" n)
+    ~headers:[ "variant"; "votes"; "outcome"; "messages"; "forced writes" ]
+    rows;
+  (* 2PVC on the simulator: participants force prepared + decision, the
+     TM forces its decision: 2n + 1, exactly 2PC's log complexity. *)
+  let scenario = Scenario.retail ~n_servers:n ~n_subjects:1 () in
+  let cluster = scenario.Scenario.cluster in
+  let txn =
+    Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:n ()
+  in
+  ignore (Manager.run_one cluster (Manager.config Scheme.Deferred Consistency.View) txn);
+  let participant_forces =
+    List.fold_left
+      (fun acc name ->
+        acc
+        + Wal.force_count (Server.wal (Participant.server (Cluster.participant cluster name))))
+      0 scenario.Scenario.servers
+  in
+  let tm_forces =
+    Counter.get (Transport.counters (Cluster.transport cluster)) "log_force:tm"
+  in
+  Printf.printf
+    "  2PVC (deferred/view, n=%d): participants forced %d, TM forced %d -- total %d = 2n+1\n"
+    n participant_forces tm_forces
+    (participant_forces + tm_forces)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design knobs beyond the paper's core                     *)
+(* ------------------------------------------------------------------ *)
+
+module Gossip = Cloudtx_workload.Gossip
+
+let ablation_read_only () =
+  (* Read-heavy workload: how much does the classic read-only
+     optimization save on the plain-2PC commit path? *)
+  let run ~optimize =
+    let scenario = Scenario.retail ~seed:13L ~n_servers:4 ~n_subjects:3 () in
+    let rng = Splitmix.create 5L in
+    let params =
+      { Generator.default with queries_per_txn = 4; write_ratio = 0.25 }
+    in
+    Experiment.run_sequential scenario
+      (Manager.config ~read_only_optimization:optimize
+         Scheme.Incremental_punctual Consistency.View)
+      ~n:40
+      (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+  in
+  let base = run ~optimize:false in
+  let opt = run ~optimize:true in
+  Table.print ~title:"read-only optimization (incremental/view, 25% writes)"
+    ~headers:[ "config"; "commit"; "lat ms"; "messages/txn" ]
+    [
+      [
+        "baseline";
+        Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio base);
+        Printf.sprintf "%.2f" (Sample_set.mean base.Experiment.latency_ms);
+        Printf.sprintf "%.1f" (Running_stats.mean base.Experiment.protocol_messages);
+      ];
+      [
+        "read-only opt";
+        Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio opt);
+        Printf.sprintf "%.2f" (Sample_set.mean opt.Experiment.latency_ms);
+        Printf.sprintf "%.1f" (Running_stats.mean opt.Experiment.protocol_messages);
+      ];
+    ]
+
+let ablation_master_mode () =
+  (* Once vs Every_round master retrieval under global-worst staleness. *)
+  let run mode =
+    let scenario = Scenario.retail ~n_servers:4 ~n_subjects:1 () in
+    let cluster = scenario.Scenario.cluster in
+    ignore
+      (Cluster.publish cluster ~domain:"retail"
+         ~delay:(`Fixed (fun _ -> infinity))
+         (Scenario.clerk_rules_refreshed ()));
+    let txn =
+      Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:4 ()
+    in
+    let counters = Transport.counters (Cluster.transport cluster) in
+    let before = Table1.protocol_messages counters in
+    let o =
+      Manager.run_one cluster
+        (Manager.config ~master_mode:mode Scheme.Deferred Consistency.Global)
+        txn
+    in
+    (o, Table1.protocol_messages counters - before,
+     Counter.get counters "msg:master-version-reply")
+  in
+  let o1, m1, f1 = run `Every_round in
+  let o2, m2, f2 = run `Once in
+  Table.print ~title:"master-version retrieval (deferred/global, master ahead)"
+    ~headers:[ "mode"; "rounds"; "messages"; "master fetches" ]
+    [
+      [ "every-round"; string_of_int o1.Outcome.commit_rounds; string_of_int m1; string_of_int f1 ];
+      [ "once"; string_of_int o2.Outcome.commit_rounds; string_of_int m2; string_of_int f2 ];
+    ];
+  print_endline
+    "  once saves r-1 retrievals; under churn between rounds it risks extra";
+  print_endline "  rounds because the target version is frozen (paper, Section V-A)."
+
+let ablation_ocsp () =
+  (* Pricing the paper's "online method" of credential status checking:
+     commit latency per scheme when every CA check costs a round trip. *)
+  let run scheme ocsp =
+    let scenario =
+      Scenario.retail ?ocsp_latency:ocsp ~latency:(Latency.Constant 1.)
+        ~seed:23L ~n_servers:4 ~n_subjects:1 ()
+    in
+    Manager.run_one scenario.Scenario.cluster
+      (Manager.config scheme Consistency.View)
+      (Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1"
+         ~queries:4 ())
+  in
+  let rows =
+    List.map
+      (fun scheme ->
+        let free = run scheme None in
+        let priced = run scheme (Some (Latency.Constant 2.)) in
+        [
+          Scheme.name scheme;
+          Printf.sprintf "%.1f" (Outcome.latency free);
+          Printf.sprintf "%.1f" (Outcome.latency priced);
+          Printf.sprintf "+%.1f" (Outcome.latency priced -. Outcome.latency free);
+        ])
+      Scheme.all
+  in
+  Table.print
+    ~title:"OCSP status checks priced at 2ms each (u=4, view consistency)"
+    ~headers:[ "scheme"; "free ms"; "priced ms"; "delta" ]
+    rows;
+  print_endline
+    "  deferred pays one parallel wave at commit; punctual/incremental pay a";
+  print_endline
+    "  serial check per query; continuous adds a check wave per 2PV invocation";
+  print_endline
+    "  (and quadratic total checker load, though waves parallelize across";
+  print_endline "  servers on the latency path)."
+
+let ablation_gossip () =
+  (* A master push that reaches one server out of five; how fast does the
+     deployment converge with gossip, and what do global transactions see
+     meanwhile? *)
+  let scenario = Scenario.retail ~seed:31L ~n_servers:5 ~n_subjects:1 () in
+  let cluster = scenario.Scenario.cluster in
+  ignore
+    (Cluster.publish cluster ~domain:"retail"
+       ~delay:(`Fixed (fun s -> if String.equal s "server-3" then 0. else infinity))
+       (Scenario.clerk_rules_refreshed ()));
+  Gossip.start scenario ~period:10. ~rounds:100;
+  (* Sample convergence over time. *)
+  let checkpoints = [ 0.; 20.; 40.; 80.; 160.; 320. ] in
+  let rows = ref [] in
+  List.iter
+    (fun t ->
+      Transport.at (Cluster.transport cluster) ~delay:t (fun () ->
+          let fresh =
+            List.length
+              (List.filter
+                 (fun (_, v) -> v = Some 2)
+                 (Gossip.versions scenario ~domain:"retail"))
+          in
+          rows :=
+            [ Printf.sprintf "%.0fms" t; Printf.sprintf "%d / 5" fresh ] :: !rows))
+    checkpoints;
+  ignore (Cluster.run cluster);
+  Table.print ~title:"gossip anti-entropy: replicas holding v2 over time"
+    ~headers:[ "time"; "fresh replicas" ]
+    (List.rev !rows)
+
+let ablation_master_distance () =
+  (* The price of global consistency grows with the master's distance:
+     view consistency never contacts it, Deferred/global fetches once per
+     round, Continuous/global once per query. *)
+  let run scheme level ~master_rtt =
+    let scenario =
+      Scenario.retail ~latency:(Latency.Constant 1.) ~seed:3L ~n_servers:4
+        ~n_subjects:1 ()
+    in
+    let cluster = scenario.Scenario.cluster in
+    let network = Transport.network (Cluster.transport cluster) in
+    Cloudtx_sim.Network.set_link network "master" "tm-t1"
+      (Latency.Constant master_rtt);
+    let txn =
+      Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:4 ()
+    in
+    Outcome.latency (Manager.run_one cluster (Manager.config scheme level) txn)
+  in
+  let rows =
+    List.map
+      (fun rtt ->
+        [
+          Printf.sprintf "%.0fms" rtt;
+          Printf.sprintf "%.1f" (run Scheme.Deferred Consistency.View ~master_rtt:rtt);
+          Printf.sprintf "%.1f" (run Scheme.Deferred Consistency.Global ~master_rtt:rtt);
+          Printf.sprintf "%.1f" (run Scheme.Continuous Consistency.Global ~master_rtt:rtt);
+        ])
+      [ 1.; 5.; 25.; 100. ]
+  in
+  Table.print
+    ~title:"master placement: one-way TM<->master latency vs commit latency"
+    ~headers:
+      [ "master link"; "deferred/view"; "deferred/global"; "continuous/global" ]
+    rows;
+  print_endline
+    "  view consistency is immune to master distance; global pays one fetch";
+  print_endline
+    "  round-trip per 2PVC round (deferred) or per query (continuous)."
+
+let ablation_contention () =
+  (* Open-loop runs with increasingly skewed key access: wait-die abort
+     rate under lock contention, with and without restart-and-age. *)
+  let run zipf ~max_restarts =
+    let scenario = Scenario.retail ~seed:47L ~n_servers:3 ~n_subjects:4 () in
+    let rng = Splitmix.create 9L in
+    let params =
+      { Generator.default with queries_per_txn = 3; write_ratio = 1.; zipf_s = zipf }
+    in
+    let arrivals = List.init 40 (fun i -> float_of_int i *. 1.5) in
+    Experiment.run_open ~max_restarts scenario
+      (Manager.config Scheme.Deferred Consistency.View)
+      ~arrivals
+      (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+  in
+  let rows =
+    List.map
+      (fun zipf ->
+        let base = run zipf ~max_restarts:0 in
+        let aged = run zipf ~max_restarts:20 in
+        [
+          Printf.sprintf "%.1f" zipf;
+          Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio base);
+          Printf.sprintf "%.2f" (Sample_set.mean base.Experiment.latency_ms);
+          Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio aged);
+          string_of_int aged.Experiment.restarts;
+        ])
+      [ 0.; 0.8; 1.5; 2.5 ]
+  in
+  Table.print
+    ~title:"contention: key skew vs wait-die (open loop, all writes, 40 txns)"
+    ~headers:[ "zipf s"; "commit"; "lat ms"; "commit w/ aging"; "restarts" ]
+    rows;
+  print_endline
+    "  restart-and-age resubmits wait-die victims with their original";
+  print_endline "  timestamps; they grow relatively older and eventually win."
+
+let ablation_snapshot_reads () =
+  (* Mixed readers/writers on hot keys: MVCC snapshot reads take the
+     readers out of the lock table entirely. *)
+  let run ~snapshot =
+    let scenario =
+      Scenario.retail ~seed:5L ~n_servers:2 ~items_per_server:2 ~n_subjects:4 ()
+    in
+    let rng = Splitmix.create 11L in
+    let writer =
+      { Generator.default with queries_per_txn = 2; write_ratio = 1.; zipf_s = 3. }
+    in
+    let reader = { writer with write_ratio = 0. } in
+    let arrivals = List.init 80 (fun i -> float_of_int i *. 0.3) in
+    Experiment.run_open scenario
+      (Manager.config ~snapshot_reads:snapshot Scheme.Incremental_punctual
+         Consistency.View)
+      ~arrivals
+      (fun ~i ->
+        let params = if i mod 2 = 0 then writer else reader in
+        Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+  in
+  let rows =
+    List.map
+      (fun (label, snapshot) ->
+        let stats = run ~snapshot in
+        [
+          label;
+          Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio stats);
+          string_of_int stats.Experiment.aborted;
+          Printf.sprintf "%.2f" (Sample_set.mean stats.Experiment.latency_ms);
+        ])
+      [ ("locked reads", false); ("snapshot reads", true) ]
+  in
+  Table.print
+    ~title:"MVCC snapshot reads (50% pure readers, hot keys, open loop)"
+    ~headers:[ "config"; "commit"; "aborts"; "lat ms" ]
+    rows;
+  print_endline
+    "  snapshot readers hold no shared locks: they cannot die, and writers";
+  print_endline "  never queue behind them."
+
+let section_throughput () =
+  print_newline ();
+  print_endline
+    "== Throughput -- closed-loop concurrency scaling (deferred/view) ==";
+  let rows =
+    List.map
+      (fun clients ->
+        let scenario = Scenario.retail ~seed:61L ~n_servers:4 ~n_subjects:4 () in
+        let rng = Splitmix.create 3L in
+        let params =
+          { Generator.default with queries_per_txn = 3; write_ratio = 0.3; zipf_s = 0.5 }
+        in
+        let stats, tps =
+          Experiment.run_closed scenario
+            (Manager.config Scheme.Deferred Consistency.View)
+            ~clients ~total:120
+            (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+        in
+        [
+          string_of_int clients;
+          Printf.sprintf "%.0f" tps;
+          Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio stats);
+          Printf.sprintf "%.2f" (Sample_set.mean stats.Experiment.latency_ms);
+          Printf.sprintf "%.2f" (Sample_set.percentile stats.Experiment.latency_ms 95.);
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Table.print ~title:"120 transactions, 4 servers, 30% writes"
+    ~headers:[ "clients"; "txn/s (sim)"; "commit"; "lat ms"; "p95 ms" ]
+    rows;
+  print_endline
+    "  throughput scales with clients until lock contention and wait-die";
+  print_endline "  aborts flatten the curve."
+
+let section_ablations () =
+  print_newline ();
+  print_endline "== Ablations -- design knobs beyond the paper's core ==";
+  ablation_read_only ();
+  ablation_master_mode ();
+  ablation_ocsp ();
+  ablation_gossip ();
+  ablation_master_distance ();
+  ablation_snapshot_reads ();
+  ablation_contention ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Table I / proof machinery: one proof evaluation. *)
+  let proof_eval =
+    let module Rule = Cloudtx_policy.Rule in
+    let module Ca = Cloudtx_policy.Ca in
+    let module Policy = Cloudtx_policy.Policy in
+    let module Proof = Cloudtx_policy.Proof in
+    let ca = Ca.create "ca" in
+    let cred =
+      Ca.issue ca ~id:"c" ~subject:"bob"
+        ~facts:[ Rule.fact "role" [ "bob"; "clerk" ] ]
+        ~now:0. ~ttl:1e9
+    in
+    let policy =
+      Policy.create ~domain:"d"
+        [
+          Rule.rule
+            (Rule.atom "permit" [ Rule.v "s"; Rule.v "a"; Rule.v "i" ])
+            [
+              Rule.atom "role" [ Rule.v "s"; Rule.c "clerk" ];
+              Rule.atom "req_action" [ Rule.v "a" ];
+              Rule.atom "req_item" [ Rule.v "i" ];
+            ];
+        ]
+    in
+    let env =
+      {
+        Proof.find_ca = (fun _ -> Some ca);
+        trusted_server = (fun _ -> false);
+        context = (fun () -> []);
+      }
+    in
+    let request = { Proof.subject = "bob"; action = "read"; items = [ "x" ] } in
+    Test.make ~name:"proof_evaluation"
+      (Staged.stage (fun () ->
+           ignore
+             (Proof.evaluate ~query_id:"q" ~server:"s" ~policy ~creds:[ cred ]
+                ~env ~at:1. request)))
+  in
+  (* One full simulated transaction per scheme (n = u = 4). *)
+  let txn_bench ?(proof_cache = false) ?suffix scheme level =
+    let name =
+      Printf.sprintf "txn_%s_%s%s" (Scheme.name scheme) (Consistency.name level)
+        (Option.value ~default:"" suffix)
+    in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let scenario =
+             Scenario.retail ~proof_cache ~n_servers:4 ~n_subjects:1 ()
+           in
+           let txn =
+             Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1"
+               ~queries:4 ()
+           in
+           ignore
+             (Manager.run_one scenario.Scenario.cluster
+                (Manager.config scheme level)
+                txn)))
+  in
+  (* A policy whose derivation is genuinely expensive (transitive closure
+     over a 12-node chain): here memoizing the inference step pays. *)
+  let heavy_proof_eval ~cached =
+    let module Rule = Cloudtx_policy.Rule in
+    let module Ca = Cloudtx_policy.Ca in
+    let module Policy = Cloudtx_policy.Policy in
+    let module Proof = Cloudtx_policy.Proof in
+    let ca = Ca.create "ca" in
+    let cred =
+      Ca.issue ca ~id:"c" ~subject:"bob"
+        ~facts:
+          (Rule.fact "role" [ "bob"; "clerk" ]
+          :: List.init 11 (fun i ->
+                 Rule.fact "grants"
+                   [ Printf.sprintf "g%d" i; Printf.sprintf "g%d" (i + 1) ]))
+        ~now:0. ~ttl:1e9
+    in
+    let policy =
+      Policy.create ~domain:"d"
+        [
+          Rule.rule
+            (Rule.atom "reach" [ Rule.v "x"; Rule.v "y" ])
+            [ Rule.atom "grants" [ Rule.v "x"; Rule.v "y" ] ];
+          Rule.rule
+            (Rule.atom "reach" [ Rule.v "x"; Rule.v "z" ])
+            [
+              Rule.atom "reach" [ Rule.v "x"; Rule.v "y" ];
+              Rule.atom "grants" [ Rule.v "y"; Rule.v "z" ];
+            ];
+          Rule.rule
+            (Rule.atom "permit" [ Rule.v "s"; Rule.v "a"; Rule.v "i" ])
+            [
+              Rule.atom "role" [ Rule.v "s"; Rule.c "clerk" ];
+              Rule.atom "reach" [ Rule.c "g0"; Rule.c "g11" ];
+              Rule.atom "req_action" [ Rule.v "a" ];
+              Rule.atom "req_item" [ Rule.v "i" ];
+            ];
+        ]
+    in
+    let env =
+      {
+        Proof.find_ca = (fun _ -> Some ca);
+        trusted_server = (fun _ -> false);
+        context = (fun () -> []);
+      }
+    in
+    let request = { Proof.subject = "bob"; action = "read"; items = [ "x" ] } in
+    let cache = if cached then Some (Hashtbl.create 16) else None in
+    Test.make
+      ~name:
+        (if cached then "proof_eval_heavy_cached" else "proof_eval_heavy")
+      (Staged.stage (fun () ->
+           ignore
+             (Proof.evaluate ?cache ~query_id:"q" ~server:"s" ~policy
+                ~creds:[ cred ] ~env ~at:1. request)))
+  in
+  let tpc_bench =
+    Test.make ~name:"pure_2pc_n4"
+      (Staged.stage (fun () ->
+           ignore
+             (Tpc_run.run Tpc.Basic
+                ~votes:[ ("a", true); ("b", true); ("c", true); ("d", true) ])))
+  in
+  let infer_bench =
+    let module Rule = Cloudtx_policy.Rule in
+    let module Infer = Cloudtx_policy.Infer in
+    let rules =
+      [
+        Rule.rule
+          (Rule.atom "reach" [ Rule.v "x"; Rule.v "y" ])
+          [ Rule.atom "edge" [ Rule.v "x"; Rule.v "y" ] ];
+        Rule.rule
+          (Rule.atom "reach" [ Rule.v "x"; Rule.v "z" ])
+          [
+            Rule.atom "reach" [ Rule.v "x"; Rule.v "y" ];
+            Rule.atom "edge" [ Rule.v "y"; Rule.v "z" ];
+          ];
+        Rule.rule_literals
+          (Rule.atom "ok" [ Rule.v "x"; Rule.v "y" ])
+          [
+            Rule.Pos (Rule.atom "reach" [ Rule.v "x"; Rule.v "y" ]);
+            Rule.Neg (Rule.atom "blocked" [ Rule.v "y" ]);
+          ];
+      ]
+    in
+    let facts =
+      Rule.fact "blocked" [ "n7" ]
+      :: List.init 9 (fun i ->
+             Rule.fact "edge" [ Printf.sprintf "n%d" i; Printf.sprintf "n%d" (i + 1) ])
+    in
+    Test.make ~name:"infer_chain10_negation"
+      (Staged.stage (fun () -> ignore (Infer.saturate ~rules ~facts)))
+  in
+  let codec_bench =
+    let module Codec = Cloudtx_policy.Codec in
+    let policy =
+      Cloudtx_policy.Policy.create ~domain:"d" Scenario.clerk_rules
+    in
+    let wire = Codec.policy_to_string policy in
+    Test.make ~name:"codec_policy_roundtrip"
+      (Staged.stage (fun () ->
+           match Codec.policy_of_string wire with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  let datalog_bench =
+    let module Datalog = Cloudtx_policy.Datalog in
+    let text =
+      "permit(S, A, I) :- role(S, clerk), req_action(A), req_item(I), not suspended(S).\n"
+    in
+    Test.make ~name:"datalog_parse_rule"
+      (Staged.stage (fun () ->
+           match Datalog.parse_rule text with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  Test.make_grouped ~name:"cloudtx"
+    ([
+       proof_eval;
+       heavy_proof_eval ~cached:false;
+       heavy_proof_eval ~cached:true;
+       tpc_bench;
+       infer_bench;
+       codec_bench;
+       datalog_bench;
+     ]
+    @ List.map (fun s -> txn_bench s Consistency.View) Scheme.all
+    @ [
+        txn_bench Scheme.Deferred Consistency.Global;
+        txn_bench ~proof_cache:true ~suffix:"_cached" Scheme.Continuous
+          Consistency.View;
+      ])
+
+let section_micro () =
+  print_newline ();
+  print_endline "== Bechamel micro-benchmarks (wall clock) ==";
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        [ name; Printf.sprintf "%.1f" ns; Printf.sprintf "%.3f" (ns /. 1e6) ]
+        :: acc)
+      results []
+    |> List.sort compare
+  in
+  Table.print ~title:"time per run" ~headers:[ "benchmark"; "ns/run"; "ms/run" ] rows;
+  print_endline
+    "  proof-cache trade-off: memoizing the inference step is ~30x faster on";
+  print_endline
+    "  derivation-heavy policies (proof_eval_heavy) but the memo key itself";
+  print_endline
+    "  costs more than the tiny retail policy's saturation — enable per";
+  print_endline "  deployment."
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", section_table1);
+    ("figure1", section_figure1);
+    ("figure2", section_figure2);
+    ("figures", section_figures_3_to_6);
+    ("figure7", section_figure7);
+    ("tradeoff", section_tradeoff);
+    ("logging", section_logging);
+    ("throughput", section_throughput);
+    ("ablations", section_ablations);
+    ("micro", section_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: args when args <> [] -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %s (known: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 2)
+    requested

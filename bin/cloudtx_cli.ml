@@ -1,0 +1,476 @@
+(* cloudtx command-line front end.
+
+     cloudtx run      -- run a workload under a scheme and print stats
+     cloudtx table1   -- Table I: analytic vs measured complexity
+     cloudtx trace    -- run one transaction and dump the message trace
+     cloudtx sweep    -- the Section VI-B trade-off grid
+
+   Example:
+     dune exec bin/cloudtx_cli.exe -- run --scheme continuous --level global \
+       --servers 6 --queries 8 --txns 50 --update-period 10 *)
+
+module Cluster = Cloudtx_core.Cluster
+module Manager = Cloudtx_core.Manager
+module Scheme = Cloudtx_core.Scheme
+module Consistency = Cloudtx_core.Consistency
+module Outcome = Cloudtx_core.Outcome
+module Transport = Cloudtx_sim.Transport
+module Trace = Cloudtx_sim.Trace
+module Latency = Cloudtx_sim.Latency
+module Splitmix = Cloudtx_sim.Splitmix
+module Scenario = Cloudtx_workload.Scenario
+module Generator = Cloudtx_workload.Generator
+module Churn = Cloudtx_workload.Churn
+module Experiment = Cloudtx_workload.Experiment
+module Table1 = Cloudtx_workload.Table1
+module Table = Cloudtx_metrics.Table
+module Sample_set = Cloudtx_metrics.Sample_set
+module Running_stats = Cloudtx_metrics.Running_stats
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable protocol debug logging.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let scheme_conv =
+  let parse s =
+    match Scheme.of_string s with
+    | Some scheme -> Ok scheme
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scheme %s (deferred|punctual|incremental|continuous)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" (Scheme.name s))
+
+let level_conv =
+  let parse s =
+    match Consistency.of_string s with
+    | Some level -> Ok level
+    | None -> Error (`Msg (Printf.sprintf "unknown level %s (view|global)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.fprintf ppf "%s" (Consistency.name l))
+
+let scheme_arg =
+  Arg.(value & opt scheme_conv Scheme.Deferred & info [ "scheme" ] ~doc:"Proof scheme: deferred, punctual, incremental, continuous.")
+
+let level_arg =
+  Arg.(value & opt level_conv Consistency.View & info [ "level" ] ~doc:"Consistency level: view or global.")
+
+let servers_arg =
+  Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Number of data servers.")
+
+let queries_arg =
+  Arg.(value & opt int 4 & info [ "queries" ] ~doc:"Queries per transaction.")
+
+let txns_arg =
+  Arg.(value & opt int 30 & info [ "txns" ] ~doc:"Transactions to run.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic simulation seed.")
+
+let update_period_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "update-period" ]
+        ~doc:"Publish a (semantically neutral) policy version bump every this many simulated ms.")
+
+let write_ratio_arg =
+  Arg.(value & opt float 0.3 & info [ "write-ratio" ] ~doc:"Probability a query writes.")
+
+let zipf_arg =
+  Arg.(value & opt float 0. & info [ "zipf" ] ~doc:"Key-access skew exponent (0 = uniform).")
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd verbose scheme level servers queries txns seed update_period
+    write_ratio zipf =
+  setup_logs verbose;
+  let scenario =
+    Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
+  in
+  (match update_period with
+  | Some period when period > 0. ->
+    Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
+  | Some _ | None -> ());
+  let rng = Splitmix.create (Int64.of_int (seed + 1)) in
+  let params =
+    { Generator.default with queries_per_txn = queries; write_ratio; zipf_s = zipf }
+  in
+  let stats =
+    Experiment.run_sequential scenario (Manager.config scheme level) ~n:txns
+      (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+  in
+  Format.printf "scheme=%s level=%s servers=%d queries=%d txns=%d@."
+    (Scheme.name scheme) (Consistency.name level) servers queries txns;
+  Format.printf "  committed : %d (%.0f%%)@." stats.Experiment.committed
+    (100. *. Experiment.commit_ratio stats);
+  Format.printf "  aborted   : %d@." stats.Experiment.aborted;
+  if stats.Experiment.aborted > 0 then begin
+    let reasons = Hashtbl.create 4 in
+    List.iter
+      (fun (o : Outcome.t) ->
+        if not o.Outcome.committed then begin
+          let key = Outcome.reason_name o.Outcome.reason in
+          Hashtbl.replace reasons key (1 + Option.value ~default:0 (Hashtbl.find_opt reasons key))
+        end)
+      stats.Experiment.outcomes;
+    Hashtbl.iter (fun k v -> Format.printf "    %-22s %d@." k v) reasons
+  end;
+  Format.printf "  latency   : mean %.2fms  p50 %.2f  p95 %.2f  max %.2f@."
+    (Sample_set.mean stats.Experiment.latency_ms)
+    (Sample_set.median stats.Experiment.latency_ms)
+    (Sample_set.percentile stats.Experiment.latency_ms 95.)
+    (Sample_set.max stats.Experiment.latency_ms);
+  Format.printf "  proofs    : mean %.1f per txn@."
+    (Running_stats.mean stats.Experiment.proofs);
+  Format.printf "  messages  : mean %.1f per txn (protocol accounting)@."
+    (Running_stats.mean stats.Experiment.protocol_messages)
+
+let run_term =
+  Term.(
+    const run_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
+    $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
+    $ zipf_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd n u =
+  Table.print
+    ~title:(Printf.sprintf "Table I (n=%d, u=%d): analytic vs measured" n u)
+    ~headers:
+      [
+        "scheme"; "level"; "staleness"; "msgs formula"; "analytic"; "measured";
+        "proofs formula"; "analytic"; "measured";
+      ]
+    (Cloudtx_workload.Table1.matrix_rows ~n ~u)
+
+let table1_term =
+  Term.(
+    const table1_cmd
+    $ Arg.(value & opt int 4 & info [ "n" ] ~doc:"Participants.")
+    $ Arg.(value & opt int 4 & info [ "u" ] ~doc:"Queries."))
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd verbose scheme level servers queries format =
+  setup_logs verbose;
+  let scenario =
+    Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
+      ~n_subjects:1 ()
+  in
+  let cluster = scenario.Scenario.cluster in
+  let txn =
+    Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
+  in
+  let outcome = Manager.run_one cluster (Manager.config scheme level) txn in
+  let trace = Transport.trace (Cluster.transport cluster) in
+  match format with
+  | "text" ->
+    Format.printf "%a@.@." Outcome.pp outcome;
+    print_string (Trace.to_string trace)
+  | "mermaid" -> print_string (Trace.to_mermaid trace)
+  | "csv" -> print_string (Trace.to_csv trace)
+  | other ->
+    Printf.eprintf "unknown format %s (text|mermaid|csv)\n" other;
+    exit 2
+
+let format_arg =
+  Arg.(
+    value
+    & opt string "text"
+    & info [ "format" ] ~doc:"Trace output format: text, mermaid or csv.")
+
+let trace_term =
+  Term.(
+    const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
+    $ queries_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd level txns =
+  List.iter
+    (fun (label, queries, period) ->
+      let rows =
+        List.map
+          (fun scheme ->
+            let scenario = Scenario.retail ~seed:11L ~n_servers:6 ~n_subjects:4 () in
+            (match period with
+            | Some p -> Churn.policy_refresh scenario ~period:p ~propagation:(0.5, 8.) ~count:5000
+            | None -> ());
+            let rng = Splitmix.create 77L in
+            let params =
+              { Generator.default with queries_per_txn = queries; write_ratio = 0.3 }
+            in
+            let stats =
+              Experiment.run_sequential scenario (Manager.config scheme level)
+                ~n:txns
+                (fun ~i ->
+                  Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+            in
+            [
+              Scheme.name scheme;
+              Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio stats);
+              Printf.sprintf "%.2f" (Sample_set.mean stats.Experiment.latency_ms);
+              Printf.sprintf "%.1f" (Running_stats.mean stats.Experiment.proofs);
+              Printf.sprintf "%.1f" (Running_stats.mean stats.Experiment.protocol_messages);
+            ])
+          Scheme.all
+      in
+      Table.print
+        ~title:
+          (Printf.sprintf "%s (u=%d, update period %s, %s consistency)" label
+             queries
+             (match period with Some p -> Printf.sprintf "%.0fms" p | None -> "none")
+             (Consistency.name level))
+        ~headers:[ "scheme"; "commit"; "lat ms"; "proofs"; "messages" ]
+        rows)
+    [
+      ("short txns / rare updates", 3, Some 400.);
+      ("long txns / rare updates", 10, Some 400.);
+      ("short txns / frequent updates", 3, Some 8.);
+      ("long txns / frequent updates", 10, Some 8.);
+    ]
+
+let sweep_term = Term.(const sweep_cmd $ level_arg $ txns_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bank                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bank_cmd scheme level txns overdraft seed =
+  let module Banking = Cloudtx_workload.Banking in
+  let bank = Banking.build ~seed:(Int64.of_int seed) () in
+  let rng = Splitmix.create (Int64.of_int (seed + 1)) in
+  let committed = ref 0 in
+  let integrity = ref 0 and proof = ref 0 and other = ref 0 in
+  let before = Banking.total_funds bank in
+  for i = 1 to txns do
+    let txn =
+      Banking.random_transfer bank rng ~id:(Printf.sprintf "t%d" i)
+        ~overdraft_ratio:overdraft
+    in
+    let o =
+      Manager.run_one bank.Banking.cluster (Manager.config scheme level) txn
+    in
+    if o.Outcome.committed then incr committed
+    else
+      match o.Outcome.reason with
+      | Outcome.Integrity_violation -> incr integrity
+      | Outcome.Proof_failure -> incr proof
+      | _ -> incr other
+  done;
+  Format.printf "banking: %d transfers under %s/%s@." txns (Scheme.name scheme)
+    (Consistency.name level);
+  Format.printf "  committed            : %d@." !committed;
+  Format.printf "  integrity aborts     : %d (overdrafts)@." !integrity;
+  Format.printf "  authorization aborts : %d@." !proof;
+  Format.printf "  other aborts         : %d@." !other;
+  Format.printf "  funds: %d -> %d (%s)@." before (Banking.total_funds bank)
+    (if before = Banking.total_funds bank then "conserved" else "VIOLATED!")
+
+let bank_term =
+  Term.(
+    const bank_cmd $ scheme_arg $ level_arg
+    $ Arg.(value & opt int 50 & info [ "txns" ] ~doc:"Transfers to run.")
+    $ Arg.(value & opt float 0.25 & info [ "overdraft" ] ~doc:"Overdraft probability.")
+    $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse "pred(a,b,c)" into a ground fact. *)
+let parse_fact s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+    let pred = String.sub s 0 i in
+    let inner = String.sub s (i + 1) (String.length s - i - 2) in
+    let args =
+      List.map String.trim (String.split_on_char ',' inner)
+      |> List.filter (fun a -> a <> "")
+    in
+    Cloudtx_policy.Rule.fact pred args
+  | _ -> failwith (Printf.sprintf "bad fact %S (expected pred(a,b))" s)
+
+let analyze_cmd old_file new_file subjects actions items facts =
+  let module Codec = Cloudtx_policy.Codec in
+  let module Analysis = Cloudtx_policy.Analysis in
+  let read_policy path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    (* .json files use the wire codec; anything else is Datalog text. *)
+    let result =
+      if Filename.check_suffix path ".json" then Codec.policy_of_string contents
+      else
+        Result.map
+          (fun rules -> Cloudtx_policy.Policy.create ~domain:(Filename.basename path) rules)
+          (Cloudtx_policy.Datalog.parse_program contents)
+    in
+    match result with
+    | Ok p -> p
+    | Error m ->
+      Printf.eprintf "%s: %s\n" path m;
+      exit 1
+  in
+  let old_p = read_policy old_file and new_p = read_policy new_file in
+  let split arg = String.split_on_char ',' arg |> List.filter (fun s -> s <> "") in
+  let base_facts = List.map parse_fact facts in
+  let probes =
+    Analysis.probe_space ~subjects:(split subjects) ~actions:(split actions)
+      ~items:(split items)
+      ~facts_for:(fun _ -> base_facts)
+  in
+  Format.printf "%s v%d  ->  %s v%d over %d probes@." old_p.Cloudtx_policy.Policy.domain
+    old_p.Cloudtx_policy.Policy.version new_p.Cloudtx_policy.Policy.domain
+    new_p.Cloudtx_policy.Policy.version (List.length probes);
+  match Analysis.compare_policies ~probes old_p new_p with
+  | Analysis.Equivalent -> Format.printf "verdict: EQUIVALENT (pure refresh)@."
+  | Analysis.Tightened lost ->
+    Format.printf "verdict: TIGHTENED — %d access(es) lost:@." (List.length lost);
+    List.iter (fun p -> Format.printf "  - %a@." Analysis.pp_probe p) lost
+  | Analysis.Relaxed gained ->
+    Format.printf "verdict: RELAXED — %d access(es) gained:@." (List.length gained);
+    List.iter (fun p -> Format.printf "  + %a@." Analysis.pp_probe p) gained
+  | Analysis.Mixed { lost; gained } ->
+    Format.printf "verdict: MIXED@.";
+    List.iter (fun p -> Format.printf "  - %a@." Analysis.pp_probe p) lost;
+    List.iter (fun p -> Format.printf "  + %a@." Analysis.pp_probe p) gained
+
+let analyze_term =
+  Term.(
+    const analyze_cmd
+    $ Arg.(required & opt (some file) None & info [ "old" ] ~doc:"Old policy JSON file.")
+    $ Arg.(required & opt (some file) None & info [ "new" ] ~doc:"New policy JSON file.")
+    $ Arg.(value & opt string "bob" & info [ "subjects" ] ~doc:"Comma-separated probe subjects.")
+    $ Arg.(value & opt string "read,write" & info [ "actions" ] ~doc:"Comma-separated probe actions.")
+    $ Arg.(value & opt string "db1" & info [ "items" ] ~doc:"Comma-separated probe items.")
+    $ Arg.(value & opt_all string [] & info [ "fact" ] ~doc:"Ground fact pred(a,b) available to every probe; repeatable."))
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd path =
+  let module Datalog = Cloudtx_policy.Datalog in
+  let module Infer = Cloudtx_policy.Infer in
+  let module Rule = Cloudtx_policy.Rule in
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Datalog.parse_program contents with
+  | Error m ->
+    Printf.eprintf "%s: %s\n" path m;
+    exit 1
+  | Ok rules ->
+    Format.printf "%s: %d rule(s) parsed@." path (List.length rules);
+    (* Stratification check (negation cycles surface at saturation). *)
+    (try
+       ignore (Infer.saturate ~rules ~facts:[]);
+       Format.printf "  stratification : ok@."
+     with Invalid_argument m ->
+       Format.printf "  stratification : FAILED (%s)@." m;
+       exit 1);
+    (* Predicates derived vs consumed: flag body predicates that nothing
+       derives and no convention provides (likely typos). *)
+    let heads =
+      List.sort_uniq String.compare
+        (List.map (fun (r : Rule.t) -> r.Rule.head.Rule.pred) rules)
+    in
+    let provided =
+      heads
+      @ [ "req_subject"; "req_action"; "req_item"; "capability" ]
+    in
+    let consumed =
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun (r : Rule.t) ->
+             List.map
+               (fun (a : Rule.atom) -> a.Rule.pred)
+               (Rule.positive_body r @ Rule.negative_body r))
+           rules)
+    in
+    let external_preds =
+      List.filter (fun p -> not (List.mem p provided)) consumed
+    in
+    Format.printf "  head predicates: %s@." (String.concat ", " heads);
+    if external_preds <> [] then
+      Format.printf
+        "  credential/context facts expected for: %s@."
+        (String.concat ", " external_preds);
+    if not (List.mem "permit" heads) then
+      Format.printf
+        "  warning: no rule derives permit/3 — this policy grants nothing@."
+
+let check_term =
+  Term.(
+    const check_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"POLICY.dl" ~doc:"Datalog policy file to validate."))
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd domain out_file =
+  (* Write the retail scenario's current policy as JSON — a starting point
+     for editing + `analyze`. *)
+  let module Codec = Cloudtx_policy.Codec in
+  let scenario = Scenario.retail () in
+  ignore domain;
+  let master = Cluster.master scenario.Scenario.cluster in
+  let policy =
+    match Cloudtx_core.Master.admin master ~domain:"retail" with
+    | Some admin -> Cloudtx_policy.Admin.latest admin
+    | None -> failwith "no retail domain"
+  in
+  let oc = open_out out_file in
+  output_string oc (Codec.policy_to_string policy);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." out_file
+
+let export_term =
+  Term.(
+    const export_cmd
+    $ Arg.(value & opt string "retail" & info [ "domain" ] ~doc:"Domain to export.")
+    $ Arg.(value & opt string "policy.json" & info [ "out" ] ~doc:"Output file."))
+
+(* ------------------------------------------------------------------ *)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a workload and print aggregate statistics.") run_term;
+    Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I: analytic vs measured complexity.") table1_term;
+    Cmd.v (Cmd.info "trace" ~doc:"Run one transaction and dump the full message trace.") trace_term;
+    Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;
+    Cmd.v (Cmd.info "bank" ~doc:"Random funds transfers over the banking scenario.") bank_term;
+    Cmd.v (Cmd.info "analyze" ~doc:"Semantic diff of two policy files (JSON or Datalog).") analyze_term;
+    Cmd.v (Cmd.info "check" ~doc:"Parse and validate a Datalog policy file.") check_term;
+    Cmd.v (Cmd.info "export" ~doc:"Export a scenario policy as JSON.") export_term;
+  ]
+
+let () =
+  let doc = "policy- and data-consistent cloud transactions (2PV / 2PVC)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "cloudtx" ~doc) cmds))

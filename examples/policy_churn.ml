@@ -1,0 +1,80 @@
+(* Section VI-B's trade-off, live: which proof-of-authorization scheme to
+   use as a function of transaction length versus policy-update interval.
+
+   The paper's guidance:
+   - transaction length < update interval: Deferred (short txns) or
+     Punctual (longer txns, early abort detection);
+   - transaction length > update interval: Continuous (long txns, avoids
+     late rollbacks by repairing in place) or Incremental (short txns,
+     no extra synchronization).
+
+   This example sweeps both axes over the retail scenario and prints
+   commit ratio, mean latency and proof work per scheme.
+
+   Run with: dune exec examples/policy_churn.exe *)
+
+module Manager = Cloudtx_core.Manager
+module Scheme = Cloudtx_core.Scheme
+module Consistency = Cloudtx_core.Consistency
+module Scenario = Cloudtx_workload.Scenario
+module Generator = Cloudtx_workload.Generator
+module Churn = Cloudtx_workload.Churn
+module Experiment = Cloudtx_workload.Experiment
+module Splitmix = Cloudtx_sim.Splitmix
+module Table = Cloudtx_metrics.Table
+module Sample_set = Cloudtx_metrics.Sample_set
+module Running_stats = Cloudtx_metrics.Running_stats
+
+let run_cell ~scheme ~queries ~update_period =
+  (* A fresh deployment per cell keeps the runs independent. *)
+  let scenario = Scenario.retail ~seed:11L ~n_servers:6 ~n_subjects:4 () in
+  (* Background policy churn for the whole run. *)
+  Churn.policy_refresh scenario ~period:update_period ~propagation:(0.5, 8.)
+    ~count:400;
+  let rng = Splitmix.create 77L in
+  let params =
+    { Generator.default with queries_per_txn = queries; write_ratio = 0.3 }
+  in
+  Experiment.run_sequential scenario
+    (Manager.config scheme Consistency.View)
+    ~n:60
+    (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+
+let () =
+  Format.printf
+    "Section VI-B trade-off: transaction length vs. policy-update interval@.";
+  List.iter
+    (fun (label, queries, update_period) ->
+      let rows =
+        List.map
+          (fun scheme ->
+            let stats = run_cell ~scheme ~queries ~update_period in
+            [
+              Scheme.name scheme;
+              Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio stats);
+              Printf.sprintf "%.2f" (Sample_set.mean stats.Experiment.latency_ms);
+              Printf.sprintf "%.1f" (Running_stats.mean stats.Experiment.proofs);
+              Printf.sprintf "%.1f"
+                (Running_stats.mean stats.Experiment.protocol_messages);
+            ])
+          Scheme.all
+      in
+      Table.print
+        ~title:
+          (Printf.sprintf "%s (u=%d queries, policy update every %.0fms)" label
+             queries update_period)
+        ~headers:[ "scheme"; "commit"; "latency ms"; "proofs"; "messages" ]
+        rows)
+    [
+      ("short transactions, rare updates", 3, 500.);
+      ("long transactions, rare updates", 10, 500.);
+      ("short transactions, frequent updates", 3, 8.);
+      ("long transactions, frequent updates", 10, 8.);
+    ];
+  Format.printf
+    "@.Reading: under rare updates every scheme commits and Deferred is@.";
+  Format.printf
+    "cheapest; under frequent updates Incremental aborts on version skew@.";
+  Format.printf
+    "while Continuous keeps committing at the cost of quadratic proof work —@.";
+  Format.printf "the paper's Section VI-B decision matrix.@."

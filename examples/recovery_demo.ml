@@ -1,0 +1,81 @@
+(* Failure and recovery in 2PVC: a participant crashes after voting YES,
+   recovers from its write-ahead log, and resolves the in-doubt
+   transaction with the coordinator — the recovery story of Section V.
+
+   Run with: dune exec examples/recovery_demo.exe *)
+
+module Cluster = Cloudtx_core.Cluster
+module Manager = Cloudtx_core.Manager
+module Scheme = Cloudtx_core.Scheme
+module Consistency = Cloudtx_core.Consistency
+module Outcome = Cloudtx_core.Outcome
+module Participant = Cloudtx_core.Participant
+module Transport = Cloudtx_sim.Transport
+module Trace = Cloudtx_sim.Trace
+module Latency = Cloudtx_sim.Latency
+module Scenario = Cloudtx_workload.Scenario
+module Server = Cloudtx_store.Server
+module Wal = Cloudtx_store.Wal
+module Value = Cloudtx_store.Value
+
+let () =
+  let scenario =
+    Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:3 ~n_subjects:1 ()
+  in
+  let cluster = scenario.Cloudtx_workload.Scenario.cluster in
+  let transport = Cluster.transport cluster in
+  let txn =
+    Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:3 ()
+  in
+
+  (* Crash server-2 right after it votes YES (its commit reply leaves at
+     8ms with constant 1ms links), so the decision cannot reach it. *)
+  Transport.at transport ~delay:8.5 (fun () ->
+      Format.printf "[%6.1fms] *** server-2 crashes (fail-stop) ***@."
+        (Transport.now transport);
+      Participant.crash (Cluster.participant cluster "server-2"));
+
+  let result = ref None in
+  Manager.submit cluster
+    (Manager.config Scheme.Deferred Consistency.View)
+    txn
+    ~on_done:(fun o -> result := Some o);
+  ignore (Cluster.run cluster);
+
+  Format.printf "simulation quiescent; transaction finished? %b@."
+    (!result <> None);
+
+  (* The coordinator force-logged COMMIT and delivered it to the two live
+     participants; server-2 is in doubt behind its forced prepare
+     record. *)
+  let server2 = Participant.server (Cluster.participant cluster "server-2") in
+  (match Wal.recover_txn (Server.wal server2) ~txn:"t1" with
+  | `Prepared (writes, versions) ->
+    Format.printf
+      "server-2 WAL: in doubt, %d buffered write(s), policy versions %s@."
+      (List.length writes)
+      (String.concat ","
+         (List.map (fun (d, v) -> Printf.sprintf "%s=v%d" d v) versions))
+  | _ -> Format.printf "server-2 WAL: unexpected state@.");
+
+  Format.printf "@.*** server-2 restarts and replays its log ***@.";
+  Participant.recover (Cluster.participant cluster "server-2");
+  ignore (Cluster.run cluster);
+
+  (match !result with
+  | Some o ->
+    Format.printf "transaction resolved: %a@." Outcome.pp o;
+    Format.printf "server-2 applied the write: s2-k2 = %s@."
+      (match Server.get server2 "s2-k2" with
+      | Some v -> Value.to_string v
+      | None -> "?")
+  | None -> Format.printf "still unresolved?!@.");
+
+  (* Show the termination protocol in the trace: the Inquiry and the
+     re-sent decision. *)
+  Format.printf "@.tail of the message trace:@.";
+  let entries = Trace.entries (Transport.trace transport) in
+  let n = List.length entries in
+  List.iteri
+    (fun i e -> if i >= n - 12 then Format.printf "  %a@." Trace.pp_entry e)
+    entries

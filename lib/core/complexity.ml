@@ -1,0 +1,75 @@
+let rounds_bound = function
+  | Consistency.View -> Some 2
+  | Consistency.Global -> None
+
+let validate ~n ~u ~r level =
+  if n <= 0 then invalid_arg "Complexity: n must be positive";
+  if u <= 0 then invalid_arg "Complexity: u must be positive";
+  if r <= 0 then invalid_arg "Complexity: r must be positive";
+  match rounds_bound level with
+  | Some bound when r > bound ->
+    invalid_arg
+      (Printf.sprintf "Complexity: r=%d exceeds the view-consistency bound %d"
+         r bound)
+  | Some _ | None -> ()
+
+let messages scheme level ~n ~u ~r =
+  validate ~n ~u ~r level;
+  match (scheme, level) with
+  (* Deferred and Punctual use full 2PVC: 2n decision-phase messages plus
+     2n per voting round; under view consistency the worst case is r = 2
+     (hence the paper's "2n + 4n"); global adds one master-version
+     retrieval per round. *)
+  | (Scheme.Deferred | Scheme.Punctual), Consistency.View -> (2 * n) + (2 * n * r)
+  | (Scheme.Deferred | Scheme.Punctual), Consistency.Global ->
+    (2 * n) + (2 * n * r) + r
+  (* Incremental Punctual maintains consistency during execution, so 2PVC
+     runs without validation (one round + decision = 4n); global adds one
+     master-version retrieval per query. *)
+  | Scheme.Incremental_punctual, Consistency.View -> 4 * n
+  | Scheme.Incremental_punctual, Consistency.Global -> (4 * n) + u
+  (* Continuous runs 2PV at every query over the participants so far:
+     sum 2i = u(u+1); view commits with 2PVC sans validation (4n); global
+     adds u master retrievals for the per-query 2PVs plus a validating
+     2PVC (2n + 2nr + r). *)
+  | Scheme.Continuous, Consistency.View -> (u * (u + 1)) + (4 * n)
+  | Scheme.Continuous, Consistency.Global ->
+    (u * (u + 1)) + u + (2 * n) + (2 * n * r) + r
+
+let proofs scheme level ~n ~u ~r =
+  validate ~n ~u ~r level;
+  match (scheme, level) with
+  (* View-consistent 2PVC: round 1 evaluates all u; a second round
+     re-evaluates all but the query that supplied the freshest policy,
+     for 2u - 1 in the worst case. *)
+  | Scheme.Deferred, Consistency.View -> if r = 1 then u else (2 * u) - 1
+  | Scheme.Deferred, Consistency.Global -> u * r
+  (* Punctual adds one execution-time proof per query. *)
+  | Scheme.Punctual, Consistency.View -> u + (if r = 1 then u else (2 * u) - 1)
+  | Scheme.Punctual, Consistency.Global -> u + (u * r)
+  (* Incremental evaluates each query's proof once; no commit validation. *)
+  | Scheme.Incremental_punctual, (Consistency.View | Consistency.Global) -> u
+  (* Continuous re-evaluates all previous proofs at every query:
+     sum i = u(u+1)/2; global re-validates at commit for another ur. *)
+  | Scheme.Continuous, Consistency.View -> u * (u + 1) / 2
+  | Scheme.Continuous, Consistency.Global -> (u * (u + 1) / 2) + (u * r)
+
+let formula scheme level what =
+  match (what, scheme, level) with
+  | `Messages, (Scheme.Deferred | Scheme.Punctual), Consistency.View ->
+    "2n + 4n"
+  | `Messages, (Scheme.Deferred | Scheme.Punctual), Consistency.Global ->
+    "2n + 2nr + r"
+  | `Messages, Scheme.Incremental_punctual, Consistency.View -> "4n"
+  | `Messages, Scheme.Incremental_punctual, Consistency.Global -> "4n + u"
+  | `Messages, Scheme.Continuous, Consistency.View -> "u(u+1) + 4n"
+  | `Messages, Scheme.Continuous, Consistency.Global ->
+    "u(u+1) + u + 2n + 2nr + r"
+  | `Proofs, Scheme.Deferred, Consistency.View -> "2u - 1"
+  | `Proofs, Scheme.Deferred, Consistency.Global -> "ur"
+  | `Proofs, Scheme.Punctual, Consistency.View -> "u + 2u - 1"
+  | `Proofs, Scheme.Punctual, Consistency.Global -> "u + ur"
+  | `Proofs, Scheme.Incremental_punctual, (Consistency.View | Consistency.Global)
+    -> "u"
+  | `Proofs, Scheme.Continuous, Consistency.View -> "u(u+1)/2"
+  | `Proofs, Scheme.Continuous, Consistency.Global -> "u(u+1)/2 + ur"

@@ -1,0 +1,23 @@
+(** Closed-form worst-case complexity — the paper's Table I.
+
+    All formulas are in terms of [n] (participants), [u] (queries) and [r]
+    (voting rounds).  Under view consistency [r] is at most 2; under global
+    consistency [r] is unbounded and supplied by the caller.  The benches
+    compare these analytic values against message/proof counts measured
+    from simulated runs. *)
+
+(** [rounds_bound level] — 2 under view consistency, [None] (unbounded)
+    under global. *)
+val rounds_bound : Consistency.level -> int option
+
+(** [messages scheme level ~n ~u ~r] — worst-case protocol messages,
+    exactly as printed in Table I. Raises [Invalid_argument] for
+    non-positive [n], [u] or [r], or when [level = View] and [r > 2]. *)
+val messages : Scheme.t -> Consistency.level -> n:int -> u:int -> r:int -> int
+
+(** [proofs scheme level ~n ~u ~r] — worst-case proof evaluations. *)
+val proofs : Scheme.t -> Consistency.level -> n:int -> u:int -> r:int -> int
+
+(** The formula as printed in the paper, e.g. ["2n + 4n"] or
+    ["u(u+1)/2 + ur"]. *)
+val formula : Scheme.t -> Consistency.level -> [ `Messages | `Proofs ] -> string

@@ -1,0 +1,35 @@
+(** Policy consistency levels (Definitions 2 and 3).
+
+    - {b View consistency} (φ): all proofs in a transaction's view that
+      belong to the same administrative domain used the same policy
+      version — the participants agree among themselves, possibly on a
+      stale version.
+    - {b Global consistency} (ψ): every proof used the latest version the
+      domain's master knows — agreement with the authority, not just among
+      participants. *)
+
+type level = View | Global
+
+val name : level -> string
+val of_string : string -> level option
+val pp : Format.formatter -> level -> unit
+
+(** [phi_consistent proofs] — Definition 2 over the per-domain versions
+    recorded in the proofs. Vacuously true for the empty view. *)
+val phi_consistent : Cloudtx_policy.Proof.t list -> bool
+
+(** [psi_consistent ~latest proofs] — Definition 3; [latest] is the master
+    authority's version for a domain ([None] makes the domain's proofs
+    inconsistent, as the authority must know every live domain). *)
+val psi_consistent :
+  latest:(string -> Cloudtx_policy.Policy.version option) ->
+  Cloudtx_policy.Proof.t list ->
+  bool
+
+(** [consistent level ~latest proofs] dispatches on the level; [latest] is
+    ignored for [View]. *)
+val consistent :
+  level ->
+  latest:(string -> Cloudtx_policy.Policy.version option) ->
+  Cloudtx_policy.Proof.t list ->
+  bool

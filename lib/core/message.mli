@@ -1,0 +1,89 @@
+(** Wire protocol between transaction managers, data servers and the
+    master policy server.
+
+    Message labels drive the message-complexity accounting: Table I counts
+    commit/validation-protocol traffic, so the benches sum the labels
+    {!protocol_labels} and treat [Execute]/[Execute_reply] (query
+    shipping), [Propagate_policy] (background anti-entropy) and
+    [Master_version_request] (the paper counts only the retrieval, i.e.
+    the response) as outside the protocol cost. *)
+
+module Query = Cloudtx_txn.Query
+module Proof = Cloudtx_policy.Proof
+module Policy = Cloudtx_policy.Policy
+module Credential = Cloudtx_policy.Credential
+module Value = Cloudtx_store.Value
+
+type exec_outcome =
+  | Executed of {
+      reads : (string * Value.t option) list;
+      proof : Proof.t option;  (** Present for punctual-style schemes. *)
+    }
+  | Exec_die  (** Wait-die victim: transaction must roll back. *)
+
+type t =
+  | Execute of {
+      txn : string;
+      ts : float;  (** Transaction start timestamp, for wait-die. *)
+      query : Query.t;
+      subject : string;
+      credentials : Credential.t list;
+      evaluate_proof : bool;
+      snapshot : bool;
+          (** Serve a read-only query from the committed state as of [ts],
+              without taking locks (MVCC snapshot read). *)
+    }
+  | Execute_reply of { txn : string; query_id : string; outcome : exec_outcome }
+  | Validate_request of { txn : string; round : int }
+      (** 2PV "Prepare-to-Validate". *)
+  | Validate_reply of {
+      txn : string;
+      round : int;
+      proofs : Proof.t list;  (** This round's evaluations at the sender. *)
+      policies : Policy.t list;  (** Policy copies used (version + body). *)
+    }
+  | Commit_request of {
+      txn : string;
+      round : int;
+      validate : bool;
+      allow_read_only : bool;
+          (** Offer the read-only fast path (only meaningful when
+              [validate = false]; a validating 2PVC may need to re-poll
+              the participant in update rounds). *)
+    }
+      (** 2PVC "Prepare-to-Commit"; [validate = false] degenerates to
+          plain 2PC preparation. *)
+  | Commit_reply of {
+      txn : string;
+      round : int;
+      integrity : bool;  (** The YES/NO 2PC vote. *)
+      read_only : bool;
+          (** The participant buffered no writes, voted READ, released its
+              locks and will skip the decision phase. *)
+      proofs : Proof.t list;
+      policies : Policy.t list;
+    }
+  | Policy_update of {
+      txn : string;
+      round : int;  (** The round whose reply this update solicits. *)
+      policies : Policy.t list;  (** Fresh bodies to install. *)
+      reply_with : [ `Validate | `Commit ];
+    }
+  | Decision of { txn : string; commit : bool }
+  | Decision_ack of { txn : string }
+  | Master_version_request of { txn : string }
+  | Master_version_reply of { txn : string; policies : Policy.t list }
+      (** Latest policy of every domain, bodies included. *)
+  | Propagate_policy of { policy : Policy.t }
+      (** Admin-to-replica eventual-consistency update. *)
+  | Inquiry of { txn : string }
+      (** Recovering participant asks the TM how an in-doubt transaction
+          was decided (2PC termination protocol). *)
+
+(** Stable label for traces and counters. *)
+val label : t -> string
+
+(** Labels whose counts make up the paper's message-complexity metric. *)
+val protocol_labels : string list
+
+val txn_of : t -> string option

@@ -1,0 +1,32 @@
+(** Result of running one transaction under a scheme. *)
+
+type reason =
+  | Committed
+  | Integrity_violation  (** A participant voted NO. *)
+  | Proof_failure  (** A proof of authorization evaluated FALSE. *)
+  | Version_inconsistency
+      (** Incremental Punctual's per-query consistency check failed. *)
+  | Wait_die  (** Lock-manager victim; would be restarted in production. *)
+  | Rounds_exhausted  (** Validation never converged within the bound. *)
+  | Timed_out  (** A voting round went unanswered (participant failure). *)
+
+val reason_name : reason -> string
+val pp_reason : Format.formatter -> reason -> unit
+
+type t = {
+  txn : string;
+  scheme : Scheme.t;
+  level : Consistency.level;
+  committed : bool;
+  reason : reason;
+  submitted_at : float;
+  finished_at : float;
+  commit_rounds : int;  (** Voting rounds of the commit-time 2PVC/2PC. *)
+  proofs_evaluated : int;  (** Across all servers, all rounds. *)
+  view : View.t;  (** Every proof evaluation recorded by the TM. *)
+}
+
+(** End-to-end latency in simulated milliseconds. *)
+val latency : t -> float
+
+val pp : Format.formatter -> t -> unit

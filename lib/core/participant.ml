@@ -1,0 +1,356 @@
+module Transport = Cloudtx_sim.Transport
+module Counter = Cloudtx_metrics.Counter
+module Server = Cloudtx_store.Server
+module Query = Cloudtx_txn.Query
+module Tpc = Cloudtx_txn.Tpc
+module Proof = Cloudtx_policy.Proof
+module Policy = Cloudtx_policy.Policy
+module Replica = Cloudtx_policy.Replica
+module Credential = Cloudtx_policy.Credential
+module Lock_manager = Cloudtx_store.Lock_manager
+
+let log_src = Logs.Src.create "cloudtx.participant" ~doc:"Data-server protocol node"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type pending = {
+  p_query : Query.t;
+  p_evaluate_proof : bool;
+  p_reply_to : string;
+}
+
+type txn_state = {
+  ts : float;
+  subject : string;
+  credentials : Credential.t list;
+  mutable queries : Query.t list; (* executed here, oldest first *)
+  mutable integrity : bool option; (* the vote, once prepared *)
+  mutable pending : pending option;
+}
+
+type t = {
+  transport : Message.t Transport.t;
+  server : Server.t;
+  env : Proof.env;
+  domain_of : string -> string;
+  variant : Tpc.variant;
+  ocsp_delay : (unit -> float) option;
+  proof_cache : (string, string list) Hashtbl.t option;
+  txns : (string, txn_state) Hashtbl.t;
+}
+
+let name t = Server.name t.server
+let server t = t.server
+
+let queries_of t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> st.queries
+  | None -> []
+
+let now t = Transport.now t.transport
+let send t ~dst msg = Transport.send t.transport ~src:(name t) ~dst msg
+let mark t label = Transport.mark t.transport ~node:(name t) label
+
+(* Simulated cost of the online credential-status checks one proof
+   evaluation performs: one OCSP round-trip per CA-issued credential. *)
+let status_check_delay t st =
+  match t.ocsp_delay with
+  | None -> 0.
+  | Some sample ->
+    List.fold_left
+      (fun acc (c : Credential.t) ->
+        match t.env.Proof.find_ca c.Credential.issuer with
+        | Some _ -> acc +. sample ()
+        | None -> acc)
+      0. st.credentials
+
+(* Send [msg] after the status-check work for [proofs] proof evaluations
+   has completed. *)
+let send_after_checks t st ~proofs ~dst msg =
+  let delay = float_of_int proofs *. status_check_delay t st in
+  if delay <= 0. then send t ~dst msg
+  else Transport.at t.transport ~delay (fun () -> send t ~dst msg)
+
+let state t ~txn ~ts ~subject ~credentials =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> st
+  | None ->
+    let st = { ts; subject; credentials; queries = []; integrity = None; pending = None } in
+    Hashtbl.add t.txns txn st;
+    Server.begin_work t.server ~txn ~ts ~time:(now t);
+    st
+
+(* The administrative domain a query belongs to: the domain of its items,
+   which must agree (the paper scopes each policy to one domain). *)
+let domain_of_query t (q : Query.t) =
+  match Query.items q with
+  | [] -> invalid_arg (Printf.sprintf "query %s touches no data items" q.Query.id)
+  | first :: rest ->
+    let domain = t.domain_of first in
+    List.iter
+      (fun item ->
+        if not (String.equal (t.domain_of item) domain) then
+          invalid_arg
+            (Printf.sprintf "query %s spans administrative domains" q.Query.id))
+      rest;
+    domain
+
+let policy_for t domain =
+  match Replica.get (Server.replica t.server) ~domain with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "server %s has no policy replica for domain %s" (name t)
+         domain)
+
+let evaluate_proof_fn t ~txn st (q : Query.t) =
+  let domain = domain_of_query t q in
+  let policy = policy_for t domain in
+  let counters = Transport.counters t.transport in
+  Counter.incr counters "proofs";
+  Counter.incr counters ("proofs:" ^ txn);
+  mark t (Printf.sprintf "proof_eval:%s:%s" txn q.Query.id);
+  let request =
+    { Proof.subject = st.subject; action = Query.action q; items = Query.items q }
+  in
+  Proof.evaluate ?cache:t.proof_cache ~query_id:q.Query.id ~server:(name t)
+    ~policy ~creds:st.credentials ~env:t.env ~at:(now t) request
+
+(* Distinct policies currently in force for [st]'s queries. *)
+let policies_used t st =
+  let policies = Hashtbl.create 4 in
+  List.iter
+    (fun (q : Query.t) ->
+      let domain = domain_of_query t q in
+      Hashtbl.replace policies domain (policy_for t domain))
+    st.queries;
+  Hashtbl.fold (fun _ p acc -> p :: acc) policies []
+  |> List.sort (fun (a : Policy.t) b ->
+         String.compare a.Policy.domain b.Policy.domain)
+
+(* Evaluate (or re-evaluate) proofs for every query of [txn] executed
+   here; also returns the distinct policies used. *)
+let evaluate_all t ~txn st =
+  let proofs = List.map (evaluate_proof_fn t ~txn st) st.queries in
+  (proofs, policies_used t st)
+
+let try_execute t ~txn st ~reply_to (q : Query.t) ~evaluate:should_evaluate =
+  match
+    Server.execute t.server ~txn ~reads:q.Query.reads ~writes:q.Query.writes
+  with
+  | Server.Blocked ->
+    st.pending <-
+      Some { p_query = q; p_evaluate_proof = should_evaluate; p_reply_to = reply_to };
+    mark t (Printf.sprintf "blocked:%s:%s" txn q.Query.id)
+  | Server.Die ->
+    st.pending <- None;
+    send t ~dst:reply_to
+      (Message.Execute_reply { txn; query_id = q.Query.id; outcome = Message.Exec_die })
+  | Server.Executed reads ->
+    st.pending <- None;
+    st.queries <- st.queries @ [ q ];
+    let proof =
+      if should_evaluate then Some (evaluate_proof_fn t ~txn st q) else None
+    in
+    send_after_checks t st
+      ~proofs:(if should_evaluate then 1 else 0)
+      ~dst:reply_to
+      (Message.Execute_reply
+         { txn; query_id = q.Query.id; outcome = Message.Executed { reads; proof } })
+
+(* Lock releases may unblock parked queries of other transactions — and
+   wait-die re-checks at promotion time may kill parked waiters, whose
+   TMs must be told to abort. *)
+let retry_promoted t (release : Lock_manager.release) =
+  let killed = Hashtbl.create 4 in
+  List.iter
+    (fun (txn, _key) ->
+      if not (Hashtbl.mem killed txn) then begin
+        Hashtbl.add killed txn ();
+        match Hashtbl.find_opt t.txns txn with
+        | Some ({ pending = Some p; _ } as st) ->
+          st.pending <- None;
+          send t ~dst:p.p_reply_to
+            (Message.Execute_reply
+               {
+                 txn;
+                 query_id = p.p_query.Query.id;
+                 outcome = Message.Exec_die;
+               })
+        | Some { pending = None; _ } | None -> ()
+      end)
+    release.Lock_manager.killed;
+  let retried = Hashtbl.create 4 in
+  List.iter
+    (fun (txn, _key, _mode) ->
+      if (not (Hashtbl.mem retried txn)) && not (Hashtbl.mem killed txn) then begin
+        Hashtbl.add retried txn ();
+        match Hashtbl.find_opt t.txns txn with
+        | Some ({ pending = Some p; _ } as st) ->
+          try_execute t ~txn st ~reply_to:p.p_reply_to p.p_query
+            ~evaluate:p.p_evaluate_proof
+        | Some { pending = None; _ } | None -> ()
+      end)
+    release.Lock_manager.granted
+
+let versions_of policies =
+  List.map (fun (p : Policy.t) -> (p.Policy.domain, p.Policy.version)) policies
+
+let handle t ~src msg =
+  match msg with
+  | Message.Execute { txn; ts; query; subject; credentials; evaluate_proof; snapshot }
+    ->
+    Log.debug (fun m ->
+        m "%s: execute %s for %s (proof=%b snapshot=%b)" (name t) query.Query.id
+          txn evaluate_proof snapshot);
+    mark t (Printf.sprintf "query_start:%s:%s" txn query.Query.id);
+    let st = state t ~txn ~ts ~subject ~credentials in
+    if snapshot && query.Query.writes = [] then begin
+      (* MVCC fast path: read the committed state as of the transaction's
+         start, no locks, never blocks. *)
+      let reads = Server.execute_snapshot t.server ~reads:query.Query.reads ~ts in
+      st.queries <- st.queries @ [ query ];
+      let proof =
+        if evaluate_proof then Some (evaluate_proof_fn t ~txn st query) else None
+      in
+      send_after_checks t st
+        ~proofs:(if evaluate_proof then 1 else 0)
+        ~dst:src
+        (Message.Execute_reply
+           { txn; query_id = query.Query.id; outcome = Message.Executed { reads; proof } })
+    end
+    else try_execute t ~txn st ~reply_to:src query ~evaluate:evaluate_proof
+  | Message.Validate_request { txn; round } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | None -> invalid_arg (Printf.sprintf "%s: validate for unknown %s" (name t) txn)
+    | Some st ->
+      let proofs, policies = evaluate_all t ~txn st in
+      send_after_checks t st ~proofs:(List.length proofs) ~dst:src
+        (Message.Validate_reply { txn; round; proofs; policies }))
+  | Message.Commit_request { txn; round; validate; allow_read_only } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | None -> invalid_arg (Printf.sprintf "%s: commit for unknown %s" (name t) txn)
+    | Some st ->
+      if allow_read_only && (not validate) && Server.is_read_only t.server ~txn
+      then begin
+        (* Read-only fast path: vote READ, release immediately, skip the
+           decision phase and all forced logging. *)
+        let vote = Server.integrity_violations t.server ~txn = [] in
+        let policies = policies_used t st in
+        send t ~dst:src
+          (Message.Commit_reply
+             { txn; round; integrity = vote; read_only = true; proofs = []; policies });
+        mark t (Printf.sprintf "read_only_release:%s" txn);
+        let promotions = Server.forget t.server ~txn ~time:(now t) in
+        Hashtbl.remove t.txns txn;
+        retry_promoted t promotions
+      end
+      else begin
+        let proofs, policies =
+          if validate then evaluate_all t ~txn st
+          else
+            (* No validation: still report the versions in force, which the
+               prepared record must carry. *)
+            ([], policies_used t st)
+        in
+        let vote =
+          match st.integrity with
+          | Some vote -> vote
+          | None ->
+            let truth = List.for_all (fun (p : Proof.t) -> p.Proof.result) proofs in
+            mark t (Printf.sprintf "log_force:prepared:%s" txn);
+            let vote =
+              Server.prepare t.server ~txn ~time:(now t) ~proof_truth:truth
+                ~policy_versions:(versions_of policies)
+            in
+            st.integrity <- Some vote;
+            vote
+        in
+        send_after_checks t st ~proofs:(List.length proofs) ~dst:src
+          (Message.Commit_reply
+             { txn; round; integrity = vote; read_only = false; proofs; policies })
+      end)
+  | Message.Policy_update { txn; round; policies; reply_with } -> (
+    List.iter
+      (fun p -> ignore (Replica.install (Server.replica t.server) p))
+      policies;
+    match Hashtbl.find_opt t.txns txn with
+    | None -> invalid_arg (Printf.sprintf "%s: update for unknown %s" (name t) txn)
+    | Some st -> (
+      let proofs, used = evaluate_all t ~txn st in
+      match reply_with with
+      | `Validate ->
+        send_after_checks t st ~proofs:(List.length proofs) ~dst:src
+          (Message.Validate_reply { txn; round; proofs; policies = used })
+      | `Commit ->
+        let vote =
+          match st.integrity with
+          | Some vote -> vote
+          | None -> invalid_arg "Policy_update(`Commit) before prepare"
+        in
+        send_after_checks t st ~proofs:(List.length proofs) ~dst:src
+          (Message.Commit_reply
+             { txn; round; integrity = vote; read_only = false; proofs; policies = used })))
+  | Message.Decision { txn; commit } ->
+    Log.debug (fun m ->
+        m "%s: decision %s for %s" (name t)
+          (if commit then "commit" else "abort")
+          txn);
+    let forced =
+      match (t.variant, commit) with
+      | Tpc.Basic, _ -> true
+      | Tpc.Presumed_abort, commit -> commit
+      | Tpc.Presumed_commit, commit -> not commit
+    in
+    if forced then mark t (Printf.sprintf "log_force:decision:%s" txn);
+    let promotions =
+      if commit then Server.commit ~forced t.server ~txn ~time:(now t)
+      else Server.abort ~forced t.server ~txn ~time:(now t)
+    in
+    Server.finish t.server ~txn ~time:(now t);
+    Hashtbl.remove t.txns txn;
+    send t ~dst:src (Message.Decision_ack { txn });
+    retry_promoted t promotions
+  | Message.Propagate_policy { policy } -> (
+    match Replica.install (Server.replica t.server) policy with
+    | `Installed ->
+      mark t
+        (Printf.sprintf "policy_installed:%s:v%d" policy.Policy.domain
+           policy.Policy.version)
+    | `Stale -> ())
+  | Message.Execute_reply _ | Message.Validate_reply _ | Message.Commit_reply _
+  | Message.Decision_ack _ | Message.Master_version_request _
+  | Message.Master_version_reply _ | Message.Inquiry _ ->
+    invalid_arg (Printf.sprintf "%s: unexpected %s" (name t) (Message.label msg))
+
+let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
+    ?(proof_cache = false) () =
+  let t =
+    {
+      transport;
+      server;
+      env;
+      domain_of;
+      variant;
+      ocsp_delay;
+      proof_cache = (if proof_cache then Some (Hashtbl.create 64) else None);
+      txns = Hashtbl.create 16;
+    }
+  in
+  Transport.register transport (Server.name server) (fun ~src msg ->
+      handle t ~src msg);
+  t
+
+let crash t =
+  Hashtbl.reset t.txns;
+  Server.crash t.server;
+  Transport.crash t.transport (name t);
+  mark t "crash"
+
+let recover t =
+  Transport.recover t.transport (name t);
+  let in_doubt = Server.recover t.server ~time:(now t) in
+  mark t "recover";
+  List.iter
+    (fun txn -> send t ~dst:("tm-" ^ txn) (Message.Inquiry { txn }))
+    in_doubt

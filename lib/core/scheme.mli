@@ -1,0 +1,41 @@
+(** The four proof-of-authorization enforcement approaches (Section IV).
+
+    Ordered from most permissive to least permissive:
+
+    - {b Deferred} (Definition 5): no proofs during execution; everything
+      is validated at commit by 2PVC.
+    - {b Punctual} (Definition 6): each query's proof is evaluated locally
+      when the query executes (early aborts on FALSE), and everything is
+      re-validated at commit by 2PVC.
+    - {b Incremental punctual} (Definition 8): per-query proofs plus a
+      per-query policy-version consistency check by the TM; commit needs no
+      validation (2PVC degenerates to 2PC).
+    - {b Continuous} (Definition 9): at every query, 2PV re-evaluates all
+      previous proofs; stale participants are updated rather than aborted.
+      Commit needs no validation under view consistency; global
+      consistency re-validates at commit. *)
+
+type t = Deferred | Punctual | Incremental_punctual | Continuous
+
+(** In permissiveness order (most permissive first). *)
+val all : t list
+
+val name : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+(** Does the executing server evaluate a proof when the query runs?
+    (Continuous is false here: its per-query proofs — including the
+    current query's — are evaluated by the 2PV it runs after each query,
+    which is what makes its proof complexity u(u+1)/2.) *)
+val proofs_during_execution : t -> bool
+
+(** Does the TM enforce per-query version-consistency checks? *)
+val per_query_version_check : t -> bool
+
+(** Does the scheme run 2PV over prior participants at each query? *)
+val per_query_validation : t -> bool
+
+(** Must 2PVC re-validate proofs at commit (Section V-C)? False means the
+    commit round is plain 2PC. *)
+val validates_at_commit : t -> Consistency.level -> bool

@@ -1,0 +1,51 @@
+module Proof = Cloudtx_policy.Proof
+
+let all_true proofs = List.for_all (fun (p : Proof.t) -> p.Proof.result) proofs
+
+let trusted ~level ~latest view =
+  let proofs = View.current view in
+  proofs <> [] && all_true proofs && Consistency.consistent level ~latest proofs
+
+let check scheme ~level ~latest view =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let final_ok () =
+    let proofs = View.current view in
+    if proofs = [] then fail "empty view"
+    else if not (all_true proofs) then fail "a final proof is FALSE"
+    else if not (Consistency.consistent level ~latest proofs) then
+      fail "final proofs are %s-inconsistent" (Consistency.name level)
+    else Ok ()
+  in
+  let instances_ok () =
+    (* At each evaluation instant, the instance must be TRUE and
+       consistent (Definitions 8 and 9 quantify over all t_i). *)
+    let rec go = function
+      | [] -> Ok ()
+      | ti :: rest ->
+        let instance = View.instance_at view ~instant:ti in
+        if not (all_true instance) then
+          fail "instance t_%d contains a FALSE proof" ti
+        else if not (Consistency.consistent level ~latest instance) then
+          fail "instance t_%d is %s-inconsistent" ti (Consistency.name level)
+        else go rest
+    in
+    go (View.instants view)
+  in
+  match scheme with
+  | Scheme.Deferred -> final_ok ()
+  | Scheme.Punctual ->
+    (* Def 6 additionally requires eval(f, ti) at each query's own
+       evaluation: the first recorded evaluation per query must be TRUE. *)
+    let firsts = Hashtbl.create 8 in
+    List.iter
+      (fun (p : Proof.t) ->
+        if not (Hashtbl.mem firsts p.Proof.query_id) then
+          Hashtbl.add firsts p.Proof.query_id p)
+      (View.all view);
+    let punctual_ok =
+      Hashtbl.fold (fun _ (p : Proof.t) acc -> acc && p.Proof.result) firsts true
+    in
+    if not punctual_ok then
+      Error "a query's execution-time proof was FALSE"
+    else final_ok ()
+  | Scheme.Incremental_punctual | Scheme.Continuous -> instances_ok ()

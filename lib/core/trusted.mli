@@ -1,0 +1,39 @@
+(** Definitional checks for trusted transactions (Definitions 4-9).
+
+    These predicates audit a recorded {!View} after the fact: given every
+    proof evaluation a transaction's TM observed, do they satisfy the
+    paper's definition of "trusted" for the scheme that ran?  The property
+    tests assert that every transaction the implementation commits passes
+    the corresponding check — the soundness obligation of Section V. *)
+
+(** [trusted ~level ~latest view] — Definition 4: the latest proof per
+    query is TRUE and the set is φ- or ψ-consistent. *)
+val trusted :
+  level:Consistency.level ->
+  latest:(string -> Cloudtx_policy.Policy.version option) ->
+  View.t ->
+  bool
+
+(** [check scheme ~level ~latest view] audits the evaluation history
+    against the scheme's own definition:
+
+    - Deferred (Def 5): final proofs TRUE and consistent.
+    - Punctual (Def 6): every query's first evaluation TRUE, and final
+      proofs TRUE and consistent.
+    - Incremental punctual (Def 8): at each evaluation instant [ti], the
+      view instance up to [ti] is TRUE and consistent.
+    - Continuous (Def 9): at each instant [ti], every re-evaluation
+      recorded at [ti] is TRUE and the instance is consistent.
+
+    Returns [Error description] naming the first violated condition.  For
+    the instant-indexed checks, [latest] is consulted with the versions
+    that were current at the end of the run; under policy churn this makes
+    the ψ check conservative (a committed transaction may be reported
+    untrusted if the master moved after commit), which the callers
+    account for. *)
+val check :
+  Scheme.t ->
+  level:Consistency.level ->
+  latest:(string -> Cloudtx_policy.Policy.version option) ->
+  View.t ->
+  (unit, string) result

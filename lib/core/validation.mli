@@ -1,0 +1,62 @@
+(** Pure round logic shared by 2PV (Algorithm 1) and 2PVC (Algorithm 2).
+
+    The TM-side bookkeeping of the collection/validation phases: gather one
+    reply per expected participant, find the largest version of every
+    unique policy (consulting the master's versions under global
+    consistency), and either decide or name the out-of-date participants
+    that must be sent Update messages and re-polled.
+
+    The protocol driver ({!Manager}) owns the messaging; this module owns
+    the decisions, so every branch of Algorithms 1 and 2 is unit-testable
+    without a network. *)
+
+module Policy = Cloudtx_policy.Policy
+module Proof = Cloudtx_policy.Proof
+
+type t
+
+(** [create ~participants ~with_integrity ()] starts round 1 expecting a
+    reply from every participant.  [with_integrity] selects 2PVC behaviour
+    (honour YES/NO votes); 2PV passes false.  [reconcile] (default true)
+    enables the version-reconciliation loop; a 2PVC running without
+    validation (Section V-C: "acts like 2PC") passes false so that version
+    skew between participants never triggers Update rounds. *)
+val create :
+  ?reconcile:bool -> participants:string list -> with_integrity:bool -> unit -> t
+
+(** Current round number, starting at 1. *)
+val round : t -> int
+
+(** Participants whose reply the current round still awaits. *)
+val awaiting : t -> string list
+
+(** [add_master t policies] records the master's latest policies (bodies
+    included); used as the version target under global consistency. *)
+val add_master : t -> Policy.t list -> unit
+
+(** [add_reply t ~from ~integrity ~proofs ~policies] records a reply.
+    Replies from unexpected senders raise [Invalid_argument].  Returns
+    [`Wait] until the round is complete. *)
+val add_reply :
+  t ->
+  from:string ->
+  integrity:bool ->
+  proofs:Proof.t list ->
+  policies:Policy.t list ->
+  [ `Wait | `Round_complete ]
+
+type resolution =
+  | Abort_integrity  (** Some participant voted NO (2PVC step 3). *)
+  | Abort_proof  (** Versions consistent but some proof FALSE. *)
+  | All_consistent_true  (** COMMIT / CONTINUE. *)
+  | Need_update of (string * Policy.t list) list
+      (** Out-of-date participants and the fresh policies to send them.
+          Calling this advances to the next round, expecting replies from
+          exactly these participants. *)
+
+(** [resolve t] applies steps 3-14 of Algorithm 2 (or 2-11 of
+    Algorithm 1). Raises [Invalid_argument] while replies are missing. *)
+val resolve : t -> resolution
+
+(** Latest policies seen so far (per domain), for inspection. *)
+val freshest : t -> Policy.t list

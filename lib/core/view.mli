@@ -1,0 +1,46 @@
+(** Transaction views (Definition 1) and view instances (Definition 7).
+
+    A view V^T collects every proof of authorization evaluated during a
+    transaction's lifetime, in evaluation order.  When a proof for the same
+    query is re-evaluated (commit-time revalidation, 2PV update rounds),
+    both evaluations are recorded; [current] projects the latest proof per
+    query — the set the consistency predicates apply to.
+
+    Each entry carries the {e instant} t_i it belongs to: the paper's
+    Definitions 8 and 9 quantify over the instants at which proofs are
+    evaluated, and all (re-)evaluations of one 2PV invocation belong to the
+    same instant even though the simulator timestamps them microseconds
+    apart.  The TM tags entries with the query index (or the commit point),
+    and {!Trusted} checks consistency per instant. *)
+
+type t
+
+val create : txn:string -> t
+val txn : t -> string
+
+(** [add t ~instant proof] appends an evaluation belonging to instant
+    [instant] (chronological insertion order assumed). *)
+val add : t -> instant:int -> Cloudtx_policy.Proof.t -> unit
+
+(** Every evaluation ever recorded, oldest first. *)
+val all : t -> Cloudtx_policy.Proof.t list
+
+(** Definition 7 by time: evaluations with [evaluated_at <= at]. *)
+val instance : t -> at:float -> Cloudtx_policy.Proof.t list
+
+(** Distinct instants recorded, ascending. *)
+val instants : t -> int list
+
+(** [instance_at t ~instant] — the latest evaluation per query among
+    entries tagged with an instant <= [instant] (ties broken by insertion
+    order): the view instance V^T_{t_i}. *)
+val instance_at : t -> instant:int -> Cloudtx_policy.Proof.t list
+
+(** Latest evaluation per query id, in first-evaluation order. *)
+val current : t -> Cloudtx_policy.Proof.t list
+
+(** Number of evaluations recorded (the proof-complexity metric). *)
+val evaluations : t -> int
+
+(** Do all current proofs hold (truth values TRUE)? *)
+val all_true : t -> bool

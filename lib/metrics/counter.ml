@@ -1,0 +1,28 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add t name k =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add t name (ref k)
+
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge a b =
+  let out = create () in
+  List.iter (fun (name, v) -> add out name v) (to_list a);
+  List.iter (fun (name, v) -> add out name v) (to_list b);
+  out
+
+let pp ppf t =
+  let items = to_list t in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s=%d@ " name v) items;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Named integer counters.
+
+    The evaluation section of the paper measures protocols by counting
+    messages, proof evaluations, voting rounds and forced log writes.  A
+    [Counter.t] is a small bag of named tallies shared by the protocol
+    machinery and read out by the benchmark harness. *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name] adds one to counter [name], creating it at zero first. *)
+val incr : t -> string -> unit
+
+(** [add t name k] adds [k] (which may be negative) to counter [name]. *)
+val add : t -> string -> int -> unit
+
+(** [get t name] is the current value, 0 when never touched. *)
+val get : t -> string -> int
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit
+
+(** All (name, value) pairs, sorted by name. *)
+val to_list : t -> (string * int) list
+
+(** [merge a b] is a fresh counter bag with per-name sums. *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

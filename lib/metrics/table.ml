@@ -1,0 +1,58 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let gap = width - n in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+    | Center ->
+      let left = gap / 2 in
+      String.make left ' ' ^ s ^ String.make (gap - left) ' '
+  end
+
+let render ?aligns ~headers rows =
+  let arity = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+             (List.length row) arity))
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = arity -> a
+    | Some _ -> invalid_arg "Table.render: aligns arity mismatch"
+    | None -> List.map (fun _ -> Left) headers
+  in
+  let widths = Array.make arity 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure headers;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  let rule = Array.fold_left (fun acc w -> acc + w) 0 widths + (2 * (arity - 1)) in
+  Buffer.add_string buf (String.make rule '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?aligns ~title ~headers rows =
+  print_newline ();
+  print_endline ("== " ^ title ^ " ==");
+  print_string (render ?aligns ~headers rows)

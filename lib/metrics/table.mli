@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the reproduction harness.
+
+    Renders aligned monospace tables in the style of the paper's Table I so
+    that analytic and measured values can be compared side by side. *)
+
+type align = Left | Right | Center
+
+(** [pad align width s] pads [s] with spaces to [width]; returns [s]
+    unchanged when already wider. *)
+val pad : align -> int -> string -> string
+
+(** [render ~headers rows] lays the rows out under the headers with column
+    widths fitted to content. All rows must have the same arity as
+    [headers]; raises [Invalid_argument] otherwise. *)
+val render : ?aligns:align list -> headers:string list -> string list list -> string
+
+(** [print ~title ~headers rows] renders with a banner line on stdout. *)
+val print : ?aligns:align list -> title:string -> headers:string list -> string list list -> unit

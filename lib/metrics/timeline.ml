@@ -1,0 +1,46 @@
+type marker = [ `Query | `Proof | `Sync ]
+type row = { label : string; events : (float * marker) list }
+
+let marker_char = function `Query -> '*' | `Proof -> '!' | `Sync -> '|'
+
+(* `Proof must stay visible when a query and its instantaneous proof land in
+   the same cell, so rank markers and only overwrite with higher rank. *)
+let rank = function `Query -> 1 | `Sync -> 2 | `Proof -> 3
+
+let render ~width ~t_start ~t_end rows =
+  if t_end <= t_start then invalid_arg "Timeline.render: empty interval";
+  if width < 10 then invalid_arg "Timeline.render: width too small";
+  let label_width =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 0 rows
+  in
+  let span = t_end -. t_start in
+  let cell t =
+    let pos =
+      int_of_float (float_of_int (width - 1) *. ((t -. t_start) /. span))
+    in
+    max 0 (min (width - 1) pos)
+  in
+  let buf = Buffer.create 256 in
+  let draw r =
+    let line = Bytes.make width '-' in
+    let ranks = Array.make width 0 in
+    let place (t, m) =
+      let i = cell t in
+      if rank m > ranks.(i) then begin
+        ranks.(i) <- rank m;
+        Bytes.set line i (marker_char m)
+      end
+    in
+    List.iter place r.events;
+    Buffer.add_string buf (Table.pad Table.Left label_width r.label);
+    Buffer.add_string buf " [";
+    Buffer.add_bytes buf line;
+    Buffer.add_string buf "]\n"
+  in
+  List.iter draw rows;
+  Buffer.add_string buf
+    (Table.pad Table.Left label_width "" ^ " alpha(T)" ^ String.make (max 1 (width - 14)) ' '
+   ^ "omega(T)\n");
+  Buffer.contents buf
+
+let legend = "  * query start   ! proof of authorization   | consistency sync"

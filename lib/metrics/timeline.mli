@@ -1,0 +1,20 @@
+(** ASCII timelines in the style of the paper's Figures 3-6.
+
+    Each figure shows, per server, the instant a query arrives ([`Query]) and
+    the instants proofs of authorization are evaluated ([`Proof]), between
+    the transaction start alpha(T) and commit omega(T).  [render] scales
+    event times onto a fixed-width character row per server. *)
+
+type marker = [ `Query | `Proof | `Sync ]
+
+type row = { label : string; events : (float * marker) list }
+
+(** [render ~width ~t_start ~t_end rows] draws one line per row.  Markers:
+    ['*'] query arrival, ['!'] proof evaluation, ['|'] synchronization point
+    (consistency enforcement). Later markers overwrite earlier ones in the
+    same cell; [`Proof] wins over [`Query]. Raises [Invalid_argument] if
+    [t_end <= t_start] or [width < 10]. *)
+val render : width:int -> t_start:float -> t_end:float -> row list -> string
+
+(** Legend explaining the marker characters. *)
+val legend : string

@@ -1,0 +1,24 @@
+type t = {
+  domain : string;
+  mutable latest : Policy.t;
+  history : (Policy.version, Policy.t) Hashtbl.t;
+}
+
+let create ?accept_capabilities ~domain rules =
+  let p = Policy.create ?accept_capabilities ~domain rules in
+  let history = Hashtbl.create 8 in
+  Hashtbl.replace history p.Policy.version p;
+  { domain; latest = p; history }
+
+let domain t = t.domain
+let latest t = t.latest
+let latest_version t = t.latest.Policy.version
+
+let publish ?accept_capabilities t rules =
+  let p = Policy.amend ?accept_capabilities t.latest rules in
+  t.latest <- p;
+  Hashtbl.replace t.history p.Policy.version p;
+  p
+
+let get t v = Hashtbl.find_opt t.history v
+let history_length t = Hashtbl.length t.history

@@ -1,0 +1,28 @@
+(** Policy administrator / master version authority for one domain.
+
+    The paper's global-consistency protocols consult "some master server on
+    the system which knows the latest policy version" — this module is that
+    authority.  It owns the authoritative copy, bumps versions on
+    [publish], and keeps the full history so replicas can fetch any version
+    during 2PV Update rounds. *)
+
+type t
+
+(** [create ~domain rules] starts the domain at version 1. *)
+val create : ?accept_capabilities:bool -> domain:string -> Rule.t list -> t
+
+val domain : t -> string
+
+(** The authoritative latest policy. *)
+val latest : t -> Policy.t
+
+val latest_version : t -> Policy.version
+
+(** [publish t rules] installs and returns the next version. *)
+val publish : ?accept_capabilities:bool -> t -> Rule.t list -> Policy.t
+
+(** [get t v] retrieves a historical version. *)
+val get : t -> Policy.version -> Policy.t option
+
+(** Number of versions ever published (= latest version). *)
+val history_length : t -> int

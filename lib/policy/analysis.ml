@@ -1,0 +1,59 @@
+type probe = {
+  subject : string;
+  action : string;
+  item : string;
+  facts : Rule.fact list;
+}
+
+let probe ~subject ~action ~item ~facts = { subject; action; item; facts }
+
+let probe_space ~subjects ~actions ~items ~facts_for =
+  List.concat_map
+    (fun subject ->
+      let facts = facts_for subject in
+      List.concat_map
+        (fun action ->
+          List.map (fun item -> { subject; action; item; facts }) items)
+        actions)
+    subjects
+
+type verdict =
+  | Equivalent
+  | Tightened of probe list
+  | Relaxed of probe list
+  | Mixed of { lost : probe list; gained : probe list }
+
+let verdict_name = function
+  | Equivalent -> "equivalent"
+  | Tightened _ -> "tightened"
+  | Relaxed _ -> "relaxed"
+  | Mixed _ -> "mixed"
+
+(* Mirror the request facts Proof.evaluate injects, so probing predicts
+   exactly what a server-side evaluation would decide. *)
+let decide policy p =
+  let facts =
+    Rule.fact "req_subject" [ p.subject ]
+    :: Rule.fact "req_action" [ p.action ]
+    :: Rule.fact "req_item" [ p.item ]
+    :: p.facts
+  in
+  Policy.permits policy ~facts ~subject:p.subject ~action:p.action ~item:p.item
+
+let compare_policies ~probes old_p new_p =
+  let lost = ref [] and gained = ref [] in
+  List.iter
+    (fun p ->
+      match (decide old_p p, decide new_p p) with
+      | true, false -> lost := p :: !lost
+      | false, true -> gained := p :: !gained
+      | true, true | false, false -> ())
+    probes;
+  match (List.rev !lost, List.rev !gained) with
+  | [], [] -> Equivalent
+  | lost, [] -> Tightened lost
+  | [], gained -> Relaxed gained
+  | lost, gained -> Mixed { lost; gained }
+
+let pp_probe ppf p =
+  Format.fprintf ppf "%s %s %s" p.subject p.action p.item

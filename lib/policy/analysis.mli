@@ -1,0 +1,44 @@
+(** Semantic comparison of policy versions.
+
+    Version numbers order policies administratively, but the paper's
+    trade-offs hinge on what an update {e means}: a refresh that grants
+    exactly the same accesses only costs consistency machinery, while a
+    tightening turns stale replicas into a security hole.  This module
+    probes two policies over a space of concrete requests and classifies
+    the update. *)
+
+(** One concrete access request plus the facts (credential + context)
+    available to the derivation. *)
+type probe = {
+  subject : string;
+  action : string;
+  item : string;
+  facts : Rule.fact list;
+}
+
+val probe :
+  subject:string -> action:string -> item:string -> facts:Rule.fact list -> probe
+
+(** [probe_space ~subjects ~actions ~items ~facts_for] — the cartesian
+    product, with per-subject facts. *)
+val probe_space :
+  subjects:string list ->
+  actions:string list ->
+  items:string list ->
+  facts_for:(string -> Rule.fact list) ->
+  probe list
+
+type verdict =
+  | Equivalent  (** Same decision on every probe. *)
+  | Tightened of probe list  (** Some accesses lost, none gained. *)
+  | Relaxed of probe list  (** Some accesses gained, none lost. *)
+  | Mixed of { lost : probe list; gained : probe list }
+
+val verdict_name : verdict -> string
+
+(** [compare_policies ~probes old_p new_p] evaluates every probe under
+    both policies.  (Soundness is relative to the probe space: requests
+    outside it are not examined.) *)
+val compare_policies : probes:probe list -> Policy.t -> Policy.t -> verdict
+
+val pp_probe : Format.formatter -> probe -> unit

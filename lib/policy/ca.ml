@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  issued : (Credential.id, float) Hashtbl.t; (* id -> issue time *)
+  revoked : (Credential.id, float) Hashtbl.t; (* id -> effective time *)
+}
+
+let create name = { name; issued = Hashtbl.create 16; revoked = Hashtbl.create 8 }
+let name t = t.name
+
+let issue t ~id ~subject ~facts ~now ~ttl =
+  let cred =
+    Credential.make ~id ~subject ~issuer:t.name ~kind:Credential.Attribute
+      ~facts ~issued_at:now ~expires_at:(now +. ttl)
+  in
+  Hashtbl.replace t.issued id now;
+  cred
+
+let revoke t id ~at =
+  if not (Hashtbl.mem t.issued id) then
+    invalid_arg (Printf.sprintf "Ca.revoke: %s never issued %s" t.name id);
+  match Hashtbl.find_opt t.revoked id with
+  | Some earlier when earlier <= at -> ()
+  | Some _ | None -> Hashtbl.replace t.revoked id at
+
+type status = Good | Revoked of float | Unknown
+
+let status t id ~at =
+  if not (Hashtbl.mem t.issued id) then Unknown
+  else begin
+    match Hashtbl.find_opt t.revoked id with
+    | Some when_ when when_ <= at -> Revoked when_
+    | Some _ | None -> Good
+  end
+
+let semantically_valid t (cred : Credential.t) ~at =
+  (* Revocations are permanent, so "revoked at some t' in [ti, t]" reduces
+     to the status at [t] itself. *)
+  match status t cred.Credential.id ~at with
+  | Good -> true
+  | Revoked _ | Unknown -> false
+
+let issued_count t = Hashtbl.length t.issued

@@ -1,0 +1,47 @@
+(** Certificate authorities with an online revocation-status service.
+
+    The paper assumes "each CA offers an online method that allows any
+    server to check the current status of a particular credential" (an
+    OCSP-style responder, RFC 2560).  A [Ca.t] issues credentials, records
+    revocations with their effective time, and answers status queries.
+
+    Semantic validity (paper, Section III-A): a credential issued at [ti]
+    is semantically valid at time [t] if the online check shows it was not
+    revoked at any [t'] with [ti <= t' <= t]. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+(** [issue t ~id ~subject ~facts ~now ~ttl] issues an attribute credential
+    valid for [ttl] time units from [now]. *)
+val issue :
+  t ->
+  id:Credential.id ->
+  subject:string ->
+  facts:Rule.fact list ->
+  now:float ->
+  ttl:float ->
+  Credential.t
+
+(** [revoke t id ~at] marks the credential revoked effective [at]. Revoking
+    an unknown id raises [Invalid_argument]; revoking twice keeps the
+    earlier time. *)
+val revoke : t -> Credential.id -> at:float -> unit
+
+type status =
+  | Good
+  | Revoked of float  (** Effective revocation time. *)
+  | Unknown  (** Never issued by this CA. *)
+
+(** The online status check, evaluated at query time [at]: a revocation
+    with effective time after [at] does not show up yet. *)
+val status : t -> Credential.id -> at:float -> status
+
+(** [semantically_valid t cred ~at] applies the paper's definition over
+    this CA's revocation records. [Unknown] credentials are invalid. *)
+val semantically_valid : t -> Credential.t -> at:float -> bool
+
+(** Number of credentials ever issued. *)
+val issued_count : t -> int

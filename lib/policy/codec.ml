@@ -1,0 +1,136 @@
+open Json
+
+let term_to_json = function
+  | Rule.Var x -> Obj [ ("v", String x) ]
+  | Rule.Const c -> Obj [ ("c", String c) ]
+
+let term_of_json j =
+  match j with
+  | Obj [ ("v", String x) ] -> Ok (Rule.Var x)
+  | Obj [ ("c", String c) ] -> Ok (Rule.Const c)
+  | _ -> Error "term: expected {\"v\": name} or {\"c\": value}"
+
+let atom_to_json (a : Rule.atom) =
+  Obj
+    [
+      ("pred", String a.Rule.pred);
+      ("args", List (List.map term_to_json a.Rule.args));
+    ]
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let atom_of_json j =
+  let* pred = Result.bind (member "pred" j) to_str in
+  let* args = Result.bind (member "args" j) to_list in
+  let* args = map_result term_of_json args in
+  Ok (Rule.atom pred args)
+
+let literal_to_json = function
+  | Rule.Pos a -> atom_to_json a
+  | Rule.Neg a -> Obj [ ("not", atom_to_json a) ]
+
+let literal_of_json j =
+  match member "not" j with
+  | Ok inner ->
+    let* a = atom_of_json inner in
+    Ok (Rule.Neg a)
+  | Error _ ->
+    let* a = atom_of_json j in
+    Ok (Rule.Pos a)
+
+let rule_to_json (r : Rule.t) =
+  Obj
+    [
+      ("head", atom_to_json r.Rule.head);
+      ("body", List (List.map literal_to_json r.Rule.body));
+    ]
+
+let rule_of_json j =
+  let* head = Result.bind (member "head" j) atom_of_json in
+  let* body = Result.bind (member "body" j) to_list in
+  let* body = map_result literal_of_json body in
+  (* Re-validate range restriction and safety on the receiving side. *)
+  try Ok (Rule.rule_literals head body) with Invalid_argument m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let policy_to_string (p : Policy.t) =
+  to_string
+    (Obj
+       [
+         ("domain", String p.Policy.domain);
+         ("version", Int p.Policy.version);
+         ("accept_capabilities", Bool p.Policy.accept_capabilities);
+         ("rules", List (List.map rule_to_json p.Policy.rules));
+       ])
+
+let policy_of_string s =
+  let* j = parse s in
+  let* domain = Result.bind (member "domain" j) to_str in
+  let* version = Result.bind (member "version" j) to_int in
+  let* accept_capabilities = Result.bind (member "accept_capabilities" j) to_bool in
+  let* rules = Result.bind (member "rules" j) to_list in
+  let* rules = map_result rule_of_json rules in
+  try Ok (Policy.of_wire ~domain ~version ~accept_capabilities rules)
+  with Invalid_argument m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Credentials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_to_json = function
+  | Credential.Attribute -> Obj [ ("kind", String "attribute") ]
+  | Credential.Access { action; item } ->
+    Obj [ ("kind", String "access"); ("action", String action); ("item", String item) ]
+
+let kind_of_json j =
+  let* kind = Result.bind (member "kind" j) to_str in
+  match kind with
+  | "attribute" -> Ok Credential.Attribute
+  | "access" ->
+    let* action = Result.bind (member "action" j) to_str in
+    let* item = Result.bind (member "item" j) to_str in
+    Ok (Credential.Access { action; item })
+  | other -> Error (Printf.sprintf "credential kind %S unknown" other)
+
+let fact_of_json j =
+  let* a = atom_of_json j in
+  if Rule.is_ground a then Ok a else Error "credential fact must be ground"
+
+let credential_to_string (c : Credential.t) =
+  to_string
+    (Obj
+       [
+         ("id", String c.Credential.id);
+         ("subject", String c.Credential.subject);
+         ("issuer", String c.Credential.issuer);
+         ("kind", kind_to_json c.Credential.kind);
+         ("facts", List (List.map atom_to_json c.Credential.facts));
+         ("issued_at", Float c.Credential.issued_at);
+         ("expires_at", Float c.Credential.expires_at);
+         ("signature", String c.Credential.signature);
+       ])
+
+let credential_of_string s =
+  let* j = parse s in
+  let* id = Result.bind (member "id" j) to_str in
+  let* subject = Result.bind (member "subject" j) to_str in
+  let* issuer = Result.bind (member "issuer" j) to_str in
+  let* kind = Result.bind (member "kind" j) kind_of_json in
+  let* facts = Result.bind (member "facts" j) to_list in
+  let* facts = map_result fact_of_json facts in
+  let* issued_at = Result.bind (member "issued_at" j) to_float in
+  let* expires_at = Result.bind (member "expires_at" j) to_float in
+  let* signature = Result.bind (member "signature" j) to_str in
+  try
+    Ok
+      (Credential.of_wire ~id ~subject ~issuer ~kind ~facts ~issued_at
+         ~expires_at ~signature)
+  with Invalid_argument m -> Error m

@@ -1,0 +1,27 @@
+(** Wire format for policies and credentials.
+
+    Real deployments ship policy versions between the administrator, the
+    master server and replicas, and users present credentials obtained
+    from CAs — both travel as text.  This codec defines a JSON encoding
+    with exact round-tripping:
+
+    - terms: [{"v": name}] for variables, [{"c": value}] for constants;
+    - atoms: [{"pred": p, "args": [term...]}];
+    - rules: [{"head": atom, "body": [atom...]}];
+    - policies: domain, version, capability flag, rules;
+    - credentials: all fields including the {e transported} signature, so
+      tampering in transit is detected by {!Credential.signature_valid}
+      exactly as tampering at rest would be.
+
+    Decoders validate structurally (range restriction via {!Rule.rule},
+    interval via {!Credential.of_wire}) and return [Error] with a
+    human-readable reason on malformed input. *)
+
+val rule_to_json : Rule.t -> Json.t
+val rule_of_json : Json.t -> (Rule.t, string) result
+
+val policy_to_string : Policy.t -> string
+val policy_of_string : string -> (Policy.t, string) result
+
+val credential_to_string : Credential.t -> string
+val credential_of_string : string -> (Credential.t, string) result

@@ -1,0 +1,73 @@
+type id = string
+
+type kind =
+  | Attribute
+  | Access of { action : string; item : string }
+
+type t = {
+  id : id;
+  subject : string;
+  issuer : string;
+  kind : kind;
+  facts : Rule.fact list;
+  issued_at : float;
+  expires_at : float;
+  signature : string;
+}
+
+let payload ~id ~subject ~issuer ~kind ~facts ~issued_at ~expires_at =
+  let kind_tag =
+    match kind with
+    | Attribute -> "attr"
+    | Access { action; item } -> Printf.sprintf "access:%s:%s" action item
+  in
+  let fact_tags = List.map Rule.atom_to_string facts in
+  String.concat "|"
+    (id :: subject :: issuer :: kind_tag
+     :: string_of_float issued_at :: string_of_float expires_at :: fact_tags)
+
+(* Simulated signature: issuer-keyed digest of the payload. *)
+let sign ~issuer body = Digest.to_hex (Digest.string (issuer ^ "##" ^ body))
+
+let make ~id ~subject ~issuer ~kind ~facts ~issued_at ~expires_at =
+  if expires_at <= issued_at then
+    invalid_arg "Credential.make: expires_at must follow issued_at";
+  List.iter
+    (fun f ->
+      if not (Rule.is_ground f) then
+        invalid_arg "Credential.make: facts must be ground")
+    facts;
+  let body = payload ~id ~subject ~issuer ~kind ~facts ~issued_at ~expires_at in
+  { id; subject; issuer; kind; facts; issued_at; expires_at;
+    signature = sign ~issuer body }
+
+let forge t ~facts = { t with facts }
+
+let of_wire ~id ~subject ~issuer ~kind ~facts ~issued_at ~expires_at ~signature =
+  if expires_at <= issued_at then
+    invalid_arg "Credential.of_wire: expires_at must follow issued_at";
+  { id; subject; issuer; kind; facts; issued_at; expires_at; signature }
+
+let signature_valid t =
+  let body =
+    payload ~id:t.id ~subject:t.subject ~issuer:t.issuer ~kind:t.kind
+      ~facts:t.facts ~issued_at:t.issued_at ~expires_at:t.expires_at
+  in
+  String.equal t.signature (sign ~issuer:t.issuer body)
+
+type syntactic_failure = Not_yet_valid | Expired | Bad_signature
+
+let syntactically_valid t ~at =
+  if not (signature_valid t) then Error Bad_signature
+  else if at < t.issued_at then Error Not_yet_valid
+  else if at >= t.expires_at then Error Expired
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf "credential %s: subject=%s issuer=%s [%g, %g)" t.id
+    t.subject t.issuer t.issued_at t.expires_at
+
+let pp_syntactic_failure ppf = function
+  | Not_yet_valid -> Format.fprintf ppf "not yet valid"
+  | Expired -> Format.fprintf ppf "expired"
+  | Bad_signature -> Format.fprintf ppf "bad signature"

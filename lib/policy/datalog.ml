@@ -1,0 +1,176 @@
+(* Tokenizer + recursive descent. Positions are (line, column), 1-based. *)
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Turnstile
+  | Not
+
+type positioned = { tok : token; line : int; col : int }
+
+exception Syntax of string
+
+let fail line col fmt =
+  Printf.ksprintf (fun m -> raise (Syntax (Printf.sprintf "%d:%d: %s" line col m))) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let tokenize text =
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let n = String.length text in
+  let advance () =
+    (if text.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let push tok l c = out := { tok; line = l; col = c } :: !out in
+  while !i < n do
+    let c = text.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if c = '%' then
+      while !i < n && text.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then (push Lparen l0 c0; advance ())
+    else if c = ')' then (push Rparen l0 c0; advance ())
+    else if c = ',' then (push Comma l0 c0; advance ())
+    else if c = '.' then (push Dot l0 c0; advance ())
+    else if c = ':' then begin
+      advance ();
+      if !i < n && text.[!i] = '-' then (push Turnstile l0 c0; advance ())
+      else fail l0 c0 "expected ':-'"
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 8 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if text.[!i] = '"' then begin
+          closed := true;
+          advance ()
+        end
+        else begin
+          Buffer.add_char buf text.[!i];
+          advance ()
+        end
+      done;
+      if not !closed then fail l0 c0 "unterminated quoted constant";
+      push (Quoted (Buffer.contents buf)) l0 c0
+    end
+    else if is_ident_start c then begin
+      let buf = Buffer.create 8 in
+      while !i < n && is_ident_char text.[!i] do
+        Buffer.add_char buf text.[!i];
+        advance ()
+      done;
+      let word = Buffer.contents buf in
+      if String.equal word "not" then push Not l0 c0
+      else push (Ident word) l0 c0
+    end
+    else fail l0 c0 "unexpected character '%c'" c
+  done;
+  List.rev !out
+
+(* A leading uppercase letter makes an identifier a variable; the Rule
+   layer stores variable names lowercased so printing (which capitalizes)
+   round-trips. *)
+let term_of_ident word =
+  if String.length word > 0 && word.[0] >= 'A' && word.[0] <= 'Z' then
+    Rule.v (String.uncapitalize_ascii word)
+  else Rule.c word
+
+type stream = { mutable toks : positioned list }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let next s what =
+  match s.toks with
+  | [] -> raise (Syntax (Printf.sprintf "unexpected end of input, expected %s" what))
+  | t :: rest ->
+    s.toks <- rest;
+    t
+
+let expect s tok what =
+  let t = next s what in
+  if t.tok <> tok then fail t.line t.col "expected %s" what
+
+let parse_atom s =
+  let t = next s "a predicate name" in
+  let pred =
+    match t.tok with
+    | Ident p -> p
+    | _ -> fail t.line t.col "expected a predicate name"
+  in
+  expect s Lparen "'('";
+  let rec args acc =
+    let t = next s "a term" in
+    let term =
+      match t.tok with
+      | Ident w -> term_of_ident w
+      | Quoted q -> Rule.c q
+      | _ -> fail t.line t.col "expected a term"
+    in
+    let t = next s "',' or ')'" in
+    match t.tok with
+    | Comma -> args (term :: acc)
+    | Rparen -> List.rev (term :: acc)
+    | _ -> fail t.line t.col "expected ',' or ')'"
+  in
+  Rule.atom pred (args [])
+
+let parse_literal s =
+  match peek s with
+  | Some { tok = Not; _ } ->
+    ignore (next s "'not'");
+    Rule.Neg (parse_atom s)
+  | _ -> Rule.Pos (parse_atom s)
+
+let parse_one s =
+  let head = parse_atom s in
+  let t = next s "'.' or ':-'" in
+  match t.tok with
+  | Dot -> Rule.rule_literals head []
+  | Turnstile ->
+    let rec body acc =
+      let lit = parse_literal s in
+      let t = next s "',' or '.'" in
+      match t.tok with
+      | Comma -> body (lit :: acc)
+      | Dot -> List.rev (lit :: acc)
+      | _ -> fail t.line t.col "expected ',' or '.'"
+    in
+    Rule.rule_literals head (body [])
+  | _ -> fail t.line t.col "expected '.' or ':-'"
+
+let parse_program text =
+  try
+    let s = { toks = tokenize text } in
+    let rec go acc =
+      match peek s with None -> List.rev acc | Some _ -> go (parse_one s :: acc)
+    in
+    Ok (go [])
+  with
+  | Syntax m -> Error m
+  | Invalid_argument m -> Error m
+
+let parse_rule text =
+  match parse_program text with
+  | Ok [ r ] -> Ok r
+  | Ok rules -> Error (Printf.sprintf "expected one rule, found %d" (List.length rules))
+  | Error m -> Error m
+
+let print_program rules = String.concat "\n" (List.map Rule.to_string rules) ^ "\n"

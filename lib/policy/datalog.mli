@@ -1,0 +1,42 @@
+(** Concrete syntax for the policy language.
+
+    Administrators author policies as Datalog text; this module parses it
+    into {!Rule} values (and {!Rule.to_string} prints the same syntax
+    back).  Grammar, whitespace-insensitive, comments with [%] to end of
+    line:
+
+    {v
+    program  ::= rule*
+    rule     ::= atom "."                      % fact
+               | atom ":-" literal-list "."
+    literal  ::= atom | "not" atom
+    atom     ::= ident "(" term-list ")"
+    term     ::= IDENT                          % variable if capitalized
+               | ident                          % constant otherwise
+               | "\"" chars "\""                % quoted constant
+    v}
+
+    Identifiers match [[A-Za-z_][A-Za-z0-9_-]*]; a leading uppercase
+    letter makes a term a variable (printed the same way), anything else
+    is a constant.  Quoted constants allow arbitrary characters.
+
+    Example:
+
+    {v
+    % CompuMe, version 2
+    permit(S, A, I) :- role(S, sales_rep), assigned(S, R),
+                       region_of(I, R), located(S, R),
+                       not suspended(S).
+    region_of(customer-recs, east).
+    v} *)
+
+(** [parse_program text] parses zero or more rules.  Rule-level
+    validation ({!Rule.rule_literals} safety) applies; errors carry a
+    line/column position. *)
+val parse_program : string -> (Rule.t list, string) result
+
+(** [parse_rule text] parses exactly one rule. *)
+val parse_rule : string -> (Rule.t, string) result
+
+(** [print_program rules] renders parseable text, one rule per line. *)
+val print_program : Rule.t list -> string

@@ -1,0 +1,173 @@
+module Fact_set = Set.Make (struct
+  type t = string * string list
+
+  let compare = compare
+end)
+
+type db = Fact_set.t
+
+let key_of_fact (a : Rule.fact) =
+  let args =
+    List.map
+      (function
+        | Rule.Const s -> s
+        | Rule.Var x ->
+          invalid_arg (Printf.sprintf "Infer: non-ground fact (variable %s)" x))
+      a.Rule.args
+  in
+  (a.Rule.pred, args)
+
+type binding = (string * string) list
+
+let lookup env x = List.assoc_opt x env
+
+(* Match one atom against one ground fact under an environment; return the
+   extended environment on success. *)
+let match_atom env (atom : Rule.atom) ((pred, args) : string * string list) :
+    binding option =
+  if (not (String.equal atom.Rule.pred pred))
+     || List.length atom.Rule.args <> List.length args
+  then None
+  else begin
+    let step env term value =
+      match env with
+      | None -> None
+      | Some env -> (
+        match term with
+        | Rule.Const c -> if String.equal c value then Some env else None
+        | Rule.Var x -> (
+          match lookup env x with
+          | Some bound -> if String.equal bound value then Some env else None
+          | None -> Some ((x, value) :: env)))
+    in
+    List.fold_left2 step (Some env) atom.Rule.args args
+  end
+
+let instantiate env (atom : Rule.atom) =
+  let subst = function
+    | Rule.Const _ as t -> t
+    | Rule.Var x -> (
+      match lookup env x with
+      | Some value -> Rule.Const value
+      | None ->
+        (* Safety checks in [Rule.rule_literals] guarantee head and
+           negated atoms are fully bound here. *)
+        assert false)
+  in
+  { atom with Rule.args = List.map subst atom.Rule.args }
+
+(* All environments extending [env] that satisfy the positive atoms, then
+   filtered by the negative ones (which safety guarantees are ground once
+   the positives are bound). *)
+let solve db env (r : Rule.t) =
+  let rec positives env = function
+    | [] -> [ env ]
+    | atom :: rest ->
+      Fact_set.fold
+        (fun fact acc ->
+          match match_atom env atom fact with
+          | None -> acc
+          | Some env' -> positives env' rest @ acc)
+        db []
+  in
+  let envs = positives env (Rule.positive_body r) in
+  List.filter
+    (fun env ->
+      List.for_all
+        (fun neg -> not (Fact_set.mem (key_of_fact (instantiate env neg)) db))
+        (Rule.negative_body r))
+    envs
+
+(* ------------------------------------------------------------------ *)
+(* Stratification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* stratum(head) >= stratum(positive dep); > stratum(negative dep).
+   Iterate to fixpoint; a stratum exceeding the predicate count means a
+   cycle through negation. *)
+let stratify rules =
+  let strata = Hashtbl.create 16 in
+  let get p = Option.value ~default:0 (Hashtbl.find_opt strata p) in
+  let n_preds =
+    List.length
+      (List.sort_uniq String.compare
+         (List.concat_map
+            (fun (r : Rule.t) ->
+              r.Rule.head.Rule.pred
+              :: List.map
+                   (fun (a : Rule.atom) -> a.Rule.pred)
+                   (Rule.positive_body r @ Rule.negative_body r))
+            rules))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        let h = r.Rule.head.Rule.pred in
+        let bump target =
+          if get h < target then begin
+            if target > n_preds then
+              invalid_arg "Infer: rules are not stratifiable (negation cycle)";
+            Hashtbl.replace strata h target;
+            changed := true
+          end
+        in
+        List.iter
+          (fun (a : Rule.atom) -> bump (get a.Rule.pred))
+          (Rule.positive_body r);
+        List.iter
+          (fun (a : Rule.atom) -> bump (get a.Rule.pred + 1))
+          (Rule.negative_body r))
+      rules
+  done;
+  (* Group rules by head stratum, ascending. *)
+  let tagged =
+    List.map (fun (r : Rule.t) -> (get r.Rule.head.Rule.pred, r)) rules
+  in
+  let max_stratum = List.fold_left (fun acc (s, _) -> max acc s) 0 tagged in
+  List.init (max_stratum + 1) (fun s ->
+      List.filter_map (fun (s', r) -> if s = s' then Some r else None) tagged)
+
+let saturate ~rules ~facts =
+  let db = ref Fact_set.empty in
+  List.iter (fun f -> db := Fact_set.add (key_of_fact f) !db) facts;
+  let run_stratum stratum_rules =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (r : Rule.t) ->
+          let envs = solve !db [] r in
+          List.iter
+            (fun env ->
+              let derived = key_of_fact (instantiate env r.Rule.head) in
+              if not (Fact_set.mem derived !db) then begin
+                db := Fact_set.add derived !db;
+                changed := true
+              end)
+            envs)
+        stratum_rules
+    done
+  in
+  List.iter run_stratum (stratify rules);
+  !db
+
+let facts db =
+  Fact_set.fold (fun (pred, args) acc -> Rule.fact pred args :: acc) db []
+  |> List.rev
+
+let size db = Fact_set.cardinal db
+
+let holds db atom =
+  if not (Rule.is_ground atom) then
+    invalid_arg "Infer.holds: query atom must be ground";
+  Fact_set.mem (key_of_fact atom) db
+
+let query db pattern =
+  Fact_set.fold
+    (fun fact acc ->
+      match match_atom [] pattern fact with None -> acc | Some env -> env :: acc)
+    db []
+
+let satisfies ~rules ~facts goal = holds (saturate ~rules ~facts) goal

@@ -1,0 +1,34 @@
+(** Forward-chaining inference over {!Rule} programs.
+
+    [saturate] computes the least fixpoint of a rule set over a base of
+    facts; [satisfies] answers the satisfiability question at the heart of a
+    proof of authorization: can the policy's rules derive the requested
+    permission from the presented credentials?
+
+    The engine is naive bottom-up evaluation, quadratic in the number of
+    derivable facts — ample for access-control policies, whose rule sets are
+    small. *)
+
+(** Derived fact database. *)
+type db
+
+(** [saturate ~rules ~facts] derives everything derivable. Raises
+    [Invalid_argument] if any base fact is non-ground. *)
+val saturate : rules:Rule.t list -> facts:Rule.fact list -> db
+
+(** All facts (base and derived) in the database. *)
+val facts : db -> Rule.fact list
+
+val size : db -> int
+
+(** [holds db atom] — is this ground atom in the database? Raises
+    [Invalid_argument] on a non-ground query. *)
+val holds : db -> Rule.atom -> bool
+
+(** [query db pattern] is every binding of the pattern's variables that
+    makes it hold, as association lists from variable name to constant. *)
+val query : db -> Rule.atom -> (string * string) list list
+
+(** [satisfies ~rules ~facts goal] saturates and checks the (ground)
+    goal. *)
+val satisfies : rules:Rule.t list -> facts:Rule.fact list -> Rule.atom -> bool

@@ -1,0 +1,119 @@
+type request = { subject : string; action : string; items : string list }
+
+type env = {
+  find_ca : string -> Ca.t option;
+  trusted_server : string -> bool;
+  context : unit -> Rule.fact list;
+}
+
+type failure =
+  | Syntactic of Credential.id * Credential.syntactic_failure
+  | Revoked of Credential.id
+  | Untrusted_issuer of Credential.id
+  | Denied of string
+
+type t = {
+  query_id : string;
+  server : string;
+  domain : string;
+  policy_version : Policy.version;
+  evaluated_at : float;
+  credential_ids : Credential.id list;
+  request : request;
+  result : bool;
+  failures : failure list;
+}
+
+(* Validate one credential; on success return the facts it contributes. *)
+let vet env ~at (cred : Credential.t) : (Rule.fact list, failure) result =
+  match Credential.syntactically_valid cred ~at with
+  | Error why -> Error (Syntactic (cred.Credential.id, why))
+  | Ok () -> (
+    match (env.find_ca cred.Credential.issuer, cred.Credential.kind) with
+    | Some ca, _ ->
+      if Ca.semantically_valid ca cred ~at then Ok cred.Credential.facts
+      else Error (Revoked cred.Credential.id)
+    | None, Credential.Access { action; item } ->
+      if env.trusted_server cred.Credential.issuer then
+        Ok
+          (Policy.capability_fact ~subject:cred.Credential.subject ~action
+             ~item
+          :: cred.Credential.facts)
+      else Error (Untrusted_issuer cred.Credential.id)
+    | None, Credential.Attribute -> Error (Untrusted_issuer cred.Credential.id))
+
+let evaluate ?cache ~query_id ~server ~policy ~creds ~env ~at request =
+  let vetted = List.map (fun cred -> (cred, vet env ~at cred)) creds in
+  let cred_failures =
+    List.filter_map
+      (fun (_, r) -> match r with Error f -> Some f | Ok _ -> None)
+      vetted
+  in
+  (* Facts describing the request itself, so range-restricted rules can
+     bind their head variables: permit(S,A,I) :- role(S, clerk),
+     req_action(A), req_item(I). *)
+  let request_facts =
+    Rule.fact "req_subject" [ request.subject ]
+    :: Rule.fact "req_action" [ request.action ]
+    :: List.map (fun item -> Rule.fact "req_item" [ item ]) request.items
+  in
+  let facts =
+    request_facts
+    @ env.context ()
+    @ List.concat_map
+        (fun (_, r) -> match r with Ok facts -> facts | Error _ -> [])
+        vetted
+  in
+  let saturate_and_check () =
+    Policy.permits_all policy ~facts ~subject:request.subject
+      ~action:request.action ~items:request.items
+  in
+  let denied =
+    match cache with
+    | None -> saturate_and_check ()
+    | Some table ->
+      (* The key covers everything the inference result depends on:
+         policy identity+version and the full fact base (which embeds the
+         request and the surviving credentials' claims). *)
+      let key =
+        String.concat "|"
+          (policy.Policy.domain
+           :: string_of_int policy.Policy.version
+           :: string_of_bool policy.Policy.accept_capabilities
+           :: List.sort String.compare (List.map Rule.atom_to_string facts))
+      in
+      (match Hashtbl.find_opt table key with
+      | Some denied -> denied
+      | None ->
+        let denied = saturate_and_check () in
+        Hashtbl.replace table key denied;
+        denied)
+  in
+  let failures = cred_failures @ List.map (fun item -> Denied item) denied in
+  (* The proof is valid only when every credential passed and every item is
+     permitted: a transaction built on a partly-invalid credential set must
+     not count as trusted. *)
+  let result = failures = [] in
+  {
+    query_id;
+    server;
+    domain = policy.Policy.domain;
+    policy_version = policy.Policy.version;
+    evaluated_at = at;
+    credential_ids = List.map (fun c -> c.Credential.id) creds;
+    request;
+    result;
+    failures;
+  }
+
+let pp_failure ppf = function
+  | Syntactic (id, why) ->
+    Format.fprintf ppf "credential %s %a" id Credential.pp_syntactic_failure why
+  | Revoked id -> Format.fprintf ppf "credential %s revoked" id
+  | Untrusted_issuer id -> Format.fprintf ppf "credential %s: untrusted issuer" id
+  | Denied item -> Format.fprintf ppf "access to %s denied by policy" item
+
+let pp ppf t =
+  Format.fprintf ppf "proof[%s@%s %s v%d t=%g %s]" t.query_id t.server t.domain
+    t.policy_version t.evaluated_at
+    (if t.result then "TRUE" else "FALSE")

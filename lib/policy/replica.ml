@@ -1,0 +1,16 @@
+type t = (string, Policy.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let install t (p : Policy.t) =
+  match Hashtbl.find_opt t p.Policy.domain with
+  | Some held when held.Policy.version >= p.Policy.version -> `Stale
+  | Some _ | None ->
+    Hashtbl.replace t p.Policy.domain p;
+    `Installed
+
+let get t ~domain = Hashtbl.find_opt t domain
+let version t ~domain = Option.map (fun p -> p.Policy.version) (get t ~domain)
+
+let domains t =
+  Hashtbl.fold (fun d _ acc -> d :: acc) t [] |> List.sort String.compare

@@ -1,0 +1,22 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { base : float; mean : float }
+
+let sample t rng =
+  let raw =
+    match t with
+    | Constant d -> d
+    | Uniform { lo; hi } -> Splitmix.uniform rng ~lo ~hi
+    | Exponential { base; mean } -> base +. Splitmix.exponential rng ~mean
+  in
+  Float.max 0. raw
+
+let lan = Uniform { lo = 0.3; hi = 0.8 }
+let wan = Exponential { base = 20.; mean = 8. }
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%.2fms)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%.2f..%.2fms)" lo hi
+  | Exponential { base; mean } ->
+    Format.fprintf ppf "exp(base=%.2fms, mean=%.2fms)" base mean

@@ -1,0 +1,22 @@
+(** One-way network latency models.
+
+    Times are milliseconds of simulated time.  The defaults mirror the
+    intra-datacenter and wide-area regimes a cloud deployment of the paper's
+    system would see. *)
+
+type t =
+  | Constant of float  (** Always the same delay. *)
+  | Uniform of { lo : float; hi : float }  (** Uniform in [lo, hi). *)
+  | Exponential of { base : float; mean : float }
+      (** [base] floor plus an exponential tail with the given mean. *)
+
+(** [sample t rng] draws one delay; always nonnegative. *)
+val sample : t -> Splitmix.t -> float
+
+(** 0.5ms +/- jitter: same-rack cloud servers. *)
+val lan : t
+
+(** ~25ms base with heavy tail: cross-region replication links. *)
+val wan : t
+
+val pp : Format.formatter -> t -> unit

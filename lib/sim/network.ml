@@ -1,0 +1,41 @@
+module Pair_set = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type t = {
+  latency : Latency.t;
+  rng : Splitmix.t;
+  mutable drop : float;
+  mutable partitions : Pair_set.t;
+  links : (string * string, Latency.t) Hashtbl.t;
+}
+
+let create ?(drop = 0.) ~latency ~rng () =
+  { latency; rng; drop; partitions = Pair_set.empty; links = Hashtbl.create 8 }
+
+let set_drop t p = t.drop <- p
+
+let canonical a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let set_link t a b model = Hashtbl.replace t.links (canonical a b) model
+let clear_link t a b = Hashtbl.remove t.links (canonical a b)
+
+let partition t a b = t.partitions <- Pair_set.add (canonical a b) t.partitions
+let heal t a b = t.partitions <- Pair_set.remove (canonical a b) t.partitions
+let heal_all t = t.partitions <- Pair_set.empty
+let partitioned t a b = Pair_set.mem (canonical a b) t.partitions
+
+let fate t ~src ~dst =
+  if String.equal src dst then `Deliver_after 0.
+  else if partitioned t src dst then `Lost
+  else if t.drop > 0. && Splitmix.bool t.rng ~p:t.drop then `Lost
+  else begin
+    let model =
+      match Hashtbl.find_opt t.links (canonical src dst) with
+      | Some link -> link
+      | None -> t.latency
+    in
+    `Deliver_after (Latency.sample model t.rng)
+  end

@@ -1,0 +1,39 @@
+(** Network model: per-message latency, loss and partitions.
+
+    Deciding a message's fate is separated from delivering it so the model
+    can be unit-tested without an engine; {!Transport} combines the two. *)
+
+type t
+
+(** [create ~latency ~rng ()] builds a model. [drop] is an independent loss
+    probability per message (default 0: the commit protocols in the paper
+    assume reliable channels; loss is injected only in the failure tests). *)
+val create : ?drop:float -> latency:Latency.t -> rng:Splitmix.t -> unit -> t
+
+(** [set_link t a b model] overrides the latency of the (undirected) link
+    between [a] and [b] — e.g. a WAN hop between regions while everything
+    else stays on the LAN model. *)
+val set_link : t -> string -> string -> Latency.t -> unit
+
+(** Remove a per-link override. *)
+val clear_link : t -> string -> string -> unit
+
+(** [set_drop t p] changes the loss probability. *)
+val set_drop : t -> float -> unit
+
+(** [partition t a b] blocks traffic in both directions between [a] and
+    [b]. *)
+val partition : t -> string -> string -> unit
+
+(** [heal t a b] removes the partition between [a] and [b]. *)
+val heal : t -> string -> string -> unit
+
+(** [heal_all t] removes every partition. *)
+val heal_all : t -> unit
+
+val partitioned : t -> string -> string -> bool
+
+(** [fate t ~src ~dst] decides what happens to one message: delivered after
+    the returned delay, or lost. Messages from a node to itself are
+    delivered with zero delay and never lost. *)
+val fate : t -> src:string -> dst:string -> [ `Deliver_after of float | `Lost ]

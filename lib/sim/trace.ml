@@ -1,0 +1,133 @@
+type kind =
+  | Send of { src : string; dst : string; label : string }
+  | Recv of { src : string; dst : string; label : string }
+  | Drop of { src : string; dst : string; label : string }
+  | Mark of { node : string; label : string }
+
+type entry = { time : float; kind : kind }
+
+type t = { mutable entries : entry list; mutable length : int }
+(* Stored reversed; [entries] reverses on read. *)
+
+let create () = { entries = []; length = 0 }
+
+let record t ~time kind =
+  t.entries <- { time; kind } :: t.entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.entries
+let length t = t.length
+
+let clear t =
+  t.entries <- [];
+  t.length <- 0
+
+let marks ?node ?label t =
+  let matches want got = match want with None -> true | Some w -> String.equal w got in
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Mark { node = n; label = l } when matches node n && matches label l ->
+        Some (e.time, n, l)
+      | Mark _ | Send _ | Recv _ | Drop _ -> None)
+    (entries t)
+
+let messages t =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Send { src; dst; label } -> Some (e.time, src, dst, label)
+      | Recv _ | Drop _ | Mark _ -> None)
+    (entries t)
+
+let pp_entry ppf { time; kind } =
+  match kind with
+  | Send { src; dst; label } ->
+    Format.fprintf ppf "%10.3f  %s -> %s : %s" time src dst label
+  | Recv { src; dst; label } ->
+    Format.fprintf ppf "%10.3f  %s => %s : %s (delivered)" time src dst label
+  | Drop { src; dst; label } ->
+    Format.fprintf ppf "%10.3f  %s -x %s : %s (dropped)" time src dst label
+  | Mark { node; label } -> Format.fprintf ppf "%10.3f  [%s] %s" time node label
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a@." pp_entry e))
+    (entries t);
+  Buffer.contents buf
+
+(* Mermaid identifiers cannot contain '-'. *)
+let mermaid_id name =
+  String.map (function '-' | ' ' | ':' -> '_' | c -> c) name
+
+let to_mermaid t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "sequenceDiagram\n";
+  (* Declare participants in first-appearance order for stable columns. *)
+  let seen = Hashtbl.create 8 in
+  let declare name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      Buffer.add_string buf
+        (Printf.sprintf "  participant %s as %s\n" (mermaid_id name) name)
+    end
+  in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Send { src; dst; _ } | Drop { src; dst; _ } ->
+        declare src;
+        declare dst
+      | Mark { node; _ } -> declare node
+      | Recv _ -> ())
+    (entries t);
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Send { src; dst; label } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s->>%s: %s @%.2fms\n" (mermaid_id src)
+             (mermaid_id dst) label e.time)
+      | Drop { src; dst; label } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s--x%s: %s (lost) @%.2fms\n" (mermaid_id src)
+             (mermaid_id dst) label e.time)
+      | Mark { node; label } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  Note over %s: %s @%.2fms\n" (mermaid_id node) label
+             e.time)
+      | Recv _ -> ())
+    (entries t);
+  Buffer.contents buf
+
+let csv_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 4) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,kind,src,dst,label\n";
+  let row time kind src dst label =
+    Buffer.add_string buf
+      (Printf.sprintf "%.4f,%s,%s,%s,%s\n" time kind (csv_quote src)
+         (csv_quote dst) (csv_quote label))
+  in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Send { src; dst; label } -> row e.time "send" src dst label
+      | Recv { src; dst; label } -> row e.time "recv" src dst label
+      | Drop { src; dst; label } -> row e.time "drop" src dst label
+      | Mark { node; label } -> row e.time "mark" node "" label)
+    (entries t);
+  Buffer.contents buf

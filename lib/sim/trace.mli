@@ -1,0 +1,54 @@
+(** Append-only record of everything observable in a simulation run.
+
+    The benchmark harness replays traces to regenerate the paper's figures:
+    message sequence charts (Figures 2 and 7) come from [Send]/[Recv]
+    entries, and the proof-evaluation timelines (Figures 3-6) from [Mark]
+    entries tagged by the protocol layer. *)
+
+type kind =
+  | Send of { src : string; dst : string; label : string }
+  | Recv of { src : string; dst : string; label : string }
+  | Drop of { src : string; dst : string; label : string }
+      (** Message lost by the network model. *)
+  | Mark of { node : string; label : string }
+      (** Protocol-level annotation, e.g. ["query_start"], ["proof_eval"],
+          ["log_force:prepared"]. *)
+
+type entry = { time : float; kind : kind }
+
+type t
+
+val create : unit -> t
+
+(** [record t ~time kind] appends an entry. *)
+val record : t -> time:float -> kind -> unit
+
+(** Entries in chronological (= insertion) order. *)
+val entries : t -> entry list
+
+val length : t -> int
+val clear : t -> unit
+
+(** [marks t ~node ~label] is the times of [Mark] entries matching both
+    filters ([None] matches anything). *)
+val marks : ?node:string -> ?label:string -> t -> (float * string * string) list
+
+(** [messages t] is every [Send] entry as [(time, src, dst, label)]. *)
+val messages : t -> (float * string * string * string) list
+
+val pp_entry : Format.formatter -> entry -> unit
+
+(** Multi-line rendering of the whole trace, one entry per line. *)
+val to_string : t -> string
+
+(** {1 Exporters} *)
+
+(** Mermaid [sequenceDiagram] source: one arrow per delivered message
+    ([Send] entries whose delivery is also traced render once), notes for
+    [Mark] entries, dashed arrows for drops.  Paste into any mermaid
+    renderer to get the paper's Figure 2/7-style charts. *)
+val to_mermaid : t -> string
+
+(** CSV export: [time,kind,src,dst,label] with RFC-4180 quoting; header
+    row included. [Mark] entries put the node in [src]. *)
+val to_csv : t -> string

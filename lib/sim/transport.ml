@@ -1,0 +1,69 @@
+module Counter = Cloudtx_metrics.Counter
+
+type 'msg t = {
+  engine : Engine.t;
+  network : Network.t;
+  trace : Trace.t;
+  counters : Counter.t;
+  label_of : 'msg -> string;
+  handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
+  crashed : (string, unit) Hashtbl.t;
+  rng : Splitmix.t;
+}
+
+let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
+  let rng = Splitmix.create seed in
+  let net_rng = Splitmix.split rng in
+  {
+    engine = Engine.create ();
+    network = Network.create ~drop ~latency ~rng:net_rng ();
+    trace = Trace.create ();
+    counters = Counter.create ();
+    label_of;
+    handlers = Hashtbl.create 16;
+    crashed = Hashtbl.create 4;
+    rng;
+  }
+
+let engine t = t.engine
+let network t = t.network
+let trace t = t.trace
+let counters t = t.counters
+let now t = Engine.now t.engine
+let fork_rng t = Splitmix.split t.rng
+
+let register t name handler =
+  if Hashtbl.mem t.handlers name then
+    invalid_arg (Printf.sprintf "Transport.register: duplicate node %s" name);
+  Hashtbl.add t.handlers name handler
+
+let registered t name = Hashtbl.mem t.handlers name
+let crash t name = Hashtbl.replace t.crashed name ()
+let recover t name = Hashtbl.remove t.crashed name
+let crashed t name = Hashtbl.mem t.crashed name
+
+let send t ~src ~dst msg =
+  let label = t.label_of msg in
+  Counter.incr t.counters "messages";
+  Counter.incr t.counters ("msg:" ^ label);
+  Trace.record t.trace ~time:(now t) (Trace.Send { src; dst; label });
+  match Hashtbl.find_opt t.handlers dst with
+  | None -> Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label })
+  | Some handler -> (
+    match Network.fate t.network ~src ~dst with
+    | `Lost -> Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label })
+    | `Deliver_after delay ->
+      Engine.schedule t.engine ~delay (fun () ->
+          if Hashtbl.mem t.crashed dst then
+            Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label })
+          else begin
+            Trace.record t.trace ~time:(now t) (Trace.Recv { src; dst; label });
+            handler ~src msg
+          end))
+
+let at t ~delay f = Engine.schedule t.engine ~delay f
+
+let mark t ~node label =
+  Trace.record t.trace ~time:(now t) (Trace.Mark { node; label })
+
+let run ?until ?max_steps t = Engine.run ?until ?max_steps t.engine

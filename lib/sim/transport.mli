@@ -1,0 +1,62 @@
+(** Message delivery fabric connecting simulated nodes.
+
+    A ['msg Transport.t] owns the engine, network model and trace for one
+    simulated cluster.  Nodes register a handler under their name; [send]
+    consults the network model, records the trace entries, counts the
+    message (the unit of the paper's message-complexity metric) and
+    schedules the receiver's handler.
+
+    Crashed nodes silently swallow traffic, modelling fail-stop servers for
+    the recovery experiments. *)
+
+type 'msg t
+
+(** [create ~label_of ()] builds an empty fabric with its own engine.
+    [label_of] renders a message for traces and counters; [latency]
+    defaults to {!Latency.lan}; [seed] fixes all randomness. *)
+val create :
+  ?seed:int64 ->
+  ?latency:Latency.t ->
+  ?drop:float ->
+  label_of:('msg -> string) ->
+  unit ->
+  'msg t
+
+val engine : _ t -> Engine.t
+val network : _ t -> Network.t
+val trace : _ t -> Trace.t
+val counters : _ t -> Cloudtx_metrics.Counter.t
+
+(** Simulated now, for convenience. *)
+val now : _ t -> float
+
+(** A private RNG stream split off the fabric seed, for workloads. *)
+val fork_rng : _ t -> Splitmix.t
+
+(** [register t name handler] installs the node. Raises [Invalid_argument]
+    on duplicate names. Handler receives [(src, msg)]. *)
+val register : 'msg t -> string -> (src:string -> 'msg -> unit) -> unit
+
+val registered : _ t -> string -> bool
+
+(** [crash t name] makes the node drop all incoming traffic (fail-stop). *)
+val crash : _ t -> string -> unit
+
+(** [recover t name] lets a crashed node receive again. *)
+val recover : _ t -> string -> unit
+
+val crashed : _ t -> string -> bool
+
+(** [send t ~src ~dst msg] counts the message under ["messages"] and
+    ["msg:<label>"], traces it, and schedules delivery per the network
+    model. Unknown destinations are traced as drops. *)
+val send : 'msg t -> src:string -> dst:string -> 'msg -> unit
+
+(** [at t ~delay f] schedules local work (not a message, not counted). *)
+val at : _ t -> delay:float -> (unit -> unit) -> unit
+
+(** [mark t ~node label] records a protocol annotation in the trace. *)
+val mark : _ t -> node:string -> string -> unit
+
+(** Run the engine (see {!Engine.run}). *)
+val run : ?until:float -> ?max_steps:int -> _ t -> [ `Quiescent | `Time_limit | `Step_limit ]

@@ -1,0 +1,38 @@
+type lookup = string -> Value.t option
+
+type t = { name : string; check : lookup -> bool }
+
+let make ~name check = { name; check }
+
+let int_at lookup key = Option.bind (lookup key) Value.as_int
+
+let non_negative key =
+  make ~name:(Printf.sprintf "non_negative(%s)" key) (fun lookup ->
+      match int_at lookup key with Some n -> n >= 0 | None -> false)
+
+let range key ~lo ~hi =
+  make ~name:(Printf.sprintf "range(%s,%d,%d)" key lo hi) (fun lookup ->
+      match int_at lookup key with Some n -> n >= lo && n <= hi | None -> false)
+
+let sum_of lookup keys =
+  List.fold_left
+    (fun acc key ->
+      match (acc, int_at lookup key) with
+      | Some total, Some n -> Some (total + n)
+      | None, _ | _, None -> None)
+    (Some 0) keys
+
+let sum_at_most keys ~bound =
+  make ~name:(Printf.sprintf "sum_at_most(%s,%d)" (String.concat "+" keys) bound)
+    (fun lookup ->
+      match sum_of lookup keys with Some s -> s <= bound | None -> false)
+
+let sum_preserved keys ~total =
+  make ~name:(Printf.sprintf "sum_preserved(%s,%d)" (String.concat "+" keys) total)
+    (fun lookup ->
+      match sum_of lookup keys with Some s -> s = total | None -> false)
+
+let check_all constraints lookup =
+  List.filter_map
+    (fun c -> if c.check lookup then None else Some c.name)
+    constraints

@@ -1,0 +1,34 @@
+(** Integrity constraints — the "data consistency" half of a safe
+    transaction.
+
+    A participant's YES/NO vote in 2PC (and in 2PVC's voting phase) reports
+    whether applying the transaction's buffered writes would preserve these
+    constraints.  Constraints read through a lookup function so they can be
+    checked against a hypothetical state (committed data overlaid with a
+    workspace) without mutating anything. *)
+
+type lookup = string -> Value.t option
+
+type t = private { name : string; check : lookup -> bool }
+
+(** [make ~name check] wraps an arbitrary predicate. *)
+val make : name:string -> (lookup -> bool) -> t
+
+(** [non_negative key] — the integer at [key] must be >= 0 (missing or
+    non-integer values violate it). *)
+val non_negative : string -> t
+
+(** [range key ~lo ~hi] — integer at [key] within [lo, hi] inclusive. *)
+val range : string -> lo:int -> hi:int -> t
+
+(** [sum_at_most keys ~bound] — the integers at [keys] must exist and sum
+    to at most [bound]. *)
+val sum_at_most : string list -> bound:int -> t
+
+(** [sum_preserved keys ~total] — the integers at [keys] sum exactly to
+    [total]; the classic funds-conservation constraint. *)
+val sum_preserved : string list -> total:int -> t
+
+(** [check_all constraints lookup] is the names of violated constraints
+    (empty = integrity holds). *)
+val check_all : t list -> lookup -> string list

@@ -1,0 +1,53 @@
+(** Two-phase locking with wait-die deadlock prevention.
+
+    Shared/exclusive locks per data item.  Conflicting requests are
+    resolved by transaction start timestamps: an older requester (smaller
+    timestamp) is queued behind the holders, a younger requester is told to
+    abort ("dies").  Wait-die admits no cycles, so the simulated cluster
+    never deadlocks — important because the commit protocols under test
+    assume participants eventually vote. *)
+
+type mode = Shared | Exclusive
+
+type t
+
+val create : unit -> t
+
+type outcome =
+  | Granted
+  | Queued  (** Older than a conflicting holder: wait for release. *)
+  | Die  (** Younger than a conflicting holder: abort and restart. *)
+
+(** [acquire t ~txn ~ts ~key mode] requests the lock.  Re-acquiring a held
+    lock is idempotent; a [Shared] holder asking for [Exclusive] upgrades
+    when it is the only holder, otherwise wait-die applies. *)
+val acquire : t -> txn:string -> ts:float -> key:string -> mode -> outcome
+
+type release = {
+  granted : (string * string * mode) list;
+      (** Requests granted by promotion, as [(txn, key, mode)]. *)
+  killed : (string * string) list;
+      (** Waiters removed because they are younger than a newly installed
+          holder, as [(txn, key)]: wait-die is re-applied at promotion
+          time, otherwise a waiter that queued behind a younger holder
+          could end up waiting behind an older one — a young-waits-for-old
+          edge that admits distributed deadlock. The caller must abort
+          these transactions. *)
+}
+
+(** [release_all t ~txn] frees every lock held or queued by [txn],
+    promotes waiters and re-applies wait-die to the rest. *)
+val release_all : t -> txn:string -> release
+
+(** Current holders of [key]. *)
+val holders : t -> key:string -> (string * mode) list
+
+(** Transactions queued on [key], oldest first. *)
+val waiters : t -> key:string -> string list
+
+(** Keys on which [txn] currently holds locks. *)
+val held_by : t -> txn:string -> string list
+
+(** [clear t] empties the whole lock table (crash of the volatile lock
+    state). *)
+val clear : t -> unit

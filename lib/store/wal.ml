@@ -1,0 +1,90 @@
+type record =
+  | Begin_txn of { txn : string }
+  | Prepared of {
+      txn : string;
+      writes : (string * Value.t) list;
+      integrity_vote : bool;
+      proof_truth : bool;
+      policy_versions : (string * int) list;
+    }
+  | Decision of { txn : string; commit : bool }
+  | End_txn of { txn : string }
+  | Checkpoint of { active : string list }
+
+type entry = { lsn : int; time : float; forced : bool; record : record }
+
+type t = {
+  mutable entries : entry list; (* newest first *)
+  mutable next_lsn : int;
+  mutable forces : int;
+}
+
+let create () = { entries = []; next_lsn = 0; forces = 0 }
+
+let append t ~time ~forced record =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  if forced then t.forces <- t.forces + 1;
+  t.entries <- { lsn; time; forced; record } :: t.entries;
+  lsn
+
+let force_count t = t.forces
+let length t = List.length t.entries
+let entries t = List.rev t.entries
+
+let truncate_after t lsn =
+  t.entries <- List.filter (fun e -> e.lsn <= lsn) t.entries
+
+let txn_of = function
+  | Begin_txn { txn } | Decision { txn; _ } | End_txn { txn } -> txn
+  | Prepared { txn; _ } -> txn
+  | Checkpoint _ -> ""
+
+let checkpoint t ~time ~active = append t ~time ~forced:true (Checkpoint { active })
+
+let truncate_to_checkpoint t =
+  (* Find the newest checkpoint (entries are stored newest first). *)
+  let rec find = function
+    | [] -> None
+    | e :: rest -> (
+      match e.record with
+      | Checkpoint { active } -> Some (e.lsn, active)
+      | Begin_txn _ | Prepared _ | Decision _ | End_txn _ -> find rest)
+  in
+  match find t.entries with
+  | None -> 0
+  | Some (ck_lsn, active) ->
+    let before = List.length t.entries in
+    t.entries <-
+      List.filter
+        (fun e ->
+          e.lsn >= ck_lsn || List.mem (txn_of e.record) active)
+        t.entries;
+    before - List.length t.entries
+
+let recover_txn t ~txn =
+  (* Scan oldest-to-newest, tracking the latest state transition. *)
+  let state = ref `No_trace in
+  let prepared = ref ([], []) in
+  List.iter
+    (fun e ->
+      if String.equal (txn_of e.record) txn then begin
+        match e.record with
+        | Begin_txn _ -> if !state = `No_trace then state := `Active
+        | Prepared { writes; policy_versions; _ } ->
+          prepared := (writes, policy_versions);
+          state := `Prepared
+        | Decision { commit; _ } -> state := if commit then `Committed else `Aborted
+        | End_txn _ -> state := `Finished
+        | Checkpoint _ -> ()
+      end)
+    (entries t);
+  match !state with
+  | `No_trace -> `No_trace
+  | `Active -> `Active
+  | `Prepared ->
+    let writes, versions = !prepared in
+    `Prepared (writes, versions)
+  | `Committed -> `Committed (fst !prepared)
+  | `Aborted -> `Aborted
+  | `Finished -> `Finished

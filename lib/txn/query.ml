@@ -1,0 +1,23 @@
+type t = {
+  id : string;
+  server : string;
+  reads : string list;
+  writes : (string * Cloudtx_store.Value.update) list;
+  action_override : string option;
+}
+
+let make ~id ~server ?(reads = []) ?(writes = []) ?action () =
+  { id; server; reads; writes; action_override = action }
+
+let items t =
+  List.sort_uniq String.compare (t.reads @ List.map fst t.writes)
+
+let action t =
+  match t.action_override with
+  | Some a -> a
+  | None -> if t.writes = [] then "read" else "write"
+
+let pp ppf t =
+  Format.fprintf ppf "%s@%s reads=[%s] writes=[%s]" t.id t.server
+    (String.concat "," t.reads)
+    (String.concat "," (List.map fst t.writes))

@@ -1,0 +1,35 @@
+(** A single query q_i of a transaction.
+
+    Per the paper's model, each query executes on one server and touches a
+    set of data items m(q_i); the authorization request it induces is
+    [(subject, action, m(q_i))]. *)
+
+type t = {
+  id : string;
+  server : string;  (** s_i: the server this query executes on. *)
+  reads : string list;
+  writes : (string * Cloudtx_store.Value.update) list;
+  action_override : string option;
+      (** Application-level action name for authorization (e.g.
+          ["deposit"]); defaults to read/write classification. *)
+}
+
+val make :
+  id:string ->
+  server:string ->
+  ?reads:string list ->
+  ?writes:(string * Cloudtx_store.Value.update) list ->
+  ?action:string ->
+  unit ->
+  t
+
+(** m(q): every data item the query touches (reads and write keys),
+    deduplicated, sorted. *)
+val items : t -> string list
+
+(** The action named in the query's proof of authorization: the override
+    if given, else ["write"] when the query writes anything and ["read"]
+    otherwise. *)
+val action : t -> string
+
+val pp : Format.formatter -> t -> unit

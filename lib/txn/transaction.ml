@@ -1,0 +1,23 @@
+type t = {
+  id : string;
+  subject : string;
+  queries : Query.t list;
+  credentials : Cloudtx_policy.Credential.t list;
+}
+
+let make ~id ~subject ?(credentials = []) queries =
+  { id; subject; queries; credentials }
+
+let participants t =
+  List.fold_left
+    (fun acc (q : Query.t) ->
+      if List.mem q.Query.server acc then acc else q.Query.server :: acc)
+    [] t.queries
+  |> List.rev
+
+let query_count t = List.length t.queries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>transaction %s (subject %s):@ %a@]" t.id t.subject
+    (Format.pp_print_list Query.pp)
+    t.queries

@@ -1,0 +1,28 @@
+(** A transaction T = q_1, q_2, ..., q_n submitted on behalf of a subject.
+
+    Queries execute sequentially (the paper's simplifying assumption); the
+    credentials attached at submission are the set C presented with every
+    proof of authorization. *)
+
+type t = {
+  id : string;
+  subject : string;
+  queries : Query.t list;
+  credentials : Cloudtx_policy.Credential.t list;
+}
+
+val make :
+  id:string ->
+  subject:string ->
+  ?credentials:Cloudtx_policy.Credential.t list ->
+  Query.t list ->
+  t
+
+(** Distinct servers involved, in first-use order — the 2PC/2PVC
+    participant set (the paper's [n]). *)
+val participants : t -> string list
+
+(** Number of queries (the paper's [u]). *)
+val query_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+module Transport = Cloudtx_sim.Transport
+module Ca = Cloudtx_policy.Ca
+module Credential = Cloudtx_policy.Credential
+module Cluster = Cloudtx_core.Cluster
+
+let policy_refresh (s : Scenario.t) ~period ~propagation ~count =
+  if period <= 0. then invalid_arg "Churn.policy_refresh: period <= 0";
+  let transport = Cluster.transport s.Scenario.cluster in
+  let lo, hi = propagation in
+  for i = 1 to count do
+    Transport.at transport ~delay:(period *. float_of_int i) (fun () ->
+        ignore
+          (Cluster.publish s.Scenario.cluster ~domain:s.Scenario.domain
+             ~delay:(if hi > lo then `Uniform (lo, hi) else `Now)
+             (Scenario.clerk_rules_refreshed ())))
+  done
+
+let tighten_at (s : Scenario.t) ~time ~propagation =
+  let transport = Cluster.transport s.Scenario.cluster in
+  let lo, hi = propagation in
+  Transport.at transport ~delay:time (fun () ->
+      ignore
+        (Cluster.publish s.Scenario.cluster ~domain:s.Scenario.domain
+           ~delay:(if hi > lo then `Uniform (lo, hi) else `Now)
+           Scenario.senior_write_rules))
+
+let revoke_at (s : Scenario.t) ~subject ~time =
+  let transport = Cluster.transport s.Scenario.cluster in
+  let creds = s.Scenario.credentials_of subject in
+  Transport.at transport ~delay:time (fun () ->
+      List.iter
+        (fun (c : Credential.t) ->
+          Ca.revoke s.Scenario.ca c.Credential.id ~at:(Transport.now transport))
+        creds)

@@ -1,0 +1,21 @@
+(** Background processes that perturb policy and credential state — the
+    "update interval" axis of the paper's Section VI-B trade-off. *)
+
+(** [policy_refresh scenario ~period ~propagation ~count] schedules
+    [count] version bumps of the scenario's domain, one every [period]
+    simulated ms starting at [period], each propagating to every server
+    with an independent uniform delay drawn from [propagation].  The rule
+    set stays semantically identical, so the churn stresses consistency
+    machinery without changing authorizations. *)
+val policy_refresh :
+  Scenario.t -> period:float -> propagation:float * float -> count:int -> unit
+
+(** [tighten_at scenario ~time ~propagation] publishes the senior-only
+    write policy at the given instant; clerks' write proofs under the new
+    version evaluate FALSE. *)
+val tighten_at : Scenario.t -> time:float -> propagation:float * float -> unit
+
+(** [revoke_at scenario ~subject ~time] revokes the subject's role
+    credential at the CA, effective [time] (scheduled on the engine so
+    the CA's online status flips exactly then). *)
+val revoke_at : Scenario.t -> subject:string -> time:float -> unit

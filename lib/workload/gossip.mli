@@ -1,0 +1,25 @@
+(** Anti-entropy gossip between policy replicas.
+
+    The paper assumes policies replicate "very much like data" under
+    eventual consistency.  {!Cluster.publish} models a master that pushes
+    updates with per-server delays; this module adds the complementary
+    mechanism real systems use to converge: servers periodically push
+    their policies to a random peer, so an update that reached one server
+    eventually reaches all, even servers the master's push missed.
+
+    Gossip messages are [Propagate_policy] and thus excluded from the
+    protocol-message metric, like the master's own pushes. *)
+
+(** [start scenario ~period ~rounds] schedules [rounds] gossip exchanges,
+    one every [period] simulated ms starting at [period]: each exchange
+    picks a random ordered server pair (a, b) and pushes every policy
+    currently held by [a] to [b] (monotone install at [b]). *)
+val start : Scenario.t -> period:float -> rounds:int -> unit
+
+(** [converged scenario ~domain] — do all servers hold the same version of
+    the domain's policy? *)
+val converged : Scenario.t -> domain:string -> bool
+
+(** [versions scenario ~domain] — the per-server versions, for
+    inspection. *)
+val versions : Scenario.t -> domain:string -> (string * int option) list

@@ -1,0 +1,14 @@
+(** Zipf-distributed index sampler, for skewed data access.
+
+    Cloud workloads concentrate traffic on hot items; the contention
+    experiments draw keys from Zipf(s) over [0, n). *)
+
+type t
+
+(** [create ~n ~s] prepares the cumulative distribution over [n] ranks
+    with exponent [s >= 0] ([s = 0] is uniform). Raises [Invalid_argument]
+    for [n <= 0] or negative [s]. *)
+val create : n:int -> s:float -> t
+
+(** [sample t rng] draws a rank in [0, n). *)
+val sample : t -> Cloudtx_sim.Splitmix.t -> int

@@ -1,0 +1,300 @@
+(* Tests for the JSON wire format: parser, round trips for rules /
+   policies / credentials, signature preservation across the wire, and
+   rejection of malformed or non-well-formed inputs. *)
+
+module Json = Cloudtx_policy.Json
+module Codec = Cloudtx_policy.Codec
+module Rule = Cloudtx_policy.Rule
+module Policy = Cloudtx_policy.Policy
+module Credential = Cloudtx_policy.Credential
+module Ca = Cloudtx_policy.Ca
+
+let ok = function Ok v -> v | Error m -> Alcotest.failf "unexpected error: %s" m
+
+(* Replace the first occurrence of [needle] in [haystack]. *)
+let replace haystack needle replacement =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec find i =
+    if i + nn > nh then None
+    else if String.sub haystack i nn = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "substring %S not found" needle
+  | Some i ->
+    String.sub haystack 0 i ^ replacement
+    ^ String.sub haystack (i + nn) (nh - i - nn)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_values () =
+  let cases =
+    [
+      "null";
+      "true";
+      "false";
+      "0";
+      "-42";
+      "[]";
+      "{}";
+      {|"hello"|};
+      {|{"a":[1,2,3],"b":{"c":"d"}}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = ok (Json.parse s) in
+      Alcotest.(check string) ("roundtrip " ^ s) s (Json.to_string v))
+    cases
+
+let test_json_string_escapes () =
+  let v = Json.String "line\nquote\"back\\slash\ttab" in
+  let rendered = Json.to_string v in
+  Alcotest.(check bool) "same value back" true (ok (Json.parse rendered) = v)
+
+let test_json_whitespace_tolerated () =
+  let v = ok (Json.parse "  { \"a\" : [ 1 , 2 ] }  ") in
+  Alcotest.(check bool) "parsed" true
+    (v = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ])
+
+let test_json_malformed () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\"}";
+      "\"unterminated";
+      "tru";
+      "1 2";
+      "{\"a\":1,}";
+    ]
+
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~name:"json string roundtrip" ~count:300
+    QCheck.(string_gen Gen.(char_range ' ' '~'))
+    (fun s ->
+      match Json.parse (Json.to_string (Json.String s)) with
+      | Ok (Json.String s') -> String.equal s s'
+      | Ok _ | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Rules and policies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sample_rule =
+  Rule.rule
+    (Rule.atom "permit" [ Rule.v "s"; Rule.v "a"; Rule.v "i" ])
+    [
+      Rule.atom "role" [ Rule.v "s"; Rule.c "clerk" ];
+      Rule.atom "req_action" [ Rule.v "a" ];
+      Rule.atom "req_item" [ Rule.v "i" ];
+    ]
+
+let test_rule_roundtrip () =
+  let back = ok (Codec.rule_of_json (Codec.rule_to_json sample_rule)) in
+  Alcotest.(check string) "same rule" (Rule.to_string sample_rule)
+    (Rule.to_string back)
+
+let test_rule_range_restriction_on_decode () =
+  (* A wire rule with an unbound head variable must be rejected. *)
+  let bad =
+    Json.Obj
+      [
+        ( "head",
+          Json.Obj
+            [
+              ("pred", Json.String "p");
+              ("args", Json.List [ Json.Obj [ ("v", Json.String "x") ] ]);
+            ] );
+        ("body", Json.List []);
+      ]
+  in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Codec.rule_of_json bad))
+
+let test_negated_rule_roundtrip () =
+  let r =
+    Rule.rule_literals
+      (Rule.atom "permit" [ Rule.v "s" ])
+      [
+        Rule.Pos (Rule.atom "role" [ Rule.v "s"; Rule.c "clerk" ]);
+        Rule.Neg (Rule.atom "suspended" [ Rule.v "s" ]);
+      ]
+  in
+  let back = ok (Codec.rule_of_json (Codec.rule_to_json r)) in
+  Alcotest.(check string) "same rule" (Rule.to_string r) (Rule.to_string back);
+  Alcotest.(check int) "negation survives" 1
+    (List.length (Rule.negative_body back))
+
+let test_policy_roundtrip () =
+  let p =
+    Policy.amend
+      (Policy.create ~accept_capabilities:false ~domain:"retail" [ sample_rule ])
+      [ sample_rule ]
+  in
+  let back = ok (Codec.policy_of_string (Codec.policy_to_string p)) in
+  Alcotest.(check string) "domain" p.Policy.domain back.Policy.domain;
+  Alcotest.(check int) "version survives" p.Policy.version back.Policy.version;
+  Alcotest.(check bool) "flag" p.Policy.accept_capabilities
+    back.Policy.accept_capabilities;
+  Alcotest.(check int) "rules" (List.length p.Policy.rules)
+    (List.length back.Policy.rules);
+  (* The decoded policy behaves identically. *)
+  let facts =
+    [
+      Rule.fact "role" [ "bob"; "clerk" ];
+      Rule.fact "req_action" [ "read" ];
+      Rule.fact "req_item" [ "x" ];
+    ]
+  in
+  Alcotest.(check bool) "same decision" true
+    (Policy.permits p ~facts ~subject:"bob" ~action:"read" ~item:"x"
+    = Policy.permits back ~facts ~subject:"bob" ~action:"read" ~item:"x")
+
+let test_policy_bad_version () =
+  let p = Policy.create ~domain:"d" [] in
+  let wire = Codec.policy_to_string p in
+  let broken = replace wire "\"version\":1" "\"version\":0" in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Codec.policy_of_string broken))
+
+(* ------------------------------------------------------------------ *)
+(* Credentials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_credential () =
+  let ca = Ca.create "corp" in
+  Ca.issue ca ~id:"bob-role" ~subject:"bob"
+    ~facts:[ Rule.fact "role" [ "bob"; "clerk" ] ]
+    ~now:3.5 ~ttl:100.
+
+let test_credential_roundtrip () =
+  let c = sample_credential () in
+  let back = ok (Codec.credential_of_string (Codec.credential_to_string c)) in
+  Alcotest.(check string) "id" c.Credential.id back.Credential.id;
+  Alcotest.(check string) "subject" c.Credential.subject back.Credential.subject;
+  Alcotest.(check (float 0.)) "issued_at" c.Credential.issued_at
+    back.Credential.issued_at;
+  Alcotest.(check bool) "signature still valid" true
+    (Credential.signature_valid back);
+  Alcotest.(check bool) "syntactic check passes" true
+    (Credential.syntactically_valid back ~at:10. = Ok ())
+
+let test_credential_access_kind_roundtrip () =
+  let c =
+    Credential.make ~id:"cap" ~subject:"bob" ~issuer:"server-1"
+      ~kind:(Credential.Access { action = "read"; item = "db1" })
+      ~facts:[] ~issued_at:0. ~expires_at:9.
+  in
+  let back = ok (Codec.credential_of_string (Codec.credential_to_string c)) in
+  Alcotest.(check bool) "kind survives" true
+    (match back.Credential.kind with
+    | Credential.Access { action = "read"; item = "db1" } -> true
+    | _ -> false);
+  Alcotest.(check bool) "signature valid" true (Credential.signature_valid back)
+
+let test_tampering_in_transit_detected () =
+  (* Change the subject on the wire: the transported signature no longer
+     matches, exactly like forgery at rest. *)
+  let c = sample_credential () in
+  let wire = Codec.credential_to_string c in
+  let tampered = replace wire "\"subject\":\"bob\"" "\"subject\":\"eve\"" in
+  let back = ok (Codec.credential_of_string tampered) in
+  Alcotest.(check bool) "tampering detected" false (Credential.signature_valid back);
+  Alcotest.(check bool) "syntactic check fails" true
+    (Credential.syntactically_valid back ~at:10.
+    = Error Credential.Bad_signature)
+
+let test_credential_malformed () =
+  List.iter
+    (fun s ->
+      match Codec.credential_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{}";
+      {|{"id":"x"}|};
+      (* Non-ground fact. *)
+      {|{"id":"x","subject":"s","issuer":"i","kind":{"kind":"attribute"},"facts":[{"pred":"p","args":[{"v":"z"}]}],"issued_at":0,"expires_at":1,"signature":"s"}|};
+      (* Empty validity interval. *)
+      {|{"id":"x","subject":"s","issuer":"i","kind":{"kind":"attribute"},"facts":[],"issued_at":5,"expires_at":5,"signature":"s"}|};
+    ]
+
+let prop_rule_roundtrip =
+  (* Random well-formed rules survive the wire. *)
+  let gen_rule =
+    QCheck.Gen.(
+      let var = map (fun i -> Rule.v (Printf.sprintf "x%d" i)) (0 -- 3) in
+      let const = map (fun i -> Rule.c (Printf.sprintf "k%d" i)) (0 -- 5) in
+      let body_atom =
+        map2
+          (fun p args -> Rule.atom (Printf.sprintf "p%d" p) args)
+          (0 -- 3)
+          (list_size (1 -- 3) (oneof [ var; const ]))
+      in
+      let* body = list_size (1 -- 4) body_atom in
+      (* Head uses only variables that occur in the body (range
+         restriction) plus constants. *)
+      let body_vars =
+        List.concat_map
+          (fun (a : Rule.atom) ->
+            List.filter_map
+              (function Rule.Var x -> Some (Rule.v x) | Rule.Const _ -> None)
+              a.Rule.args)
+          body
+      in
+      let head_term =
+        if body_vars = [] then const else oneof [ oneofl body_vars; const ]
+      in
+      let* head_args = list_size (1 -- 3) head_term in
+      return (Rule.rule (Rule.atom "head" head_args) body))
+  in
+  QCheck.Test.make ~name:"rule wire roundtrip" ~count:200 (QCheck.make gen_rule)
+    (fun r ->
+      match Codec.rule_of_json (Codec.rule_to_json r) with
+      | Ok back -> String.equal (Rule.to_string r) (Rule.to_string back)
+      | Error _ -> false)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "codec"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          Alcotest.test_case "whitespace" `Quick test_json_whitespace_tolerated;
+          Alcotest.test_case "malformed" `Quick test_json_malformed;
+          qc prop_json_string_roundtrip;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rule_roundtrip;
+          Alcotest.test_case "range restriction on decode" `Quick
+            test_rule_range_restriction_on_decode;
+          Alcotest.test_case "negated rule roundtrip" `Quick
+            test_negated_rule_roundtrip;
+          qc prop_rule_roundtrip;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_policy_roundtrip;
+          Alcotest.test_case "bad version rejected" `Quick test_policy_bad_version;
+        ] );
+      ( "credentials",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_credential_roundtrip;
+          Alcotest.test_case "access kind" `Quick
+            test_credential_access_kind_roundtrip;
+          Alcotest.test_case "tampering detected" `Quick
+            test_tampering_in_transit_detected;
+          Alcotest.test_case "malformed rejected" `Quick test_credential_malformed;
+        ] );
+    ]

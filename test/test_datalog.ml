@@ -1,0 +1,183 @@
+(* Tests for the Datalog concrete syntax: parsing, printing, round trips,
+   error positions, and agreement with the inference engine. *)
+
+module Datalog = Cloudtx_policy.Datalog
+module Rule = Cloudtx_policy.Rule
+module Infer = Cloudtx_policy.Infer
+module Policy = Cloudtx_policy.Policy
+
+let ok = function Ok v -> v | Error m -> Alcotest.failf "parse error: %s" m
+
+let test_parse_fact () =
+  let r = ok (Datalog.parse_rule "role(bob, clerk).") in
+  Alcotest.(check string) "printed" "role(bob, clerk)." (Rule.to_string r);
+  Alcotest.(check bool) "ground" true (Rule.is_ground r.Rule.head);
+  Alcotest.(check int) "no body" 0 (List.length r.Rule.body)
+
+let test_parse_rule_with_vars () =
+  let r = ok (Datalog.parse_rule "permit(S, A, I) :- role(S, clerk), req_action(A), req_item(I).") in
+  Alcotest.(check string) "printed"
+    "permit(S, A, I) :- role(S, clerk), req_action(A), req_item(I)."
+    (Rule.to_string r);
+  Alcotest.(check int) "three body literals" 3 (List.length r.Rule.body)
+
+let test_parse_negation () =
+  let r = ok (Datalog.parse_rule "permit(S) :- role(S, clerk), not suspended(S).") in
+  Alcotest.(check int) "one negated" 1 (List.length (Rule.negative_body r));
+  Alcotest.(check string) "printed"
+    "permit(S) :- role(S, clerk), not suspended(S)." (Rule.to_string r)
+
+let test_parse_program_with_comments () =
+  let program =
+    {|% the CompuMe policy
+permit(S, read, I) :- role(S, sales_rep),   % who they are
+                      assigned(S, R), region_of(I, R),
+                      located(S, R).
+region_of(customer-recs, east).  % data placement
+region_of("Inventory Records", east).
+|}
+  in
+  let rules = ok (Datalog.parse_program program) in
+  Alcotest.(check int) "three rules" 3 (List.length rules);
+  (* The quoted constant survives verbatim. *)
+  let last = List.nth rules 2 in
+  Alcotest.(check bool) "quoted constant" true
+    (match last.Rule.head.Rule.args with
+    | [ Rule.Const "Inventory Records"; Rule.Const "east" ] -> true
+    | _ -> false)
+
+let test_errors_with_positions () =
+  List.iter
+    (fun (src, fragment) ->
+      match Datalog.parse_rule src with
+      | Ok _ -> Alcotest.failf "accepted %S" src
+      | Error m ->
+        let contains s sub =
+          let n = String.length s and k = String.length sub in
+          let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S (got %S)" src fragment m)
+          true (contains m fragment))
+    [
+      ("permit(S)", "unexpected end of input");
+      ("permit(S) : role(S).", "expected ':-'");
+      ("permit(S) :- role(S),.", "expected a");
+      ("permit(", "unexpected end of input");
+      ("permit(X) :- role(Y).", "head variable x not bound");
+      ("permit() :- role(S).", "expected a term");
+      ("\"unclosed", "unterminated quoted constant");
+    ]
+
+let test_unstratified_text_rejected_at_saturation () =
+  let rules = ok (Datalog.parse_program "p(X) :- base(X), not p(X).\nbase(a).") in
+  Alcotest.check_raises "negation cycle"
+    (Invalid_argument "Infer: rules are not stratifiable (negation cycle)")
+    (fun () -> ignore (Infer.saturate ~rules ~facts:[]))
+
+let test_parsed_policy_behaves () =
+  (* Parse a full policy and evaluate it through the normal machinery. *)
+  let rules =
+    ok
+      (Datalog.parse_program
+         {|permit(S, A, I) :- role(S, clerk), req_action(A), req_item(I),
+                             not suspended(S).
+           suspended(amy).|})
+  in
+  let policy = Policy.create ~domain:"d" rules in
+  let facts subject =
+    [
+      Rule.fact "role" [ subject; "clerk" ];
+      Rule.fact "req_action" [ "read" ];
+      Rule.fact "req_item" [ "x" ];
+    ]
+  in
+  Alcotest.(check bool) "bob in" true
+    (Policy.permits policy ~facts:(facts "bob") ~subject:"bob" ~action:"read" ~item:"x");
+  Alcotest.(check bool) "amy out" false
+    (Policy.permits policy ~facts:(facts "amy") ~subject:"amy" ~action:"read" ~item:"x")
+
+let prop_print_parse_roundtrip =
+  (* Random well-formed rules print to text that parses back to the same
+     rule (structurally, via printing again). *)
+  let gen_rule =
+    QCheck.Gen.(
+      let var = map (fun i -> Rule.v (Printf.sprintf "x%d" i)) (0 -- 3) in
+      let const =
+        oneof
+          [
+            map (fun i -> Rule.c (Printf.sprintf "k%d" i)) (0 -- 5);
+            (* Constants that require quoting. *)
+            oneofl [ Rule.c "Upper Case"; Rule.c ""; Rule.c "not"; Rule.c "a,b" ];
+          ]
+      in
+      let atom name_bound =
+        map2
+          (fun p args -> Rule.atom (Printf.sprintf "p%d" p) args)
+          (0 -- name_bound)
+          (list_size (1 -- 3) (oneof [ var; const ]))
+      in
+      let* body_pos = list_size (1 -- 3) (atom 3) in
+      let body_vars =
+        List.concat_map
+          (fun (a : Rule.atom) ->
+            List.filter_map
+              (function Rule.Var x -> Some x | Rule.Const _ -> None)
+              a.Rule.args)
+          body_pos
+      in
+      let bound_var =
+        if body_vars = [] then const else map Rule.v (oneofl body_vars)
+      in
+      let* neg = list_size (0 -- 2) (atom 3) in
+      (* Make negated atoms safe: replace their variables with bound ones. *)
+      let* neg =
+        flatten_l
+          (List.map
+             (fun (a : Rule.atom) ->
+               let* args =
+                 flatten_l
+                   (List.map
+                      (function
+                        | Rule.Var _ -> bound_var
+                        | Rule.Const _ as t -> return t)
+                      a.Rule.args)
+               in
+               return { a with Rule.args })
+             neg)
+      in
+      let* head_args = list_size (1 -- 3) (oneof [ bound_var; const ]) in
+      return
+        (Rule.rule_literals (Rule.atom "head" head_args)
+           (List.map (fun a -> Rule.Pos a) body_pos
+           @ List.map (fun a -> Rule.Neg a) neg)))
+  in
+  QCheck.Test.make ~name:"datalog print/parse roundtrip" ~count:300
+    (QCheck.make gen_rule)
+    (fun r ->
+      let text = Rule.to_string r in
+      match Datalog.parse_rule text with
+      | Ok back -> String.equal text (Rule.to_string back)
+      | Error _ -> false)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "datalog"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "fact" `Quick test_parse_fact;
+          Alcotest.test_case "rule with vars" `Quick test_parse_rule_with_vars;
+          Alcotest.test_case "negation" `Quick test_parse_negation;
+          Alcotest.test_case "program with comments" `Quick
+            test_parse_program_with_comments;
+          Alcotest.test_case "errors carry positions" `Quick
+            test_errors_with_positions;
+          Alcotest.test_case "unstratified rejected" `Quick
+            test_unstratified_text_rejected_at_saturation;
+          Alcotest.test_case "parsed policy behaves" `Quick
+            test_parsed_policy_behaves;
+          qc prop_print_parse_roundtrip;
+        ] );
+    ]

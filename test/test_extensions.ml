@@ -1,0 +1,532 @@
+(* Tests for the production-hardening extensions built on top of the
+   paper's core: the classic read-only 2PC optimization, the Once master
+   mode, round-bound enforcement under continuous churn, multi-domain
+   deployments, priced OCSP status checks, and gossip anti-entropy. *)
+
+module Cluster = Cloudtx_core.Cluster
+module Manager = Cloudtx_core.Manager
+module Scheme = Cloudtx_core.Scheme
+module Consistency = Cloudtx_core.Consistency
+module Outcome = Cloudtx_core.Outcome
+module Participant = Cloudtx_core.Participant
+module Message = Cloudtx_core.Message
+module Counter = Cloudtx_metrics.Counter
+module Transport = Cloudtx_sim.Transport
+module Latency = Cloudtx_sim.Latency
+module Scenario = Cloudtx_workload.Scenario
+module Gossip = Cloudtx_workload.Gossip
+module Table1 = Cloudtx_workload.Table1
+module Server = Cloudtx_store.Server
+module Wal = Cloudtx_store.Wal
+module Value = Cloudtx_store.Value
+module Rule = Cloudtx_policy.Rule
+module Ca = Cloudtx_policy.Ca
+module Query = Cloudtx_txn.Query
+module Transaction = Cloudtx_txn.Transaction
+
+(* ------------------------------------------------------------------ *)
+(* Read-only optimization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_only_txn scenario =
+  (* Three read-only queries on distinct servers. *)
+  Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:3
+    ~writes:false ()
+
+let run_ro ~optimize =
+  let scenario = Scenario.retail ~n_servers:3 ~n_subjects:1 () in
+  let cluster = scenario.Scenario.cluster in
+  let counters = Transport.counters (Cluster.transport cluster) in
+  let before = Table1.protocol_messages counters in
+  let outcome =
+    Manager.run_one cluster
+      (Manager.config ~read_only_optimization:optimize Scheme.Incremental_punctual
+         Consistency.View)
+      (read_only_txn scenario)
+  in
+  let after = Table1.protocol_messages counters in
+  let forced =
+    List.fold_left
+      (fun acc name ->
+        acc
+        + Wal.force_count
+            (Server.wal (Participant.server (Cluster.participant cluster name))))
+      0 scenario.Scenario.servers
+  in
+  (outcome, after - before, forced)
+
+let test_read_only_skips_decision_phase () =
+  let o_base, msgs_base, forced_base = run_ro ~optimize:false in
+  let o_opt, msgs_opt, forced_opt = run_ro ~optimize:true in
+  Alcotest.(check bool) "both commit" true
+    (o_base.Outcome.committed && o_opt.Outcome.committed);
+  (* Without the optimization: 2n vote + 2n decision = 12 messages and
+     2n+... forced writes; with it: vote phase only. *)
+  Alcotest.(check int) "baseline messages 4n" 12 msgs_base;
+  Alcotest.(check int) "optimized messages 2n" 6 msgs_opt;
+  Alcotest.(check int) "baseline forces 2n" 6 forced_base;
+  Alcotest.(check int) "optimized forces none" 0 forced_opt
+
+let test_read_only_mixed_writers () =
+  (* One writer among readers: only the writer sees the decision phase;
+     its write still lands. *)
+  let scenario = Scenario.retail ~n_servers:3 ~n_subjects:1 () in
+  let cluster = scenario.Scenario.cluster in
+  let qs =
+    [
+      Query.make ~id:"t1-q1" ~server:"server-1" ~reads:[ "s1-k1" ] ();
+      Query.make ~id:"t1-q2" ~server:"server-2"
+        ~writes:[ ("s2-k1", Value.Set (Value.Int 5)) ]
+        ();
+      Query.make ~id:"t1-q3" ~server:"server-3" ~reads:[ "s3-k1" ] ();
+    ]
+  in
+  let txn =
+    Transaction.make ~id:"t1" ~subject:"clerk-1"
+      ~credentials:(scenario.Scenario.credentials_of "clerk-1")
+      qs
+  in
+  let counters = Transport.counters (Cluster.transport cluster) in
+  let outcome =
+    Manager.run_one cluster
+      (Manager.config ~read_only_optimization:true Scheme.Incremental_punctual
+         Consistency.View)
+      txn
+  in
+  Alcotest.(check bool) "committed" true outcome.Outcome.committed;
+  (* Exactly one decision and one ack. *)
+  Alcotest.(check int) "one decision" 1
+    (Counter.get counters "msg:decision-commit");
+  Alcotest.(check int) "one ack" 1 (Counter.get counters "msg:decision-ack");
+  let server2 = Participant.server (Cluster.participant cluster "server-2") in
+  Alcotest.(check bool) "write applied" true
+    (Server.get server2 "s2-k1" = Some (Value.Int 5));
+  (* Read-only servers released their locks. *)
+  List.iter
+    (fun name ->
+      let server = Participant.server (Cluster.participant cluster name) in
+      Alcotest.(check (list string))
+        (name ^ " locks free")
+        []
+        (Cloudtx_store.Lock_manager.held_by (Server.locks server) ~txn:"t1"))
+    [ "server-1"; "server-3" ]
+
+let test_read_only_not_offered_when_validating () =
+  (* Deferred validates at commit, so the fast path must not trigger even
+     with the flag on: update rounds may need the participant. *)
+  let scenario = Scenario.retail ~n_servers:3 ~n_subjects:1 () in
+  let cluster = scenario.Scenario.cluster in
+  let outcome =
+    Manager.run_one cluster
+      (Manager.config ~read_only_optimization:true Scheme.Deferred
+         Consistency.View)
+      (read_only_txn scenario)
+  in
+  let counters = Transport.counters (Cluster.transport cluster) in
+  Alcotest.(check bool) "committed" true outcome.Outcome.committed;
+  Alcotest.(check int) "full decision phase" 3
+    (Counter.get counters "msg:decision-commit")
+
+(* ------------------------------------------------------------------ *)
+(* Master modes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_master_once_fetches_once () =
+  (* Global worst case (master ahead of everyone), Deferred: Every_round
+     fetches r=2 times, Once fetches once. *)
+  let run mode =
+    let scenario = Scenario.retail ~n_servers:4 ~n_subjects:1 () in
+    let cluster = scenario.Scenario.cluster in
+    ignore
+      (Cluster.publish cluster ~domain:"retail"
+         ~delay:(`Fixed (fun _ -> infinity))
+         (Scenario.clerk_rules_refreshed ()));
+    let txn =
+      Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:4 ()
+    in
+    let counters = Transport.counters (Cluster.transport cluster) in
+    let outcome =
+      Manager.run_one cluster
+        (Manager.config ~master_mode:mode Scheme.Deferred Consistency.Global)
+        txn
+    in
+    (outcome, Counter.get counters "msg:master-version-reply")
+  in
+  let o_every, fetches_every = run `Every_round in
+  let o_once, fetches_once = run `Once in
+  Alcotest.(check bool) "both commit" true
+    (o_every.Outcome.committed && o_once.Outcome.committed);
+  Alcotest.(check int) "every-round fetches r" 2 fetches_every;
+  Alcotest.(check int) "once fetches 1" 1 fetches_once;
+  Alcotest.(check int) "same rounds" o_every.Outcome.commit_rounds
+    o_once.Outcome.commit_rounds
+
+(* ------------------------------------------------------------------ *)
+(* Round bound                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rounds_exhausted_under_churn () =
+  (* v2 reaches server-1 before the transaction; v3 is published while
+     round 2 is in flight: round 2's replies disagree again, and with
+     max_rounds = 2 the TM gives up. Constant 1ms latency makes the
+     window deterministic: round-1 replies leave at 7ms, round-2
+     re-evaluations happen at 9ms, so a v3 landing at ~8.2ms splits
+     them. *)
+  let scenario =
+    Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:3 ~n_subjects:1 ()
+  in
+  let cluster = scenario.Scenario.cluster in
+  ignore
+    (Cluster.publish cluster ~domain:"retail"
+       ~delay:(`Fixed (fun s -> if String.equal s "server-1" then 0. else infinity))
+       (Scenario.clerk_rules_refreshed ()));
+  Transport.at (Cluster.transport cluster) ~delay:7.2 (fun () ->
+      ignore
+        (Cluster.publish cluster ~domain:"retail" ~delay:`Now
+           (Scenario.clerk_rules_refreshed ())));
+  let txn =
+    Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries:3 ()
+  in
+  let outcome =
+    Manager.run_one cluster
+      (Manager.config ~max_rounds:2 Scheme.Deferred Consistency.View)
+      txn
+  in
+  Alcotest.(check bool) "aborted" false outcome.Outcome.committed;
+  Alcotest.(check string) "rounds exhausted" "rounds-exhausted"
+    (Outcome.reason_name outcome.Outcome.reason)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain deployments                                            *)
+(* ------------------------------------------------------------------ *)
+
+let req_atoms =
+  [ Rule.atom "req_action" [ Rule.v "a" ]; Rule.atom "req_item" [ Rule.v "i" ] ]
+
+let clerkish domain_role =
+  [
+    Rule.rule
+      (Rule.atom "permit" [ Rule.v "s"; Rule.v "a"; Rule.v "i" ])
+      (Rule.atom "role" [ Rule.v "s"; Rule.c domain_role ] :: req_atoms);
+  ]
+
+let multi_domain_cluster () =
+  let ca = Ca.create "ca" in
+  let cluster =
+    Cluster.create ~seed:3L ~cas:[ ca ]
+      ~domain_of:(fun item ->
+        if String.length item >= 2 && item.[0] = 'h' then "hr" else "sales")
+      ~servers:
+        [
+          Cluster.server_spec ~name:"hr-db" ~items:[ ("h-rec", Value.Int 1) ] ();
+          Cluster.server_spec ~name:"sales-db" ~items:[ ("s-rec", Value.Int 1) ] ();
+        ]
+      ~domains:[ ("hr", clerkish "hr_clerk"); ("sales", clerkish "sales_clerk") ]
+      ()
+  in
+  let cred =
+    Ca.issue ca ~id:"amy-roles" ~subject:"amy"
+      ~facts:
+        [ Rule.fact "role" [ "amy"; "hr_clerk" ]; Rule.fact "role" [ "amy"; "sales_clerk" ] ]
+      ~now:0. ~ttl:1e9
+  in
+  let txn =
+    Transaction.make ~id:"t1" ~subject:"amy" ~credentials:[ cred ]
+      [
+        Query.make ~id:"t1-q1" ~server:"hr-db" ~reads:[ "h-rec" ] ();
+        Query.make ~id:"t1-q2" ~server:"sales-db" ~reads:[ "s-rec" ] ();
+      ]
+  in
+  (cluster, txn)
+
+let test_multi_domain_view_independent_versions () =
+  (* The hr policy moves to v2 (hr-db has it); sales stays at v1.
+     phi-consistency is per-domain, so the view commits in one round. *)
+  let cluster, txn = multi_domain_cluster () in
+  ignore
+    (Cluster.publish cluster ~domain:"hr" ~delay:`Now (clerkish "hr_clerk"));
+  ignore (Cluster.run cluster);
+  let outcome =
+    Manager.run_one cluster (Manager.config Scheme.Deferred Consistency.View) txn
+  in
+  Alcotest.(check bool) "committed" true outcome.Outcome.committed;
+  Alcotest.(check int) "single round" 1 outcome.Outcome.commit_rounds
+
+let test_multi_domain_targeted_updates () =
+  (* The hr master moves ahead of hr-db; sales is current. The update
+     round touches only the hr participant. *)
+  let cluster, txn = multi_domain_cluster () in
+  ignore
+    (Cluster.publish cluster ~domain:"hr"
+       ~delay:(`Fixed (fun _ -> infinity))
+       (clerkish "hr_clerk"));
+  let counters = Transport.counters (Cluster.transport cluster) in
+  let outcome =
+    Manager.run_one cluster (Manager.config Scheme.Deferred Consistency.Global) txn
+  in
+  Alcotest.(check bool) "committed" true outcome.Outcome.committed;
+  Alcotest.(check int) "two rounds" 2 outcome.Outcome.commit_rounds;
+  Alcotest.(check int) "exactly one update" 1
+    (Counter.get counters "msg:policy-update");
+  (* Proofs: 2 initial + 1 hr re-evaluation. *)
+  Alcotest.(check int) "proofs" 3 outcome.Outcome.proofs_evaluated
+
+let test_cross_domain_query_rejected () =
+  (* One query touching items of two domains is a configuration error. *)
+  let cluster, _ = multi_domain_cluster () in
+  let ca = Option.get (Cluster.ca cluster "ca") in
+  let cred = Ca.issue ca ~id:"x" ~subject:"amy" ~facts:[] ~now:0. ~ttl:1e9 in
+  let txn =
+    Transaction.make ~id:"t2" ~subject:"amy" ~credentials:[ cred ]
+      [ Query.make ~id:"t2-q1" ~server:"hr-db" ~reads:[ "h-rec"; "s-rec" ] () ]
+  in
+  (* The failure surfaces when the participant evaluates the query's
+     domain; with punctual proofs that is at execution. *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Manager.run_one cluster
+            (Manager.config Scheme.Punctual Consistency.View)
+            txn);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* OCSP pricing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ocsp_latency_slows_validation () =
+  let run ocsp =
+    let scenario =
+      Scenario.retail ?ocsp_latency:ocsp ~latency:(Latency.Constant 1.)
+        ~n_servers:3 ~n_subjects:1 ()
+    in
+    Manager.run_one scenario.Scenario.cluster
+      (Manager.config Scheme.Punctual Consistency.View)
+      (Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1"
+         ~queries:3 ())
+  in
+  let free = run None in
+  let priced = run (Some (Latency.Constant 2.)) in
+  Alcotest.(check bool) "both commit" true
+    (free.Outcome.committed && priced.Outcome.committed);
+  (* One 2ms status check per proof. The three execution-time checks are
+     serial (queries run one after another: +6ms); the three commit-time
+     re-evaluations run in parallel across servers (+2ms on the critical
+     path): 8ms extra in total. *)
+  let delta = Outcome.latency priced -. Outcome.latency free in
+  Alcotest.(check bool)
+    (Printf.sprintf "priced run ~8ms slower (got %.1f)" delta)
+    true
+    (delta > 7.9 && delta < 8.1)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_readers_never_die () =
+  (* A write storm on few keys, with concurrent pure readers: without
+     snapshot reads some readers fall to wait-die; with them every reader
+     commits. *)
+  let module Generator = Cloudtx_workload.Generator in
+  let module Experiment = Cloudtx_workload.Experiment in
+  let module Splitmix = Cloudtx_sim.Splitmix in
+  let run ~snapshot =
+    let scenario =
+      Scenario.retail ~seed:5L ~n_servers:2 ~items_per_server:2 ~n_subjects:4 ()
+    in
+    let rng = Splitmix.create 11L in
+    let writer_params =
+      { Generator.default with queries_per_txn = 2; write_ratio = 1.; zipf_s = 3. }
+    in
+    let reader_params = { writer_params with write_ratio = 0. } in
+    let arrivals = List.init 60 (fun i -> float_of_int i *. 0.3) in
+    let stats =
+      Experiment.run_open scenario
+        (Manager.config ~snapshot_reads:snapshot Scheme.Incremental_punctual
+           Consistency.View)
+        ~arrivals
+        (fun ~i ->
+          let params = if i mod 2 = 0 then writer_params else reader_params in
+          Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+    in
+    (* Count aborted pure readers. *)
+    List.length
+      (List.filter
+         (fun (o : Outcome.t) ->
+           (not o.Outcome.committed)
+           && (let n = o.Outcome.txn in
+               match int_of_string_opt (String.sub n 1 (String.length n - 1)) with
+               | Some i -> i mod 2 = 1
+               | None -> false))
+         stats.Experiment.outcomes)
+  in
+  let without = run ~snapshot:false in
+  let with_snap = run ~snapshot:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "readers die without snapshots (%d)" without)
+    true (without > 0);
+  Alcotest.(check int) "no reader dies with snapshots" 0 with_snap
+
+let test_snapshot_repeatable_read () =
+  (* With Constant 1ms links, a 2-query read txn started at t=0 reads q2
+     at ~3ms. A write committing in between must stay invisible. *)
+  let scenario =
+    Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:1
+      ~items_per_server:4 ~n_subjects:2 ()
+  in
+  let cluster = scenario.Scenario.cluster in
+  let reader =
+    Transaction.make ~id:"r" ~subject:"clerk-1"
+      ~credentials:(scenario.Scenario.credentials_of "clerk-1")
+      [
+        Query.make ~id:"r-q1" ~server:"server-1" ~reads:[ "s1-k1" ] ();
+        Query.make ~id:"r-q2" ~server:"server-1" ~reads:[ "s1-k1" ] ();
+      ]
+  in
+  let writer =
+    Transaction.make ~id:"w" ~subject:"clerk-2"
+      ~credentials:(scenario.Scenario.credentials_of "clerk-2")
+      [
+        Query.make ~id:"w-q1" ~server:"server-1"
+          ~writes:[ ("s1-k1", Value.Set (Value.Int 5)) ]
+          ();
+      ]
+  in
+  let results = Hashtbl.create 2 in
+  let config =
+    Manager.config ~snapshot_reads:true Scheme.Incremental_punctual
+      Consistency.View
+  in
+  Manager.submit cluster config reader ~on_done:(fun o ->
+      Hashtbl.replace results "r" o);
+  Transport.at (Cluster.transport cluster) ~delay:1.5 (fun () ->
+      Manager.submit cluster config writer ~on_done:(fun o ->
+          Hashtbl.replace results "w" o));
+  ignore (Cluster.run cluster);
+  Alcotest.(check bool) "both committed" true
+    ((Hashtbl.find results "r").Outcome.committed
+    && (Hashtbl.find results "w").Outcome.committed);
+  (* The write landed... *)
+  let server = Participant.server (Cluster.participant cluster "server-1") in
+  Alcotest.(check bool) "write visible now" true
+    (Server.get server "s1-k1" = Some (Value.Int 5));
+  (* ...but the reader saw the snapshot value both times (not asserted on
+     reply contents here; the key property is that neither txn blocked or
+     died — the reader held no locks the writer had to wait on). *)
+  Alcotest.(check string) "reader committed cleanly" "committed"
+    (Outcome.reason_name (Hashtbl.find results "r").Outcome.reason)
+
+(* ------------------------------------------------------------------ *)
+(* Proof-satisfiability cache                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_proof_cache_preserves_outcomes () =
+  (* Identical workload with and without the cache, under policy churn
+     (version bumps must miss the cache) and a tightening (the new
+     version's denials must not be masked by stale entries): outcomes,
+     proof counts and rounds are identical. *)
+  let module Churn = Cloudtx_workload.Churn in
+  let module Generator = Cloudtx_workload.Generator in
+  let module Experiment = Cloudtx_workload.Experiment in
+  let module Splitmix = Cloudtx_sim.Splitmix in
+  let run ~cache =
+    let scenario =
+      Scenario.retail ~seed:99L ~proof_cache:cache ~n_servers:4 ~n_subjects:3 ()
+    in
+    Churn.policy_refresh scenario ~period:20. ~propagation:(0., 15.) ~count:10;
+    Churn.tighten_at scenario ~time:120. ~propagation:(0., 5.);
+    let rng = Splitmix.create 123L in
+    let params = { Generator.default with queries_per_txn = 3; write_ratio = 0.5 } in
+    let stats =
+      Experiment.run_sequential scenario
+        (Manager.config Scheme.Continuous Consistency.View)
+        ~n:20
+        (fun ~i -> Generator.generate scenario rng params ~id:(Printf.sprintf "t%d" i))
+    in
+    List.map
+      (fun (o : Outcome.t) ->
+        (o.Outcome.txn, o.Outcome.committed, Outcome.reason_name o.Outcome.reason,
+         o.Outcome.proofs_evaluated, o.Outcome.commit_rounds))
+      stats.Experiment.outcomes
+  in
+  let plain = run ~cache:false in
+  let cached = run ~cache:true in
+  List.iter2
+    (fun (t1, c1, r1, p1, k1) (t2, c2, r2, p2, k2) ->
+      Alcotest.(check string) "same txn" t1 t2;
+      Alcotest.(check bool) (t1 ^ " same decision") c1 c2;
+      Alcotest.(check string) (t1 ^ " same reason") r1 r2;
+      Alcotest.(check int) (t1 ^ " same proof count") p1 p2;
+      Alcotest.(check int) (t1 ^ " same rounds") k1 k2)
+    plain cached
+
+(* ------------------------------------------------------------------ *)
+(* Gossip anti-entropy                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gossip_converges () =
+  let scenario = Scenario.retail ~n_servers:5 ~n_subjects:1 () in
+  let cluster = scenario.Scenario.cluster in
+  (* The master's push reaches only server-3. *)
+  ignore
+    (Cluster.publish cluster ~domain:"retail"
+       ~delay:(`Fixed (fun s -> if String.equal s "server-3" then 0. else infinity))
+       (Scenario.clerk_rules_refreshed ()));
+  ignore (Cluster.run cluster);
+  Alcotest.(check bool) "diverged before gossip" false
+    (Gossip.converged scenario ~domain:"retail");
+  Gossip.start scenario ~period:5. ~rounds:200;
+  ignore (Cluster.run cluster);
+  Alcotest.(check bool) "converged after gossip" true
+    (Gossip.converged scenario ~domain:"retail");
+  List.iter
+    (fun (_, v) -> Alcotest.(check (option int)) "at v2" (Some 2) v)
+    (Gossip.versions scenario ~domain:"retail")
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "read_only",
+        [
+          Alcotest.test_case "skips decision phase" `Quick
+            test_read_only_skips_decision_phase;
+          Alcotest.test_case "mixed writers" `Quick test_read_only_mixed_writers;
+          Alcotest.test_case "not offered when validating" `Quick
+            test_read_only_not_offered_when_validating;
+        ] );
+      ( "master_mode",
+        [ Alcotest.test_case "once fetches once" `Quick test_master_once_fetches_once ] );
+      ( "rounds",
+        [
+          Alcotest.test_case "exhausted under churn" `Quick
+            test_rounds_exhausted_under_churn;
+        ] );
+      ( "multi_domain",
+        [
+          Alcotest.test_case "independent versions under view" `Quick
+            test_multi_domain_view_independent_versions;
+          Alcotest.test_case "targeted updates under global" `Quick
+            test_multi_domain_targeted_updates;
+          Alcotest.test_case "cross-domain query rejected" `Quick
+            test_cross_domain_query_rejected;
+        ] );
+      ( "ocsp",
+        [
+          Alcotest.test_case "status checks priced" `Quick
+            test_ocsp_latency_slows_validation;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "readers never die" `Quick
+            test_snapshot_readers_never_die;
+          Alcotest.test_case "repeatable read" `Quick test_snapshot_repeatable_read;
+        ] );
+      ( "proof_cache",
+        [
+          Alcotest.test_case "outcomes preserved" `Quick
+            test_proof_cache_preserves_outcomes;
+        ] );
+      ( "gossip",
+        [ Alcotest.test_case "converges" `Quick test_gossip_converges ] );
+    ]

@@ -1,0 +1,233 @@
+(* Unit and property tests for cloudtx_metrics. *)
+
+module Counter = Cloudtx_metrics.Counter
+module Running_stats = Cloudtx_metrics.Running_stats
+module Sample_set = Cloudtx_metrics.Sample_set
+module Table = Cloudtx_metrics.Table
+module Timeline = Cloudtx_metrics.Timeline
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* ------------------------------------------------------------------ *)
+(* Counter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basic () =
+  let c = Counter.create () in
+  Alcotest.(check int) "missing is zero" 0 (Counter.get c "x");
+  Counter.incr c "x";
+  Counter.incr c "x";
+  Counter.add c "y" 5;
+  Alcotest.(check int) "x" 2 (Counter.get c "x");
+  Alcotest.(check int) "y" 5 (Counter.get c "y");
+  Counter.add c "y" (-2);
+  Alcotest.(check int) "y after negative add" 3 (Counter.get c "y")
+
+let test_counter_reset_and_list () =
+  let c = Counter.create () in
+  Counter.add c "b" 2;
+  Counter.add c "a" 1;
+  Alcotest.(check (list (pair string int)))
+    "sorted list"
+    [ ("a", 1); ("b", 2) ]
+    (Counter.to_list c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.get c "b")
+
+let test_counter_merge () =
+  let a = Counter.create () and b = Counter.create () in
+  Counter.add a "x" 1;
+  Counter.add a "y" 2;
+  Counter.add b "y" 3;
+  Counter.add b "z" 4;
+  let m = Counter.merge a b in
+  Alcotest.(check (list (pair string int)))
+    "merged" [ ("x", 1); ("y", 5); ("z", 4) ] (Counter.to_list m)
+
+(* ------------------------------------------------------------------ *)
+(* Running_stats                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Running_stats.create () in
+  Alcotest.(check int) "count" 0 (Running_stats.count s);
+  Alcotest.(check (float 0.)) "mean" 0. (Running_stats.mean s);
+  Alcotest.(check (float 0.)) "variance" 0. (Running_stats.variance s)
+
+let test_stats_known_values () =
+  let s = Running_stats.create () in
+  List.iter (Running_stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Running_stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Running_stats.mean s);
+  (* Sample variance of that classic data set is 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Running_stats.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2. (Running_stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9. (Running_stats.max s);
+  Alcotest.(check (float 1e-9)) "total" 40. (Running_stats.total s)
+
+let test_stats_merge_matches_concat () =
+  let xs = [ 1.; 2.; 3. ] and ys = [ 10.; 20. ] in
+  let a = Running_stats.create () and b = Running_stats.create () in
+  List.iter (Running_stats.add a) xs;
+  List.iter (Running_stats.add b) ys;
+  let m = Running_stats.merge a b in
+  let all = Running_stats.create () in
+  List.iter (Running_stats.add all) (xs @ ys);
+  Alcotest.(check int) "count" (Running_stats.count all) (Running_stats.count m);
+  Alcotest.(check bool) "mean" true
+    (close (Running_stats.mean all) (Running_stats.mean m));
+  Alcotest.(check bool) "variance" true
+    (close (Running_stats.variance all) (Running_stats.variance m))
+
+let prop_stats_mean =
+  QCheck.Test.make ~name:"running mean equals list mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Running_stats.create () in
+      List.iter (Running_stats.add s) xs;
+      let expected =
+        List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+      in
+      Float.abs (Running_stats.mean s -. expected) <= 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Sample_set                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentiles () =
+  let s = Sample_set.create () in
+  List.iter (Sample_set.add s) [ 15.; 20.; 35.; 40.; 50. ];
+  Alcotest.(check (float 1e-9)) "median" 35. (Sample_set.median s);
+  Alcotest.(check (float 1e-9)) "p0" 15. (Sample_set.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Sample_set.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "p25" 20. (Sample_set.percentile s 25.)
+
+let test_percentile_errors () =
+  let s = Sample_set.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Sample_set.percentile: empty")
+    (fun () -> ignore (Sample_set.percentile s 50.));
+  Sample_set.add s 1.;
+  Alcotest.check_raises "range"
+    (Invalid_argument "Sample_set.percentile: out of range") (fun () ->
+      ignore (Sample_set.percentile s 101.))
+
+let test_sample_growth () =
+  let s = Sample_set.create () in
+  for i = 1 to 1000 do
+    Sample_set.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Sample_set.count s);
+  Alcotest.(check (float 1e-9)) "mean" 500.5 (Sample_set.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Sample_set.min s);
+  Alcotest.(check (float 1e-9)) "max" 1000. (Sample_set.max s)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_range (-100.) 100.))
+        (float_range 0. 100.))
+    (fun (xs, p) ->
+      let s = Sample_set.create () in
+      List.iter (Sample_set.add s) xs;
+      let v = Sample_set.percentile s p in
+      v >= Sample_set.min s -. 1e-9 && v <= Sample_set.max s +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Table and Timeline                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_render () =
+  let out =
+    Table.render ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: _ ->
+    Alcotest.(check bool) "header contains name" true
+      (String.length header >= String.length "name  value")
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "mentions alpha" true (contains_sub out "alpha");
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.render: row 0 has 1 cells, expected 2") (fun () ->
+      ignore (Table.render ~headers:[ "a"; "b" ] [ [ "x" ] ]))
+
+let test_table_alignment () =
+  let out =
+    Table.render
+      ~aligns:[ Table.Left; Table.Right ]
+      ~headers:[ "k"; "v" ]
+      [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  (* Right-aligned "1" under "22" means the 1 is preceded by a space. *)
+  Alcotest.(check bool) "right alignment pads" true
+    (String.length out > 0)
+
+let test_timeline_markers () =
+  let rows =
+    [
+      { Timeline.label = "s1"; events = [ (0., `Query); (10., `Proof) ] };
+      { Timeline.label = "s2"; events = [ (5., `Sync) ] };
+    ]
+  in
+  let out = Timeline.render ~width:21 ~t_start:0. ~t_end:10. rows in
+  Alcotest.(check bool) "has query marker" true (String.contains out '*');
+  Alcotest.(check bool) "has proof marker" true (String.contains out '!');
+  Alcotest.(check bool) "has sync marker" true (String.contains out '|')
+
+let test_timeline_proof_wins () =
+  (* A query and proof in the same cell render as the proof. *)
+  let rows = [ { Timeline.label = "s"; events = [ (5., `Query); (5., `Proof) ] } ] in
+  let out = Timeline.render ~width:10 ~t_start:0. ~t_end:10. rows in
+  Alcotest.(check bool) "proof visible" true (String.contains out '!');
+  Alcotest.(check bool) "query hidden" false (String.contains out '*')
+
+let test_timeline_errors () =
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Timeline.render: empty interval") (fun () ->
+      ignore (Timeline.render ~width:20 ~t_start:1. ~t_end:1. []));
+  Alcotest.check_raises "narrow"
+    (Invalid_argument "Timeline.render: width too small") (fun () ->
+      ignore (Timeline.render ~width:5 ~t_start:0. ~t_end:1. []))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "metrics"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "reset and list" `Quick test_counter_reset_and_list;
+          Alcotest.test_case "merge" `Quick test_counter_merge;
+        ] );
+      ( "running_stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "merge matches concat" `Quick
+            test_stats_merge_matches_concat;
+          qc prop_stats_mean;
+        ] );
+      ( "sample_set",
+        [
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "errors" `Quick test_percentile_errors;
+          Alcotest.test_case "growth" `Quick test_sample_growth;
+          qc prop_percentile_bounded;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "timeline markers" `Quick test_timeline_markers;
+          Alcotest.test_case "timeline proof precedence" `Quick
+            test_timeline_proof_wins;
+          Alcotest.test_case "timeline errors" `Quick test_timeline_errors;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Model checking the commit-protocol state machines.
+
+   The {!Cloudtx_txn.Tpc} machines are pure: given the votes, the only
+   runtime nondeterminism is the order in which in-flight messages are
+   delivered.  This suite explores that nondeterminism directly —
+   exhaustively for small configurations, by seeded random sampling for
+   larger ones — and checks the textbook correctness properties on every
+   reachable terminal state:
+
+   - AC1 (agreement): no two participants settle different decisions;
+   - AC2 (validity): commit iff every participant voted YES;
+   - AC3 (stability): the coordinator decides exactly once;
+   - termination: with every message delivered, every machine finishes.
+
+   {!Cloudtx_core.Validation} is checked for reply-order invariance: the
+   resolution of a voting round must not depend on arrival order. *)
+
+module Tpc = Cloudtx_txn.Tpc
+module Validation = Cloudtx_core.Validation
+module Policy = Cloudtx_policy.Policy
+module Splitmix = Cloudtx_sim.Splitmix
+
+(* ------------------------------------------------------------------ *)
+(* 2PC delivery-order exploration                                      *)
+(* ------------------------------------------------------------------ *)
+
+type flight = { src : [ `Coordinator | `Node of string ]; dst : [ `Coordinator | `Node of string ]; msg : Tpc.msg }
+
+type verdict = {
+  outcome : bool;
+  applied : (string * bool) list;
+  decided_times : int;
+}
+
+(* Run one complete instance delivering in-flight messages according to
+   [choose], which picks an index into the current flight list. *)
+let run_once variant ~votes ~choose =
+  let names = List.map fst votes in
+  let coord = Tpc.coordinator ~txn:"t" ~participants:names variant in
+  let parts = List.map (fun n -> (n, Tpc.participant ~txn:"t" ~name:n variant)) names in
+  let flight = ref [] in
+  let applied = ref [] in
+  let decided_times = ref 0 in
+  let outcome = ref None in
+  let absorb src actions =
+    List.iter
+      (fun a ->
+        match a with
+        | Tpc.Send { dst; msg } -> flight := !flight @ [ { src; dst; msg } ]
+        | Tpc.Apply commit -> (
+          match src with
+          | `Node n -> applied := (n, commit) :: !applied
+          | `Coordinator -> assert false)
+        | Tpc.Outcome o ->
+          incr decided_times;
+          outcome := Some o
+        | Tpc.Force_log _ | Tpc.Write_log _ | Tpc.Done -> ())
+      actions
+  in
+  absorb `Coordinator (Tpc.coord_start coord);
+  let steps = ref 0 in
+  while !flight <> [] do
+    incr steps;
+    if !steps > 1000 then failwith "model check: no termination";
+    let i = choose (List.length !flight) in
+    let m = List.nth !flight i in
+    flight := List.filteri (fun j _ -> j <> i) !flight;
+    match (m.dst, m.msg) with
+    | `Node n, Tpc.Vote_request ->
+      let p = List.assoc n parts in
+      absorb (`Node n) (Tpc.part_on_vote_request p ~vote:(List.assoc n votes))
+    | `Node n, Tpc.Decision commit ->
+      let p = List.assoc n parts in
+      absorb (`Node n) (Tpc.part_on_decision p ~commit)
+    | `Coordinator, Tpc.Vote yes ->
+      let from = match m.src with `Node n -> n | `Coordinator -> assert false in
+      absorb `Coordinator (Tpc.coord_on_vote coord ~from ~yes)
+    | `Coordinator, Tpc.Ack ->
+      let from = match m.src with `Node n -> n | `Coordinator -> assert false in
+      absorb `Coordinator (Tpc.coord_on_ack coord ~from)
+    | `Node _, (Tpc.Vote _ | Tpc.Ack) | `Coordinator, (Tpc.Vote_request | Tpc.Decision _)
+      ->
+      assert false
+  done;
+  match !outcome with
+  | None -> failwith "model check: protocol ended without a decision"
+  | Some o -> { outcome = o; applied = !applied; decided_times = !decided_times }
+
+let check_verdict ~votes v =
+  let expect = List.for_all snd votes in
+  (* AC2: validity. *)
+  Alcotest.(check bool) "outcome = all-yes" expect v.outcome;
+  (* AC3: single decision. *)
+  Alcotest.(check int) "decided once" 1 v.decided_times;
+  (* AC1: agreement — every applied decision equals the outcome, except a
+     NO voter's unilateral abort under a global abort (same decision). *)
+  List.iter
+    (fun (n, commit) ->
+      if commit <> v.outcome then
+        Alcotest.failf "participant %s applied %b against outcome %b" n commit
+          v.outcome)
+    v.applied;
+  (* Termination / completeness: every participant settled exactly once. *)
+  let settled = List.sort_uniq compare (List.map fst v.applied) in
+  Alcotest.(check int) "every participant settled once"
+    (List.length votes) (List.length v.applied);
+  Alcotest.(check int) "no double-settle" (List.length votes)
+    (List.length settled)
+
+(* Enumerate every delivery order exhaustively with a DFS over choice
+   prefixes, replaying from scratch per path. Returns explored count. *)
+let explore_exhaustive variant ~votes =
+  let explored = ref 0 in
+  (* A path is a list of chosen indices; extend until a run completes
+     without consulting beyond the path. *)
+  let rec go path =
+    (* Replay with the fixed prefix; the first out-of-prefix choice point
+       records the branching factor so we can enumerate siblings. *)
+    let step = ref 0 in
+    let pending_branch = ref None in
+    let choose n =
+      let k = !step in
+      incr step;
+      if k < List.length path then List.nth path k
+      else begin
+        if !pending_branch = None then pending_branch := Some (k, n);
+        0
+      end
+    in
+    let v = run_once variant ~votes ~choose in
+    match !pending_branch with
+    | None ->
+      incr explored;
+      check_verdict ~votes v
+    | Some (_, n) ->
+      (* The run made it to the end taking 0 at the first free choice;
+         its verdict is checked when the path fully covers the run. *)
+      for i = 0 to n - 1 do
+        go (path @ [ i ])
+      done
+  in
+  go [];
+  !explored
+
+let test_exhaustive_n2_commit () =
+  let votes = [ ("p1", true); ("p2", true) ] in
+  List.iter
+    (fun variant ->
+      let n = explore_exhaustive variant ~votes in
+      (* Presumed-commit skips commit acks, so its state space is the
+         smallest; basic/PrA interleave vote and ack deliveries. *)
+      let minimum = match variant with Tpc.Presumed_commit -> 4 | _ -> 24 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s explored >= %d orders (got %d)"
+           (Tpc.variant_name variant) minimum n)
+        true (n >= minimum))
+    [ Tpc.Basic; Tpc.Presumed_abort; Tpc.Presumed_commit ]
+
+let test_exhaustive_n2_abort () =
+  List.iter
+    (fun votes ->
+      List.iter
+        (fun variant -> ignore (explore_exhaustive variant ~votes))
+        [ Tpc.Basic; Tpc.Presumed_abort; Tpc.Presumed_commit ])
+    [
+      [ ("p1", false); ("p2", true) ];
+      [ ("p1", true); ("p2", false) ];
+      [ ("p1", false); ("p2", false) ];
+    ]
+
+let test_sampled_n4 () =
+  (* n = 4 with mixed votes: 20k seeded random delivery orders per
+     variant. *)
+  let votes = [ ("p1", true); ("p2", false); ("p3", true); ("p4", true) ] in
+  List.iter
+    (fun variant ->
+      let rng = Splitmix.create 1234L in
+      for _ = 1 to 20_000 do
+        let v = run_once variant ~votes ~choose:(fun n -> Splitmix.int rng n) in
+        check_verdict ~votes v
+      done)
+    [ Tpc.Basic; Tpc.Presumed_abort; Tpc.Presumed_commit ]
+
+let test_sampled_n5_all_yes () =
+  let votes = List.init 5 (fun i -> (Printf.sprintf "p%d" i, true)) in
+  let rng = Splitmix.create 77L in
+  for _ = 1 to 10_000 do
+    let v = run_once Tpc.Basic ~votes ~choose:(fun n -> Splitmix.int rng n) in
+    check_verdict ~votes v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Validation order-invariance                                         *)
+(* ------------------------------------------------------------------ *)
+
+let policy_at ~domain ~version =
+  let rec bump p = if p.Policy.version >= version then p else bump (Policy.amend p []) in
+  bump (Policy.create ~domain [])
+
+let resolution_label = function
+  | Validation.Abort_integrity -> "abort-integrity"
+  | Validation.Abort_proof -> "abort-proof"
+  | Validation.All_consistent_true -> "ok"
+  | Validation.Need_update updates ->
+    "update:" ^ String.concat "," (List.sort compare (List.map fst updates))
+
+let prop_validation_order_invariant =
+  (* Random reply sets delivered in random orders resolve identically. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 5 in
+      let* replies =
+        flatten_l
+          (List.init n (fun i ->
+               let* integrity = bool in
+               let* version = 1 -- 3 in
+               return (Printf.sprintf "p%d" i, integrity, version)))
+      in
+      let* seed = map Int64.of_int big_nat in
+      return (replies, seed))
+  in
+  QCheck.Test.make ~name:"validation resolution is order-invariant" ~count:300
+    (QCheck.make gen)
+    (fun (replies, seed) ->
+      let participants = List.map (fun (p, _, _) -> p) replies in
+      let resolve order =
+        let v = Validation.create ~participants ~with_integrity:true () in
+        List.iter
+          (fun (p, integrity, version) ->
+            ignore
+              (Validation.add_reply v ~from:p ~integrity ~proofs:[]
+                 ~policies:[ policy_at ~domain:"d" ~version ]))
+          order;
+        resolution_label (Validation.resolve v)
+      in
+      let base = resolve replies in
+      (* A few seeded shuffles. *)
+      let rng = Splitmix.create seed in
+      let shuffle l =
+        let arr = Array.of_list l in
+        for i = Array.length arr - 1 downto 1 do
+          let j = Splitmix.int rng (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done;
+        Array.to_list arr
+      in
+      List.for_all
+        (fun _ -> String.equal base (resolve (shuffle replies)))
+        [ 1; 2; 3 ])
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "model_check"
+    [
+      ( "tpc",
+        [
+          Alcotest.test_case "exhaustive n=2 commit" `Quick test_exhaustive_n2_commit;
+          Alcotest.test_case "exhaustive n=2 aborts" `Quick test_exhaustive_n2_abort;
+          Alcotest.test_case "sampled n=4 mixed votes" `Slow test_sampled_n4;
+          Alcotest.test_case "sampled n=5 all yes" `Slow test_sampled_n5_all_yes;
+        ] );
+      ("validation", [ qc prop_validation_order_invariant ]);
+    ]

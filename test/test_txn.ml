@@ -1,0 +1,191 @@
+(* Unit tests for queries, transactions, and the 2PC state machines. *)
+
+module Query = Cloudtx_txn.Query
+module Transaction = Cloudtx_txn.Transaction
+module Tpc = Cloudtx_txn.Tpc
+module Tpc_run = Cloudtx_txn.Tpc_run
+module Value = Cloudtx_store.Value
+
+(* ------------------------------------------------------------------ *)
+(* Query / Transaction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_query_items_and_action () =
+  let q =
+    Query.make ~id:"q" ~server:"s" ~reads:[ "b"; "a" ]
+      ~writes:[ ("a", Value.Set (Value.Int 1)); ("c", Value.Set (Value.Int 2)) ]
+      ()
+  in
+  Alcotest.(check (list string)) "items deduped sorted" [ "a"; "b"; "c" ]
+    (Query.items q);
+  Alcotest.(check string) "write action" "write" (Query.action q);
+  let r = Query.make ~id:"q" ~server:"s" ~reads:[ "a" ] () in
+  Alcotest.(check string) "read action" "read" (Query.action r)
+
+let test_transaction_participants () =
+  let q server i = Query.make ~id:(Printf.sprintf "q%d" i) ~server ~reads:[ "k" ] () in
+  let t =
+    Transaction.make ~id:"t" ~subject:"bob"
+      [ q "s1" 1; q "s2" 2; q "s1" 3; q "s3" 4 ]
+  in
+  Alcotest.(check (list string)) "participants in first-use order"
+    [ "s1"; "s2"; "s3" ]
+    (Transaction.participants t);
+  Alcotest.(check int) "u" 4 (Transaction.query_count t)
+
+(* ------------------------------------------------------------------ *)
+(* 2PC runs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let names n = List.init n (fun i -> Printf.sprintf "p%d" (i + 1))
+let all_yes n = List.map (fun p -> (p, true)) (names n)
+
+let test_basic_commit () =
+  let stats = Tpc_run.run Tpc.Basic ~votes:(all_yes 3) in
+  Alcotest.(check bool) "commits" true stats.Tpc_run.outcome;
+  (* Voting 2n + decision 2n = 4n messages. *)
+  Alcotest.(check int) "messages" 12 stats.Tpc_run.messages;
+  (* Log complexity 2n+1: each participant forces prepared+commit, the
+     coordinator forces the decision. *)
+  Alcotest.(check int) "participant forces" 6 stats.Tpc_run.participants_forced;
+  Alcotest.(check int) "coordinator forces" 1 stats.Tpc_run.coordinator_forced;
+  Alcotest.(check (list string)) "coordinator log" [ "commit"; "end" ]
+    stats.Tpc_run.coordinator_log;
+  List.iter
+    (fun (_, applied) -> Alcotest.(check bool) "applied commit" true applied)
+    stats.Tpc_run.applied
+
+let test_basic_abort_on_no () =
+  let votes = [ ("p1", true); ("p2", false); ("p3", true) ] in
+  let stats = Tpc_run.run Tpc.Basic ~votes in
+  Alcotest.(check bool) "aborts" false stats.Tpc_run.outcome;
+  List.iter
+    (fun (_, applied) -> Alcotest.(check bool) "applied abort" false applied)
+    stats.Tpc_run.applied;
+  (* The NO voter applies abort exactly once (unilateral). *)
+  Alcotest.(check int) "every participant settles" 3
+    (List.length stats.Tpc_run.applied)
+
+let test_presumed_abort_cheap_abort () =
+  let votes = [ ("p1", false); ("p2", true) ] in
+  let basic = Tpc_run.run Tpc.Basic ~votes in
+  let pra = Tpc_run.run Tpc.Presumed_abort ~votes in
+  Alcotest.(check bool) "both abort" true
+    ((not basic.Tpc_run.outcome) && not pra.Tpc_run.outcome);
+  (* PrA: no forced abort records, no abort acks. *)
+  Alcotest.(check bool) "PrA fewer forces" true
+    (pra.Tpc_run.participants_forced < basic.Tpc_run.participants_forced
+    || pra.Tpc_run.coordinator_forced < basic.Tpc_run.coordinator_forced);
+  Alcotest.(check bool) "PrA fewer messages" true
+    (pra.Tpc_run.messages < basic.Tpc_run.messages)
+
+let test_presumed_abort_commit_same_as_basic () =
+  let basic = Tpc_run.run Tpc.Basic ~votes:(all_yes 3) in
+  let pra = Tpc_run.run Tpc.Presumed_abort ~votes:(all_yes 3) in
+  Alcotest.(check int) "same messages" basic.Tpc_run.messages pra.Tpc_run.messages;
+  Alcotest.(check int) "same participant forces" basic.Tpc_run.participants_forced
+    pra.Tpc_run.participants_forced
+
+let test_presumed_commit_cheap_commit () =
+  let basic = Tpc_run.run Tpc.Basic ~votes:(all_yes 3) in
+  let prc = Tpc_run.run Tpc.Presumed_commit ~votes:(all_yes 3) in
+  Alcotest.(check bool) "both commit" true
+    (basic.Tpc_run.outcome && prc.Tpc_run.outcome);
+  (* PrC: participants do not force the commit decision and do not ack. *)
+  Alcotest.(check int) "participants force only prepare" 3
+    prc.Tpc_run.participants_forced;
+  Alcotest.(check bool) "fewer messages (no commit acks)" true
+    (prc.Tpc_run.messages < basic.Tpc_run.messages);
+  (* Coordinator forces the collecting record up front. *)
+  Alcotest.(check bool) "collecting logged first" true
+    (match prc.Tpc_run.coordinator_log with
+    | "collecting" :: _ -> true
+    | _ -> false)
+
+let test_presumed_commit_abort_is_heavy () =
+  let votes = [ ("p1", false); ("p2", true) ] in
+  let prc = Tpc_run.run Tpc.Presumed_commit ~votes in
+  Alcotest.(check bool) "aborts" false prc.Tpc_run.outcome;
+  (* Abort under PrC needs the forced abort at the coordinator plus the
+     collecting record. *)
+  Alcotest.(check int) "coordinator forces" 2 prc.Tpc_run.coordinator_forced
+
+let test_log_complexity_formula () =
+  (* 2n+1 forced writes for basic 2PC commits, for several n. *)
+  List.iter
+    (fun n ->
+      let stats = Tpc_run.run Tpc.Basic ~votes:(all_yes n) in
+      Alcotest.(check int)
+        (Printf.sprintf "2n+1 for n=%d" n)
+        ((2 * n) + 1)
+        (stats.Tpc_run.participants_forced + stats.Tpc_run.coordinator_forced))
+    [ 1; 2; 5; 9 ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level guards                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_coordinator_guards () =
+  Alcotest.check_raises "no participants"
+    (Invalid_argument "Tpc.coordinator: no participants") (fun () ->
+      ignore (Tpc.coordinator ~txn:"t" ~participants:[] Tpc.Basic));
+  let c = Tpc.coordinator ~txn:"t" ~participants:[ "p1"; "p2" ] Tpc.Basic in
+  ignore (Tpc.coord_start c);
+  ignore (Tpc.coord_on_vote c ~from:"p1" ~yes:true);
+  Alcotest.check_raises "duplicate vote"
+    (Invalid_argument "Tpc.coord_on_vote: duplicate vote from p1") (fun () ->
+      ignore (Tpc.coord_on_vote c ~from:"p1" ~yes:true));
+  Alcotest.check_raises "unknown participant"
+    (Invalid_argument "Tpc.coord_on_vote: unknown participant zz") (fun () ->
+      ignore (Tpc.coord_on_vote c ~from:"zz" ~yes:true));
+  Alcotest.(check bool) "undecided" true (Tpc.coord_outcome c = None);
+  ignore (Tpc.coord_on_vote c ~from:"p2" ~yes:true);
+  Alcotest.(check bool) "decided" true (Tpc.coord_outcome c = Some true)
+
+let test_participant_guards () =
+  let p = Tpc.participant ~txn:"t" ~name:"p1" Tpc.Basic in
+  Alcotest.check_raises "decision before vote"
+    (Invalid_argument "Tpc.part_on_decision: decision before vote") (fun () ->
+      ignore (Tpc.part_on_decision p ~commit:true));
+  ignore (Tpc.part_on_vote_request p ~vote:false);
+  (* Duplicate decisions after unilateral abort are tolerated. *)
+  Alcotest.(check int) "late decision is no-op" 0
+    (List.length (Tpc.part_on_decision p ~commit:false))
+
+let test_presumptions () =
+  Alcotest.(check bool) "basic presumes abort" true
+    (Tpc.coord_presumption Tpc.Basic = `Abort);
+  Alcotest.(check bool) "PrC presumes commit-if-collecting" true
+    (Tpc.coord_presumption Tpc.Presumed_commit = `Commit_if_collecting);
+  Alcotest.(check bool) "prepared participant asks" true
+    (Tpc.part_presumption Tpc.Basic ~prepared:true = `Ask);
+  Alcotest.(check bool) "unprepared participant aborts" true
+    (Tpc.part_presumption Tpc.Presumed_commit ~prepared:false = `Abort)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "query items/action" `Quick test_query_items_and_action;
+          Alcotest.test_case "participants" `Quick test_transaction_participants;
+        ] );
+      ( "tpc",
+        [
+          Alcotest.test_case "basic commit" `Quick test_basic_commit;
+          Alcotest.test_case "abort on NO" `Quick test_basic_abort_on_no;
+          Alcotest.test_case "PrA cheap abort" `Quick test_presumed_abort_cheap_abort;
+          Alcotest.test_case "PrA commit = basic" `Quick
+            test_presumed_abort_commit_same_as_basic;
+          Alcotest.test_case "PrC cheap commit" `Quick test_presumed_commit_cheap_commit;
+          Alcotest.test_case "PrC heavy abort" `Quick
+            test_presumed_commit_abort_is_heavy;
+          Alcotest.test_case "log complexity 2n+1" `Quick test_log_complexity_formula;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "coordinator" `Quick test_coordinator_guards;
+          Alcotest.test_case "participant" `Quick test_participant_guards;
+          Alcotest.test_case "presumptions" `Quick test_presumptions;
+        ] );
+    ]
