@@ -43,6 +43,9 @@ module Tpc = Cloudtx_txn.Tpc
 module Tpc_run = Cloudtx_txn.Tpc_run
 module Server = Cloudtx_store.Server
 module Wal = Cloudtx_store.Wal
+module Tracer = Cloudtx_obs.Tracer
+module Registry = Cloudtx_obs.Registry
+module Obs_export = Cloudtx_obs.Export
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
@@ -962,6 +965,60 @@ let section_micro () =
   print_endline "  deployment."
 
 (* ------------------------------------------------------------------ *)
+(* Observability: spans + metrics over a full workload                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Optional artifact destinations, set by --trace-out / --metrics-json. *)
+let obs_trace_out = ref None
+let obs_metrics_json = ref None
+
+let section_obs () =
+  print_newline ();
+  print_endline "== Observability -- transaction-lifecycle spans and metrics ==";
+  let scenario = Scenario.retail ~seed:19L ~n_servers:4 ~n_subjects:4 () in
+  let transport = Cluster.transport scenario.Scenario.cluster in
+  let tracer = Transport.enable_tracing transport in
+  let registry = Transport.enable_metrics transport in
+  Churn.policy_refresh scenario ~period:50. ~propagation:(0.5, 8.) ~count:5000;
+  let rng = Splitmix.create 21L in
+  let params = { Generator.default with queries_per_txn = 4; write_ratio = 0.3 } in
+  List.iter
+    (fun (scheme, level) ->
+      ignore
+        (Experiment.run_sequential scenario (Manager.config scheme level) ~n:15
+           (fun ~i ->
+             Generator.generate scenario rng params
+               ~id:(Printf.sprintf "%s-%d" (Scheme.name scheme) i))))
+    [
+      (Scheme.Deferred, Consistency.View);
+      (Scheme.Continuous, Consistency.Global);
+    ];
+  Printf.printf "  %d spans recorded across both runs\n" (Tracer.length tracer);
+  (* Span census: how often each lifecycle phase appears. *)
+  let census = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Tracer.span) ->
+      if not s.Tracer.instant then
+        Hashtbl.replace census s.Tracer.name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt census s.Tracer.name)))
+    (Tracer.spans tracer);
+  Table.print ~title:"span census (non-instant spans)"
+    ~headers:[ "span"; "count" ]
+    (Hashtbl.fold (fun k v acc -> [ k; string_of_int v ] :: acc) census []
+    |> List.sort compare);
+  Table.print ~title:"metrics registry snapshot"
+    ~headers:[ "metric"; "labels"; "count"; "value/mean"; "p50"; "p95"; "p99" ]
+    (Registry.to_rows registry);
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "  wrote %s\n" path
+  in
+  Option.iter (fun p -> write p (Obs_export.to_chrome tracer)) !obs_trace_out;
+  Option.iter (fun p -> write p (Registry.to_json registry)) !obs_metrics_json
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -974,14 +1031,30 @@ let sections =
     ("logging", section_logging);
     ("throughput", section_throughput);
     ("ablations", section_ablations);
+    ("obs", section_obs);
     ("micro", section_micro);
   ]
 
 let () =
+  (* Pull --trace-out FILE / --metrics-json FILE out of argv; what remains
+     is the list of section names. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--trace-out" :: path :: rest ->
+      obs_trace_out := Some path;
+      parse acc rest
+    | "--metrics-json" :: path :: rest ->
+      obs_metrics_json := Some path;
+      parse acc rest
+    | ("--trace-out" | "--metrics-json") :: [] ->
+      Printf.eprintf "--trace-out/--metrics-json need a FILE argument\n";
+      exit 2
+    | arg :: rest -> parse (arg :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] -> args
-    | _ -> List.map fst sections
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | args -> args
   in
   List.iter
     (fun name ->

@@ -26,6 +26,10 @@ module Table1 = Cloudtx_workload.Table1
 module Table = Cloudtx_metrics.Table
 module Sample_set = Cloudtx_metrics.Sample_set
 module Running_stats = Cloudtx_metrics.Running_stats
+module Complexity = Cloudtx_core.Complexity
+module Tracer = Cloudtx_obs.Tracer
+module Registry = Cloudtx_obs.Registry
+module Export = Cloudtx_obs.Export
 
 open Cmdliner
 
@@ -90,16 +94,141 @@ let write_ratio_arg =
 let zipf_arg =
   Arg.(value & opt float 0. & info [ "zipf" ] ~doc:"Key-access skew exponent (0 = uniform).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:"Write the span trace as Chrome trace_event JSON to $(docv) (open in chrome://tracing or Perfetto)."
+        ~docv:"FILE")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ]
+        ~doc:"Write the metrics registry snapshot as JSON to $(docv)." ~docv:"FILE")
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Format.eprintf "cloudtx: cannot write %s: %s@."
+        (if path = "" then "<empty path>" else path)
+        msg;
+      exit 1
+  in
+  output_string oc contents;
+  if String.length contents > 0 && contents.[String.length contents - 1] <> '\n'
+  then output_char oc '\n';
+  close_out oc
+
+(* Turn the sinks on before any transaction runs; spans and metrics only
+   exist for what happens afterwards. *)
+let enable_obs cluster ~trace_out ~metrics_json =
+  let transport = Cluster.transport cluster in
+  if trace_out <> None then ignore (Transport.enable_tracing transport);
+  if metrics_json <> None then ignore (Transport.enable_metrics transport)
+
+let dump_obs cluster ~trace_out ~metrics_json =
+  let transport = Cluster.transport cluster in
+  Option.iter
+    (fun path ->
+      write_file path (Export.to_chrome (Transport.tracer transport));
+      Format.printf "wrote %s (%d spans, Chrome trace_event JSON)@." path
+        (Tracer.length (Transport.tracer transport)))
+    trace_out;
+  Option.iter
+    (fun path ->
+      write_file path (Registry.to_json (Transport.registry transport));
+      Format.printf "wrote %s (metrics snapshot)@." path)
+    metrics_json
+
+(* End-of-run summary off the registry: outcome counts, resource totals,
+   phase percentiles, and the paper's worst-case analytic predictions for
+   the same (scheme, level, n, u) — the measured means must sit at or
+   below them (Table I is a worst case; see also `cloudtx table1`). *)
+let obs_summary reg ~scheme ~level ~servers ~queries ~txns =
+  if Registry.enabled reg then begin
+    let labels =
+      [ ("scheme", Scheme.name scheme); ("consistency", Consistency.name level) ]
+    in
+    let commits = Registry.counter reg "txn_total" (("outcome", "commit") :: labels) in
+    let aborts = Registry.counter reg "txn_total" (("outcome", "abort") :: labels) in
+    let messages = Registry.counter_total reg "messages_total" in
+    (* Protocol accounting, same filter as Experiment/Table1: query
+       execution traffic is not part of Table I's message complexity. *)
+    let protocol_messages =
+      List.fold_left
+        (fun acc label -> acc + Registry.counter reg "messages_total" [ ("type", label) ])
+        0 Cloudtx_core.Message.protocol_labels
+    in
+    let proofs = Registry.counter_total reg "proofs_total" in
+    let forces = Registry.counter_total reg "log_force_total" in
+    Format.printf "observability summary@.";
+    Format.printf "  txns      : %d commit / %d abort@." commits aborts;
+    Format.printf
+      "  totals    : %d messages (%d protocol), %d proofs, %d forced log writes@."
+      messages protocol_messages proofs forces;
+    let phase_rows =
+      List.filter_map
+        (fun (label, metric) ->
+          match Registry.histogram reg metric labels with
+          | None -> None
+          | Some h ->
+            Some
+              [
+                label;
+                string_of_int (Cloudtx_obs.Histogram.count h);
+                Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 50.);
+                Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 95.);
+                Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 99.);
+              ])
+        [
+          ("execute", "phase_execute_ms");
+          ("commit", "phase_commit_ms");
+          ("decide", "phase_decide_ms");
+          ("end-to-end", "txn_latency_ms");
+        ]
+    in
+    if phase_rows <> [] then
+      Table.print
+        ~title:
+          (Printf.sprintf "phase latency (ms), %s/%s" (Scheme.name scheme)
+             (Consistency.name level))
+        ~headers:[ "phase"; "count"; "p50"; "p95"; "p99" ]
+        phase_rows;
+    (* Worst case assumes every query lands on a distinct server. *)
+    let n = min servers queries and u = queries in
+    let analytic_msgs = Complexity.messages scheme level ~n ~u ~r:1 in
+    let analytic_proofs = Complexity.proofs scheme level ~n ~u ~r:1 in
+    Format.printf
+      "  analytic  : <= %d msgs/txn, <= %d proofs/txn at n=%d u=%d r=1@."
+      analytic_msgs analytic_proofs n u;
+    Format.printf "  Table I   : %s msgs, %s proofs (worst-case r)@."
+      (Complexity.formula scheme level `Messages)
+      (Complexity.formula scheme level `Proofs);
+    if txns > 0 then
+      Format.printf "  measured  : %.1f protocol msgs/txn, %.1f proofs/txn@."
+        (float_of_int protocol_messages /. float_of_int txns)
+        (float_of_int proofs /. float_of_int txns)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let run_cmd verbose scheme level servers queries txns seed update_period
-    write_ratio zipf =
+    write_ratio zipf trace_out metrics_json =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
   in
+  enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json;
   (match update_period with
   | Some period when period > 0. ->
     Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
@@ -136,13 +265,17 @@ let run_cmd verbose scheme level servers queries txns seed update_period
   Format.printf "  proofs    : mean %.1f per txn@."
     (Running_stats.mean stats.Experiment.proofs);
   Format.printf "  messages  : mean %.1f per txn (protocol accounting)@."
-    (Running_stats.mean stats.Experiment.protocol_messages)
+    (Running_stats.mean stats.Experiment.protocol_messages);
+  obs_summary
+    (Transport.registry (Cluster.transport scenario.Scenario.cluster))
+    ~scheme ~level ~servers ~queries ~txns;
+  dump_obs scenario.Scenario.cluster ~trace_out ~metrics_json
 
 let run_term =
   Term.(
     const run_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
-    $ zipf_arg)
+    $ zipf_arg $ trace_out_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -168,38 +301,41 @@ let table1_term =
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let trace_cmd verbose scheme level servers queries format =
+let trace_cmd verbose scheme level servers queries format trace_out metrics_json =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
       ~n_subjects:1 ()
   in
   let cluster = scenario.Scenario.cluster in
+  enable_obs cluster ~trace_out ~metrics_json;
   let txn =
     Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
   in
   let outcome = Manager.run_one cluster (Manager.config scheme level) txn in
   let trace = Transport.trace (Cluster.transport cluster) in
-  match format with
+  (match format with
   | "text" ->
     Format.printf "%a@.@." Outcome.pp outcome;
     print_string (Trace.to_string trace)
   | "mermaid" -> print_string (Trace.to_mermaid trace)
   | "csv" -> print_string (Trace.to_csv trace)
+  | "jsonl" -> print_string (Trace.to_jsonl trace)
   | other ->
-    Printf.eprintf "unknown format %s (text|mermaid|csv)\n" other;
-    exit 2
+    Printf.eprintf "unknown format %s (text|mermaid|csv|jsonl)\n" other;
+    exit 2);
+  dump_obs cluster ~trace_out ~metrics_json
 
 let format_arg =
   Arg.(
     value
     & opt string "text"
-    & info [ "format" ] ~doc:"Trace output format: text, mermaid or csv.")
+    & info [ "format" ] ~doc:"Trace output format: text, mermaid, csv or jsonl.")
 
 let trace_term =
   Term.(
     const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
-    $ queries_arg $ format_arg)
+    $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

@@ -1,5 +1,7 @@
 module Transport = Cloudtx_sim.Transport
 module Counter = Cloudtx_metrics.Counter
+module Tracer = Cloudtx_obs.Tracer
+module Registry = Cloudtx_obs.Registry
 module Transaction = Cloudtx_txn.Transaction
 module Query = Cloudtx_txn.Query
 module Proof = Cloudtx_policy.Proof
@@ -72,12 +74,43 @@ type state = {
   mutable decision_targets : string list;
   mutable acked : string list;
   mutable read_only : string list;  (* voted READ; skip the decision phase *)
+  (* Observability: span ids are immediate ints (Tracer.no_span when
+     tracing is off); the float timestamps are only written when the
+     registry is live, keeping the disabled path allocation-free. *)
+  mutable txn_span : int;
+  mutable query_span : int;
+  mutable round_span : int;  (* open 2pv.round / 2pvc.validate span *)
+  mutable phase_span : int;  (* open 2pvc.prepare / 2pvc.commit|abort span *)
+  mutable commit_started_at : float;
+  mutable decided_at : float;
 }
 
 let transport s = Cluster.transport s.cluster
 let now s = Transport.now (transport s)
 let send s ~dst msg = Transport.send (transport s) ~src:s.name ~dst msg
 let mark s label = Transport.mark (transport s) ~node:s.name label
+let tracer s = Transport.tracer (transport s)
+let registry s = Transport.registry (transport s)
+
+let scheme_labels s =
+  [
+    ("scheme", Scheme.name s.cfg.scheme);
+    ("consistency", Consistency.name s.cfg.level);
+  ]
+
+let close_round_span s ?attrs () =
+  let tr = tracer s in
+  if Tracer.enabled tr && s.round_span <> Tracer.no_span then begin
+    Tracer.finish tr ?attrs s.round_span;
+    s.round_span <- Tracer.no_span
+  end
+
+let close_phase_span s =
+  let tr = tracer s in
+  if Tracer.enabled tr && s.phase_span <> Tracer.no_span then begin
+    Tracer.finish tr s.phase_span;
+    s.phase_span <- Tracer.no_span
+  end
 
 (* Watchdog (installed after [decide] below): every point where the TM
    starts waiting on remote replies arms a timer; any progress that starts
@@ -105,6 +138,12 @@ let all_servers s = servers_upto s (Array.length s.queries - 1)
 let send_execute s =
   arm_watchdog s;
   let q = s.queries.(s.qidx) in
+  let tr = tracer s in
+  if Tracer.enabled tr then begin
+    s.query_span <- Tracer.start tr ~parent:s.txn_span ~track:s.name "query";
+    Tracer.set_attr tr s.query_span "index" (string_of_int s.qidx);
+    Tracer.set_attr tr s.query_span "server" q.Query.server
+  end;
   send s ~dst:q.Query.server
     (Message.Execute
        {
@@ -125,7 +164,45 @@ let fetch_master s what =
 let finish s =
   s.phase <- Finished;
   mark s "txn_end";
+  let committed =
+    match s.decision with Some true -> true | Some false | None -> false
+  in
+  let tr = tracer s in
+  if Tracer.enabled tr then begin
+    close_round_span s ();
+    close_phase_span s;
+    if s.txn_span <> Tracer.no_span then begin
+      Tracer.finish tr
+        ~attrs:
+          [
+            ("outcome", if committed then "commit" else "abort");
+            ("reason", Outcome.reason_name s.reason);
+          ]
+        s.txn_span;
+      s.txn_span <- Tracer.no_span
+    end
+  end;
   let counters = Transport.counters (transport s) in
+  let reg = registry s in
+  if Registry.enabled reg then begin
+    let labels = scheme_labels s in
+    let finished_at = now s in
+    Registry.incr reg "txn_total"
+      (("outcome", if committed then "commit" else "abort") :: labels);
+    Registry.observe reg "txn_latency_ms" labels (finished_at -. s.submitted_at);
+    Registry.observe reg "commit_rounds" labels (float_of_int s.commit_rounds);
+    Registry.observe reg "proofs_per_txn" labels
+      (float_of_int (Counter.get counters ("proofs:" ^ s.txn.Transaction.id)));
+    if Float.is_finite s.commit_started_at then begin
+      Registry.observe reg "phase_execute_ms" labels
+        (s.commit_started_at -. s.submitted_at);
+      if Float.is_finite s.decided_at then
+        Registry.observe reg "phase_commit_ms" labels
+          (s.decided_at -. s.commit_started_at)
+    end;
+    if Float.is_finite s.decided_at then
+      Registry.observe reg "phase_decide_ms" labels (finished_at -. s.decided_at)
+  end;
   let outcome =
     {
       Outcome.txn = s.txn.Transaction.id;
@@ -163,13 +240,25 @@ let decide s ~commit ~reason ~targets =
   s.decision <- Some commit;
   s.reason <- reason;
   s.phase <- Deciding;
+  let tr = tracer s in
+  if Tracer.enabled tr then begin
+    close_round_span s ();
+    close_phase_span s;
+    s.phase_span <-
+      Tracer.start tr ~parent:s.txn_span ~track:s.name
+        (if commit then "2pvc.commit" else "2pvc.abort");
+    Tracer.set_attr tr s.phase_span "reason" (Outcome.reason_name reason)
+  end;
+  if Registry.enabled (registry s) then s.decided_at <- now s;
   (* Read-only voters released at vote time and take no decision. *)
   let targets = List.filter (fun p -> not (List.mem p s.read_only)) targets in
   if targets <> [] then begin
     mark s
       (Printf.sprintf "log_force:tm_decision:%s"
          (if commit then "commit" else "abort"));
-    Counter.incr (Transport.counters (transport s)) "log_force:tm"
+    Counter.incr (Transport.counters (transport s)) "log_force:tm";
+    if Registry.enabled (registry s) then
+      Registry.incr (registry s) "log_force_total" [ ("site", "tm") ]
   end;
   s.decision_targets <- targets;
   s.acked <- [];
@@ -218,6 +307,12 @@ let start_commit s =
       m "%s: commit phase over %d participants" s.name
         (List.length (all_servers s)));
   s.phase <- Committing;
+  let tr = tracer s in
+  if Tracer.enabled tr then begin
+    close_round_span s ();
+    s.phase_span <- Tracer.start tr ~parent:s.txn_span ~track:s.name "2pvc.prepare"
+  end;
+  if Registry.enabled (registry s) then s.commit_started_at <- now s;
   let validate = Scheme.validates_at_commit s.cfg.scheme s.cfg.level in
   s.commit_validates <- validate;
   s.master_fetched_round <- 0;
@@ -270,6 +365,12 @@ let start_query_validation s =
     Validation.create ~participants:(servers_upto s s.qidx) ~with_integrity:false ()
   in
   s.validation <- Some v;
+  let tr = tracer s in
+  if Tracer.enabled tr then begin
+    s.round_span <- Tracer.start tr ~parent:s.txn_span ~track:s.name "2pv.round";
+    Tracer.set_attr tr s.round_span "round" (string_of_int (Validation.round v));
+    Tracer.set_attr tr s.round_span "query" (string_of_int s.qidx)
+  end;
   match s.cfg.level with
   | Consistency.Global -> fetch_master s Query_prefetch
   | Consistency.View ->
@@ -292,7 +393,20 @@ let send_validate_requests s =
 let resolve_query_validation s =
   let v = validation s in
   mark s (Printf.sprintf "sync:%s" s.txn.Transaction.id);
-  match Validation.resolve v with
+  let res = Validation.resolve v in
+  close_round_span s ~attrs:[ ("resolution", Validation.resolution_name res) ] ();
+  (match res with
+  | Validation.Need_update _ ->
+    let tr = tracer s in
+    if Tracer.enabled tr then begin
+      s.round_span <-
+        Tracer.start tr ~parent:s.txn_span ~track:s.name "2pv.round";
+      Tracer.set_attr tr s.round_span "round"
+        (string_of_int (Validation.round v));
+      Tracer.set_attr tr s.round_span "query" (string_of_int s.qidx)
+    end
+  | _ -> ());
+  match res with
   | Validation.All_consistent_true ->
     s.validation <- None;
     advance s (fun () -> start_commit s)
@@ -315,7 +429,19 @@ let resolve_commit s =
   mark s (Printf.sprintf "sync:%s" s.txn.Transaction.id);
   Log.debug (fun m -> m "%s: resolving round %d" s.name (Validation.round v));
   s.commit_rounds <- Validation.round v;
-  match Validation.resolve v with
+  let res = Validation.resolve v in
+  close_round_span s ~attrs:[ ("resolution", Validation.resolution_name res) ] ();
+  (match res with
+  | Validation.Need_update _ ->
+    let tr = tracer s in
+    if Tracer.enabled tr then begin
+      s.round_span <-
+        Tracer.start tr ~parent:s.phase_span ~track:s.name "2pvc.validate";
+      Tracer.set_attr tr s.round_span "round"
+        (string_of_int (Validation.round v))
+    end
+  | _ -> ());
+  match res with
   | Validation.Abort_integrity ->
     decide s ~commit:false ~reason:Outcome.Integrity_violation ~targets:(all_servers s)
   | Validation.Abort_proof ->
@@ -356,6 +482,21 @@ let incremental_view_check s (proof : Proof.t) =
   | Some v -> v = proof.Proof.policy_version
 
 let on_execute_reply s (outcome : Message.exec_outcome) =
+  let tr = tracer s in
+  if Tracer.enabled tr && s.query_span <> Tracer.no_span then begin
+    Tracer.finish tr
+      ~attrs:
+        [
+          ( "outcome",
+            match outcome with
+            | Message.Exec_die -> "die"
+            | Message.Executed { proof = Some p; _ } ->
+              if p.Proof.result then "executed" else "proof_false"
+            | Message.Executed { proof = None; _ } -> "executed" );
+        ]
+      s.query_span;
+    s.query_span <- Tracer.no_span
+  end;
   match outcome with
   | Message.Exec_die -> abort_now s Outcome.Wait_die
   | Message.Executed { proof; _ } -> (
@@ -494,10 +635,23 @@ let submit ?ts cluster cfg txn ~on_done =
       decision_targets = [];
       acked = [];
       read_only = [];
+      txn_span = Tracer.no_span;
+      query_span = Tracer.no_span;
+      round_span = Tracer.no_span;
+      phase_span = Tracer.no_span;
+      commit_started_at = Float.nan;
+      decided_at = Float.nan;
     }
   in
   Transport.register transport name (fun ~src msg -> handle s ~src msg);
   Transport.mark transport ~node:name "txn_start";
+  let tr = Transport.tracer transport in
+  if Tracer.enabled tr then begin
+    s.txn_span <- Tracer.start tr ~track:name "txn";
+    Tracer.set_attr tr s.txn_span "txn" txn.Transaction.id;
+    Tracer.set_attr tr s.txn_span "scheme" (Scheme.name cfg.scheme);
+    Tracer.set_attr tr s.txn_span "consistency" (Consistency.name cfg.level)
+  end;
   send_execute s
 
 let run_one cluster cfg txn =

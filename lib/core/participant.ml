@@ -8,6 +8,9 @@ module Policy = Cloudtx_policy.Policy
 module Replica = Cloudtx_policy.Replica
 module Credential = Cloudtx_policy.Credential
 module Lock_manager = Cloudtx_store.Lock_manager
+module Wal = Cloudtx_store.Wal
+module Tracer = Cloudtx_obs.Tracer
+module Registry = Cloudtx_obs.Registry
 
 let log_src = Logs.Src.create "cloudtx.participant" ~doc:"Data-server protocol node"
 
@@ -17,6 +20,8 @@ type pending = {
   p_query : Query.t;
   p_evaluate_proof : bool;
   p_reply_to : string;
+  p_span : int;  (** Open [lock.wait] span; [Tracer.no_span] when off. *)
+  p_blocked_at : float;
 }
 
 type txn_state = {
@@ -50,6 +55,19 @@ let queries_of t ~txn =
 let now t = Transport.now t.transport
 let send t ~dst msg = Transport.send t.transport ~src:(name t) ~dst msg
 let mark t label = Transport.mark t.transport ~node:(name t) label
+let tracer t = Transport.tracer t.transport
+let registry t = Transport.registry t.transport
+
+(* Close a parked query's [lock.wait] span and record the wait. *)
+let settle_wait t (p : pending) ~outcome =
+  let tr = tracer t in
+  if Tracer.enabled tr && p.p_span <> Tracer.no_span then
+    Tracer.finish tr ~attrs:[ ("outcome", outcome) ] p.p_span;
+  let reg = registry t in
+  if Registry.enabled reg then
+    Registry.observe reg "lock_wait_ms"
+      [ ("server", name t) ]
+      (now t -. p.p_blocked_at)
 
 (* Simulated cost of the online credential-status checks one proof
    evaluation performs: one OCSP round-trip per CA-issued credential. *)
@@ -110,11 +128,35 @@ let evaluate_proof_fn t ~txn st (q : Query.t) =
   Counter.incr counters "proofs";
   Counter.incr counters ("proofs:" ^ txn);
   mark t (Printf.sprintf "proof_eval:%s:%s" txn q.Query.id);
+  let tr = tracer t in
+  let span =
+    if Tracer.enabled tr then begin
+      let span = Tracer.start tr ~track:(name t) "proof_eval" in
+      Tracer.set_attr tr span "txn" txn;
+      Tracer.set_attr tr span "query" q.Query.id;
+      span
+    end
+    else Tracer.no_span
+  in
   let request =
     { Proof.subject = st.subject; action = Query.action q; items = Query.items q }
   in
-  Proof.evaluate ?cache:t.proof_cache ~query_id:q.Query.id ~server:(name t)
-    ~policy ~creds:st.credentials ~env:t.env ~at:(now t) request
+  let proof =
+    Proof.evaluate ?cache:t.proof_cache ~query_id:q.Query.id ~server:(name t)
+      ~policy ~creds:st.credentials ~env:t.env ~at:(now t) request
+  in
+  if Tracer.enabled tr then
+    Tracer.finish tr
+      ~attrs:
+        [
+          ("result", if proof.Proof.result then "true" else "false");
+          ("version", string_of_int proof.Proof.policy_version);
+        ]
+      span;
+  let reg = registry t in
+  if Registry.enabled reg then
+    Registry.incr reg "proofs_total" [ ("server", name t) ];
+  proof
 
 (* Distinct policies currently in force for [st]'s queries. *)
 let policies_used t st =
@@ -139,8 +181,25 @@ let try_execute t ~txn st ~reply_to (q : Query.t) ~evaluate:should_evaluate =
     Server.execute t.server ~txn ~reads:q.Query.reads ~writes:q.Query.writes
   with
   | Server.Blocked ->
+    let tr = tracer t in
+    let span =
+      if Tracer.enabled tr then begin
+        let span = Tracer.start tr ~track:(name t) "lock.wait" in
+        Tracer.set_attr tr span "txn" txn;
+        Tracer.set_attr tr span "query" q.Query.id;
+        span
+      end
+      else Tracer.no_span
+    in
     st.pending <-
-      Some { p_query = q; p_evaluate_proof = should_evaluate; p_reply_to = reply_to };
+      Some
+        {
+          p_query = q;
+          p_evaluate_proof = should_evaluate;
+          p_reply_to = reply_to;
+          p_span = span;
+          p_blocked_at = now t;
+        };
     mark t (Printf.sprintf "blocked:%s:%s" txn q.Query.id)
   | Server.Die ->
     st.pending <- None;
@@ -170,6 +229,7 @@ let retry_promoted t (release : Lock_manager.release) =
         match Hashtbl.find_opt t.txns txn with
         | Some ({ pending = Some p; _ } as st) ->
           st.pending <- None;
+          settle_wait t p ~outcome:"die";
           send t ~dst:p.p_reply_to
             (Message.Execute_reply
                {
@@ -187,6 +247,7 @@ let retry_promoted t (release : Lock_manager.release) =
         Hashtbl.add retried txn ();
         match Hashtbl.find_opt t.txns txn with
         | Some ({ pending = Some p; _ } as st) ->
+          settle_wait t p ~outcome:"granted";
           try_execute t ~txn st ~reply_to:p.p_reply_to p.p_query
             ~evaluate:p.p_evaluate_proof
         | Some { pending = None; _ } | None -> ()
@@ -339,6 +400,50 @@ let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
   in
   Transport.register transport (Server.name server) (fun ~src msg ->
       handle t ~src msg);
+  (* Store-layer hooks read the transport's tracer/registry dynamically:
+     the CLI enables observability after the cluster is built, and the
+     enabled checks keep the default path allocation-free. *)
+  let node = Server.name server in
+  Wal.set_observer (Server.wal server)
+    (Some
+       (fun ~time:_ ~forced ~tag ->
+         let tr = Transport.tracer transport in
+         if forced && Tracer.enabled tr then
+           Tracer.instant tr ~track:node ~attrs:[ ("record", tag) ] "wal.force";
+         let reg = Transport.registry transport in
+         if Registry.enabled reg then begin
+           Registry.incr reg "wal_append_total"
+             [ ("server", node); ("record", tag) ];
+           if forced then Registry.incr reg "log_force_total" [ ("site", node) ]
+         end));
+  Lock_manager.set_observer
+    (Server.locks server)
+    (Some
+       {
+         Lock_manager.on_acquire =
+           (fun ~txn:_ ~key:_ ~mode:_ ~outcome ->
+             let reg = Transport.registry transport in
+             if Registry.enabled reg then
+               Registry.incr reg "lock_acquire_total"
+                 [
+                   ("server", node);
+                   ( "outcome",
+                     match outcome with
+                     | Lock_manager.Granted -> "granted"
+                     | Lock_manager.Queued -> "queued"
+                     | Lock_manager.Die -> "die" );
+                 ]);
+         on_promoted =
+           (fun ~txn:_ ~key:_ ~mode:_ ->
+             let reg = Transport.registry transport in
+             if Registry.enabled reg then
+               Registry.incr reg "lock_promoted_total" [ ("server", node) ]);
+         on_killed =
+           (fun ~txn:_ ~key:_ ->
+             let reg = Transport.registry transport in
+             if Registry.enabled reg then
+               Registry.incr reg "lock_killed_total" [ ("server", node) ]);
+       });
   t
 
 let crash t =

@@ -122,3 +122,9 @@ let resolve t =
 let freshest t =
   Hashtbl.fold (fun _ p acc -> p :: acc) t.best []
   |> List.sort (fun (a : Policy.t) b -> String.compare a.Policy.domain b.Policy.domain)
+
+let resolution_name = function
+  | Abort_integrity -> "abort_integrity"
+  | Abort_proof -> "abort_proof"
+  | All_consistent_true -> "all_consistent_true"
+  | Need_update _ -> "need_update"

@@ -60,3 +60,6 @@ val resolve : t -> resolution
 
 (** Latest policies seen so far (per domain), for inspection. *)
 val freshest : t -> Policy.t list
+
+(** Stable label for traces and metrics, e.g. ["need_update"]. *)
+val resolution_name : resolution -> string

@@ -2,9 +2,18 @@ type t = {
   mutable samples : float array;
   mutable len : int;
   mutable sorted : float array option; (* cache, invalidated on add *)
+  mutable running_min : float;
+  mutable running_max : float;
 }
 
-let create () = { samples = Array.make 64 0.; len = 0; sorted = None }
+let create () =
+  {
+    samples = Array.make 64 0.;
+    len = 0;
+    sorted = None;
+    running_min = infinity;
+    running_max = neg_infinity;
+  }
 
 let add t x =
   if t.len = Array.length t.samples then begin
@@ -14,7 +23,9 @@ let add t x =
   end;
   t.samples.(t.len) <- x;
   t.len <- t.len + 1;
-  t.sorted <- None
+  t.sorted <- None;
+  if x < t.running_min then t.running_min <- x;
+  if x > t.running_max then t.running_max <- x
 
 let count t = t.len
 
@@ -33,7 +44,7 @@ let sorted t =
   | Some a -> a
   | None ->
     let a = Array.sub t.samples 0 t.len in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     t.sorted <- Some a;
     a
 
@@ -50,7 +61,7 @@ let percentile t p =
   end
 
 let median t = percentile t 50.
-let min t = if t.len = 0 then infinity else (sorted t).(0)
-let max t = if t.len = 0 then neg_infinity else (sorted t).(t.len - 1)
+let min t = t.running_min
+let max t = t.running_max
 
 let to_list t = Array.to_list (Array.sub t.samples 0 t.len)

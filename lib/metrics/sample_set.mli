@@ -16,7 +16,10 @@ val mean : t -> float
 val percentile : t -> float -> float
 
 val median : t -> float
+
+(** Running extrema, O(1) — [infinity] / [neg_infinity] when empty. *)
 val min : t -> float
+
 val max : t -> float
 
 (** All observations in insertion order. *)

@@ -1,0 +1,101 @@
+(* Chrome trace-event format reference:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+
+let track_ids spans =
+  let ids = Hashtbl.create 8 in
+  let next = ref 1 in
+  List.iter
+    (fun (s : Tracer.span) ->
+      if not (Hashtbl.mem ids s.Tracer.track) then begin
+        Hashtbl.add ids s.Tracer.track !next;
+        incr next
+      end)
+    spans;
+  ids
+
+let args_json attrs =
+  Json.obj (List.rev_map (fun (k, v) -> (k, Json.quote v)) attrs)
+
+let to_chrome t =
+  let spans = Tracer.spans t in
+  let tracks = track_ids spans in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"displayTimeUnit":"ms","traceEvents":[|};
+  let first = ref true in
+  let emit json =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf json
+  in
+  (* Name each track so Perfetto shows node names instead of tid numbers. *)
+  Hashtbl.fold (fun track tid acc -> (tid, track) :: acc) tracks []
+  |> List.sort compare
+  |> List.iter (fun (tid, track) ->
+         emit
+           (Json.obj
+              [
+                ("ph", {|"M"|});
+                ("pid", "1");
+                ("tid", string_of_int tid);
+                ("name", {|"thread_name"|});
+                ("args", Json.obj [ ("name", Json.quote track) ]);
+              ]));
+  List.iter
+    (fun (s : Tracer.span) ->
+      let tid = Hashtbl.find tracks s.Tracer.track in
+      let ts = Json.number (s.Tracer.start *. 1000.) in
+      let common =
+        [
+          ("name", Json.quote s.Tracer.name);
+          ("pid", "1");
+          ("tid", string_of_int tid);
+          ("ts", ts);
+        ]
+      in
+      let json =
+        if s.Tracer.instant then
+          Json.obj
+            (common
+            @ [ ("ph", {|"i"|}); ("s", {|"t"|}); ("args", args_json s.Tracer.attrs) ])
+        else begin
+          let open_span = Float.is_nan s.Tracer.finish in
+          let dur =
+            if open_span then "0"
+            else Json.number ((s.Tracer.finish -. s.Tracer.start) *. 1000.)
+          in
+          let attrs =
+            if open_span then ("open", "true") :: s.Tracer.attrs
+            else s.Tracer.attrs
+          in
+          Json.obj
+            (common @ [ ("ph", {|"X"|}); ("dur", dur); ("args", args_json attrs) ])
+        end
+      in
+      emit json)
+    spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (s : Tracer.span) ->
+      let fields =
+        [ ("id", string_of_int s.Tracer.id) ]
+        @ (if s.Tracer.parent = Tracer.no_span then []
+           else [ ("parent", string_of_int s.Tracer.parent) ])
+        @ [
+            ("name", Json.quote s.Tracer.name);
+            ("track", Json.quote s.Tracer.track);
+            ("start_ms", Json.number s.Tracer.start);
+            ( "end_ms",
+              if Float.is_nan s.Tracer.finish then "null"
+              else Json.number s.Tracer.finish );
+            ("kind", if s.Tracer.instant then {|"instant"|} else {|"span"|});
+            ("attrs", args_json s.Tracer.attrs);
+          ]
+      in
+      Buffer.add_string buf (Json.obj fields);
+      Buffer.add_char buf '\n')
+    (Tracer.spans t);
+  Buffer.contents buf

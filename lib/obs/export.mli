@@ -1,0 +1,20 @@
+(** Span exporters.
+
+    {!to_chrome} renders Chrome [trace_event] JSON — load the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} to see the
+    transaction lifecycle laid out per node.  {!to_jsonl} emits one JSON
+    object per span for ad-hoc processing (jq, pandas, consistency
+    checkers that consume per-transaction event histories). *)
+
+(** Chrome trace-event JSON.  Each distinct span track becomes a thread
+    (named via [thread_name] metadata); spans are complete ([ph = "X"])
+    events, instants are [ph = "i"].  Timestamps are microseconds as the
+    format requires; the tracer's millisecond clock is scaled by 1000.
+    Spans still open at export time are emitted with [dur = 0] and an
+    ["open": true] argument. *)
+val to_chrome : Tracer.t -> string
+
+(** One JSON object per span: [id], [parent] (absent for roots), [name],
+    [track], [start_ms], [end_ms] ([null] while open), [kind]
+    (["span"] or ["instant"]) and [attrs]. *)
+val to_jsonl : Tracer.t -> string

@@ -1,0 +1,44 @@
+module Sample_set = Cloudtx_metrics.Sample_set
+
+(* Bucket i covers (2^(i + lo_exp - 1), 2^(i + lo_exp)]; exponents are
+   clamped to [lo_exp, hi_exp], wide enough for sub-microsecond through
+   multi-hour latencies in milliseconds. *)
+let lo_exp = -16
+let hi_exp = 47
+let n_buckets = hi_exp - lo_exp + 1
+
+type t = { samples : Sample_set.t; counts : int array }
+
+let create () = { samples = Sample_set.create (); counts = Array.make n_buckets 0 }
+
+let bucket_index v =
+  if v <= 0. || Float.is_nan v then 0
+  else begin
+    (* frexp: v = m * 2^e with m in [0.5, 1), so 2^(e-1) <= v < 2^e and
+       the smallest power of two >= v is 2^e (or 2^(e-1) when m = 0.5,
+       which the <= below keeps in the lower bucket). *)
+    let m, e = Float.frexp v in
+    let e = if m = 0.5 then e - 1 else e in
+    Stdlib.min (n_buckets - 1) (Stdlib.max 0 (e - lo_exp))
+  end
+
+let observe t v =
+  Sample_set.add t.samples v;
+  let i = bucket_index v in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count t = Sample_set.count t.samples
+let mean t = Sample_set.mean t.samples
+let min t = Sample_set.min t.samples
+let max t = Sample_set.max t.samples
+let percentile t p = Sample_set.percentile t.samples p
+
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      out := (Float.ldexp 1. (i + lo_exp), t.counts.(i)) :: !out
+  done;
+  !out
+
+let samples t = t.samples

@@ -1,0 +1,25 @@
+(** Latency histogram: log2 buckets for cheap shape summaries plus the
+    exact sample store ({!Cloudtx_metrics.Sample_set}) for precise
+    percentiles — simulation scale makes keeping every observation
+    affordable, so percentiles are exact rather than bucket-interpolated. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+
+(** Exact percentile over every observation; raises [Invalid_argument]
+    when empty or [p] outside [0, 100]. *)
+val percentile : t -> float -> float
+
+(** Non-empty log2 buckets as [(upper_bound, count)], ascending.  A value
+    [v] lands in the bucket with the smallest upper bound [2^k >= v];
+    non-positive values land in the lowest bucket. *)
+val buckets : t -> (float * int) list
+
+(** The underlying exact sample store. *)
+val samples : t -> Cloudtx_metrics.Sample_set.t

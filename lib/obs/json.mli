@@ -1,0 +1,20 @@
+(** Minimal JSON rendering helpers shared by the observability exporters
+    (and by {!Cloudtx_sim.Trace.to_jsonl}).
+
+    Rendering only — parsing lives in [Cloudtx_policy.Json], which sits
+    above this library in the dependency order. *)
+
+(** [escape buf s] appends [s] to [buf] as a quoted JSON string literal,
+    escaping quotes, backslashes and control characters. *)
+val escape : Buffer.t -> string -> unit
+
+(** [quote s] is [s] as a standalone JSON string literal. *)
+val quote : string -> string
+
+(** Finite floats render round-trippably; NaN and infinities render as
+    [null] (JSON has no spelling for them). *)
+val number : float -> string
+
+(** [obj fields] renders [{"k":v, ...}]; values must already be valid
+    JSON fragments. *)
+val obj : (string * string) list -> string

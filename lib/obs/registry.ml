@@ -1,0 +1,158 @@
+type labels = (string * string) list
+
+type cell =
+  | Counter of int ref
+  | Gauge of float ref
+  | Hist of Histogram.t
+
+type t = {
+  enabled : bool;
+  cells : (string * labels, cell) Hashtbl.t;
+}
+
+let noop = { enabled = false; cells = Hashtbl.create 1 }
+let create () = { enabled = true; cells = Hashtbl.create 64 }
+let enabled t = t.enabled
+
+let canonical labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let cell t name labels make =
+  let key = (name, canonical labels) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c = make () in
+    Hashtbl.add t.cells key c;
+    c
+
+let type_error name cell want =
+  invalid_arg
+    (Printf.sprintf "Registry: %s is a %s, not a %s" name (kind_name cell) want)
+
+let incr ?(by = 1) t name labels =
+  if t.enabled then
+    match cell t name labels (fun () -> Counter (ref 0)) with
+    | Counter r -> r := !r + by
+    | c -> type_error name c "counter"
+
+let set_gauge t name labels v =
+  if t.enabled then
+    match cell t name labels (fun () -> Gauge (ref 0.)) with
+    | Gauge r -> r := v
+    | c -> type_error name c "gauge"
+
+let observe t name labels v =
+  if t.enabled then
+    match cell t name labels (fun () -> Hist (Histogram.create ())) with
+    | Hist h -> Histogram.observe h v
+    | c -> type_error name c "histogram"
+
+let find t name labels = Hashtbl.find_opt t.cells (name, canonical labels)
+
+let counter t name labels =
+  match find t name labels with Some (Counter r) -> !r | Some _ | None -> 0
+
+let counter_total t name =
+  Hashtbl.fold
+    (fun (n, _) c acc ->
+      match c with
+      | Counter r when String.equal n name -> acc + !r
+      | Counter _ | Gauge _ | Hist _ -> acc)
+    t.cells 0
+
+let gauge t name labels =
+  match find t name labels with Some (Gauge r) -> Some !r | Some _ | None -> None
+
+let histogram t name labels =
+  match find t name labels with Some (Hist h) -> Some h | Some _ | None -> None
+
+let series t =
+  let value = function
+    | Counter r -> `Counter !r
+    | Gauge r -> `Gauge !r
+    | Hist h -> `Histogram h
+  in
+  Hashtbl.fold
+    (fun (name, labels) c acc -> (name, labels, value c) :: acc)
+    t.cells []
+  |> List.sort (fun (a, la, _) (b, lb, _) ->
+         match String.compare a b with
+         | 0 -> Stdlib.compare (la : labels) lb
+         | c -> c)
+
+let labels_string labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let to_rows t =
+  List.map
+    (fun (name, labels, v) ->
+      let ls = labels_string labels in
+      match v with
+      | `Counter n -> [ name; ls; string_of_int n; ""; ""; ""; "" ]
+      | `Gauge g -> [ name; ls; ""; Printf.sprintf "%g" g; ""; ""; "" ]
+      | `Histogram h ->
+        let p q =
+          if Histogram.count h = 0 then "-"
+          else Printf.sprintf "%.2f" (Histogram.percentile h q)
+        in
+        [
+          name;
+          ls;
+          string_of_int (Histogram.count h);
+          Printf.sprintf "%.2f" (Histogram.mean h);
+          p 50.;
+          p 95.;
+          p 99.;
+        ])
+    (series t)
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i (name, labels, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let labels_json =
+        Json.obj (List.map (fun (k, lv) -> (k, Json.quote lv)) labels)
+      in
+      let fields =
+        [ ("metric", Json.quote name); ("labels", labels_json) ]
+        @
+        match v with
+        | `Counter n -> [ ("type", {|"counter"|}); ("value", string_of_int n) ]
+        | `Gauge g -> [ ("type", {|"gauge"|}); ("value", Json.number g) ]
+        | `Histogram h ->
+          let p q =
+            if Histogram.count h = 0 then "null"
+            else Json.number (Histogram.percentile h q)
+          in
+          [
+            ("type", {|"histogram"|});
+            ("count", string_of_int (Histogram.count h));
+            ("mean", Json.number (Histogram.mean h));
+            ("min", if Histogram.count h = 0 then "null" else Json.number (Histogram.min h));
+            ("max", if Histogram.count h = 0 then "null" else Json.number (Histogram.max h));
+            ("p50", p 50.);
+            ("p95", p 95.);
+            ("p99", p 99.);
+            ( "buckets",
+              "["
+              ^ String.concat ","
+                  (List.map
+                     (fun (le, n) ->
+                       Json.obj
+                         [ ("le", Json.number le); ("count", string_of_int n) ])
+                     (Histogram.buckets h))
+              ^ "]" );
+          ]
+      in
+      Buffer.add_string buf (Json.obj fields))
+    (series t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Labeled metrics registry: counters, gauges and log-bucketed histograms
+    (exact percentiles via {!Histogram} / {!Cloudtx_metrics.Sample_set}).
+
+    A time series is identified by a metric name plus a label set such as
+    [[("scheme", "deferred"); ("level", "view")]].  Label order does not
+    matter — sets are canonicalised by sorting on the key.
+
+    Zero cost when disabled: {!noop} drops every write in a single branch.
+    Instrumentation that builds label lists dynamically must guard on
+    {!enabled} so the disabled path allocates nothing. *)
+
+type t
+
+type labels = (string * string) list
+
+(** Shared disabled registry; every write is a no-op. *)
+val noop : t
+
+val create : unit -> t
+val enabled : t -> bool
+
+(** {1 Writes} *)
+
+val incr : ?by:int -> t -> string -> labels -> unit
+val set_gauge : t -> string -> labels -> float -> unit
+val observe : t -> string -> labels -> float -> unit
+
+(** {1 Reads} *)
+
+(** Counter value for an exact label set; 0 when absent. *)
+val counter : t -> string -> labels -> int
+
+(** Sum of a counter over every label set it was written with. *)
+val counter_total : t -> string -> int
+
+val gauge : t -> string -> labels -> float option
+val histogram : t -> string -> labels -> Histogram.t option
+
+(** Every series as [(name, canonical labels, cell)], sorted by name then
+    labels. *)
+val series :
+  t ->
+  (string * labels * [ `Counter of int | `Gauge of float | `Histogram of Histogram.t ])
+  list
+
+(** {1 Snapshots} *)
+
+(** Rows for {!Cloudtx_metrics.Table.render} with headers
+    [metric | labels | count | value/mean | p50 | p95 | p99]. *)
+val to_rows : t -> string list list
+
+(** JSON snapshot: an array of series objects with [metric], [labels] and
+    either [value] (counter/gauge) or [count]/[mean]/[min]/[max]/
+    [p50]/[p95]/[p99]/[buckets] (histogram). *)
+val to_json : t -> string

@@ -1,0 +1,101 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  track : string;
+  start : float;
+  mutable finish : float;
+  mutable attrs : (string * string) list;
+  instant : bool;
+}
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  by_id : (int, span) Hashtbl.t;
+  mutable order : span list; (* newest first *)
+  mutable next_id : int;
+  mutable n : int;
+}
+
+let no_span = 0
+
+let noop =
+  {
+    enabled = false;
+    clock = (fun () -> 0.);
+    by_id = Hashtbl.create 1;
+    order = [];
+    next_id = 1;
+    n = 0;
+  }
+
+let create ~clock () =
+  {
+    enabled = true;
+    clock;
+    by_id = Hashtbl.create 256;
+    order = [];
+    next_id = 1;
+    n = 0;
+  }
+
+let enabled t = t.enabled
+
+let record t ~parent ~track ~instant ~attrs name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let now = t.clock () in
+  let span =
+    {
+      id;
+      parent;
+      name;
+      track;
+      start = now;
+      finish = (if instant then now else Float.nan);
+      attrs;
+      instant;
+    }
+  in
+  Hashtbl.add t.by_id id span;
+  t.order <- span :: t.order;
+  t.n <- t.n + 1;
+  id
+
+let start t ?(parent = no_span) ?(track = "") name =
+  if not t.enabled then no_span
+  else record t ~parent ~track ~instant:false ~attrs:[] name
+
+let set_attr t id key value =
+  if t.enabled then
+    match Hashtbl.find_opt t.by_id id with
+    | Some span -> span.attrs <- (key, value) :: span.attrs
+    | None -> ()
+
+let finish t ?(attrs = []) id =
+  if t.enabled then
+    match Hashtbl.find_opt t.by_id id with
+    | Some span when Float.is_nan span.finish ->
+      span.finish <- t.clock ();
+      span.attrs <- attrs @ span.attrs
+    | Some _ | None -> ()
+
+let instant t ?(parent = no_span) ?(track = "") ?(attrs = []) name =
+  if t.enabled then
+    ignore (record t ~parent ~track ~instant:true ~attrs name)
+
+let spans t =
+  List.stable_sort
+    (fun a b ->
+      match Float.compare a.start b.start with
+      | 0 -> Int.compare a.id b.id
+      | c -> c)
+    (List.rev t.order)
+
+let length t = t.n
+
+let clear t =
+  Hashtbl.reset t.by_id;
+  t.order <- [];
+  t.n <- 0

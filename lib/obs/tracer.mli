@@ -1,0 +1,67 @@
+(** Span tracing for the transaction lifecycle.
+
+    A span is a named interval with a start/end time, a parent link, a
+    track (the node it happened on) and key/value attributes.  The
+    protocol layers open spans such as ["txn"], ["query"], ["proof_eval"],
+    ["2pv.round"], ["2pvc.prepare"], ["2pvc.validate"], ["2pvc.commit"],
+    ["wal.force"] and ["lock.wait"]; {!Export} renders them as Chrome
+    [trace_event] JSON (loadable in [chrome://tracing] / Perfetto) or as
+    JSONL.
+
+    The clock is injected — the simulator passes simulated time, so traces
+    are deterministic across runs.
+
+    Zero cost when disabled: {!noop} never records, {!start} returns
+    {!no_span} (an immediate int) and every operation is a single branch.
+    Instrumentation that builds dynamic names or attribute lists must
+    guard on {!enabled} so the disabled path allocates nothing. *)
+
+type t
+
+type span = {
+  id : int;
+  parent : int;  (** [no_span] when the span has no parent. *)
+  name : string;
+  track : string;  (** Node / thread the span belongs to. *)
+  start : float;
+  mutable finish : float;  (** [nan] while the span is open. *)
+  mutable attrs : (string * string) list;  (** Newest first. *)
+  instant : bool;  (** Zero-duration point event. *)
+}
+
+(** The id returned for every span when tracing is disabled. *)
+val no_span : int
+
+(** Shared disabled tracer; all operations are no-ops. *)
+val noop : t
+
+(** [create ~clock ()] builds a live tracer; [clock] supplies timestamps
+    (milliseconds by convention). *)
+val create : clock:(unit -> float) -> unit -> t
+
+val enabled : t -> bool
+
+(** [start t ~track name] opens a span and returns its id ([no_span] when
+    disabled). *)
+val start : t -> ?parent:int -> ?track:string -> string -> int
+
+(** [set_attr t id key value] attaches an attribute to an open or finished
+    span; unknown ids (including [no_span]) are ignored. *)
+val set_attr : t -> int -> string -> string -> unit
+
+(** [finish t id] closes the span at the current clock; repeated or
+    unknown ids are ignored. *)
+val finish : t -> ?attrs:(string * string) list -> int -> unit
+
+(** [instant t ~track name] records a zero-duration point event. *)
+val instant :
+  t -> ?parent:int -> ?track:string -> ?attrs:(string * string) list -> string -> unit
+
+(** All spans ordered by start time (ties by id, i.e. creation order).
+    Open spans appear with [finish = nan]. *)
+val spans : t -> span list
+
+(** Number of spans recorded so far. *)
+val length : t -> int
+
+val clear : t -> unit

@@ -3,9 +3,13 @@ type t = {
   mutable now : float;
   mutable seq : int;
   mutable steps : int;
+  mutable observer : (now:float -> pending:int -> unit) option;
 }
 
-let create () = { heap = Event_heap.create (); now = 0.; seq = 0; steps = 0 }
+let create () =
+  { heap = Event_heap.create (); now = 0.; seq = 0; steps = 0; observer = None }
+
+let set_observer t obs = t.observer <- obs
 
 let now t = t.now
 
@@ -25,6 +29,9 @@ let step t =
   | Some (time, _seq, f) ->
     t.now <- time;
     t.steps <- t.steps + 1;
+    (match t.observer with
+    | None -> ()
+    | Some obs -> obs ~now:time ~pending:(Event_heap.size t.heap));
     f ();
     true
 

@@ -101,6 +101,29 @@ let to_mermaid t =
     (entries t);
   Buffer.contents buf
 
+let to_jsonl t =
+  let module Json = Cloudtx_obs.Json in
+  let buf = Buffer.create 1024 in
+  let row time kind src dst label =
+    let fields =
+      [ ("time_ms", Json.number time); ("kind", Json.quote kind) ]
+      @ (if src = "" then [] else [ ("src", Json.quote src) ])
+      @ (if dst = "" then [] else [ ("dst", Json.quote dst) ])
+      @ [ ("label", Json.quote label) ]
+    in
+    Buffer.add_string buf (Json.obj fields);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Send { src; dst; label } -> row e.time "send" src dst label
+      | Recv { src; dst; label } -> row e.time "recv" src dst label
+      | Drop { src; dst; label } -> row e.time "drop" src dst label
+      | Mark { node; label } -> row e.time "mark" node "" label)
+    (entries t);
+  Buffer.contents buf
+
 let csv_quote s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
     let buf = Buffer.create (String.length s + 4) in

@@ -52,3 +52,8 @@ val to_mermaid : t -> string
 (** CSV export: [time,kind,src,dst,label] with RFC-4180 quoting; header
     row included. [Mark] entries put the node in [src]. *)
 val to_csv : t -> string
+
+(** JSONL export: one JSON object per entry with [time_ms], [kind]
+    ([send]/[recv]/[drop]/[mark]), [src]/[dst] where applicable and
+    [label].  [Mark] entries put the node in [src]. *)
+val to_jsonl : t -> string

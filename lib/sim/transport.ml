@@ -1,4 +1,5 @@
 module Counter = Cloudtx_metrics.Counter
+module Obs = Cloudtx_obs
 
 type 'msg t = {
   engine : Engine.t;
@@ -9,6 +10,8 @@ type 'msg t = {
   handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
   crashed : (string, unit) Hashtbl.t;
   rng : Splitmix.t;
+  mutable tracer : Obs.Tracer.t;
+  mutable registry : Obs.Registry.t;
 }
 
 let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
@@ -23,14 +26,35 @@ let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
     handlers = Hashtbl.create 16;
     crashed = Hashtbl.create 4;
     rng;
+    tracer = Obs.Tracer.noop;
+    registry = Obs.Registry.noop;
   }
 
 let engine t = t.engine
 let network t = t.network
 let trace t = t.trace
 let counters t = t.counters
+let tracer t = t.tracer
+let registry t = t.registry
 let now t = Engine.now t.engine
 let fork_rng t = Splitmix.split t.rng
+
+let enable_tracing t =
+  if not (Obs.Tracer.enabled t.tracer) then
+    t.tracer <- Obs.Tracer.create ~clock:(fun () -> Engine.now t.engine) ();
+  t.tracer
+
+let enable_metrics t =
+  if not (Obs.Registry.enabled t.registry) then begin
+    let registry = Obs.Registry.create () in
+    t.registry <- registry;
+    Engine.set_observer t.engine
+      (Some
+         (fun ~now:_ ~pending ->
+           Obs.Registry.set_gauge registry "sim.pending_events" []
+             (float_of_int pending)))
+  end;
+  t.registry
 
 let register t name handler =
   if Hashtbl.mem t.handlers name then
@@ -42,28 +66,49 @@ let crash t name = Hashtbl.replace t.crashed name ()
 let recover t name = Hashtbl.remove t.crashed name
 let crashed t name = Hashtbl.mem t.crashed name
 
+(* Network events double as tracer instants so one exported artifact
+   carries both the protocol spans and the wire-level view.  The instant
+   lands on [src]'s track with the other endpoint under "peer". *)
+let span_net t ~event ~src ~dst label =
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.instant t.tracer ~track:src
+      ~attrs:[ ("peer", dst); ("label", label) ]
+      event
+
 let send t ~src ~dst msg =
   let label = t.label_of msg in
   Counter.incr t.counters "messages";
   Counter.incr t.counters ("msg:" ^ label);
+  if Obs.Registry.enabled t.registry then
+    Obs.Registry.incr t.registry "messages_total" [ ("type", label) ];
   Trace.record t.trace ~time:(now t) (Trace.Send { src; dst; label });
+  span_net t ~event:"send" ~src ~dst label;
   match Hashtbl.find_opt t.handlers dst with
-  | None -> Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label })
+  | None ->
+    Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label });
+    span_net t ~event:"drop" ~src ~dst label
   | Some handler -> (
     match Network.fate t.network ~src ~dst with
-    | `Lost -> Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label })
+    | `Lost ->
+      Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label });
+      span_net t ~event:"drop" ~src ~dst label
     | `Deliver_after delay ->
       Engine.schedule t.engine ~delay (fun () ->
-          if Hashtbl.mem t.crashed dst then
-            Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label })
+          if Hashtbl.mem t.crashed dst then begin
+            Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label });
+            span_net t ~event:"drop" ~src ~dst label
+          end
           else begin
             Trace.record t.trace ~time:(now t) (Trace.Recv { src; dst; label });
+            span_net t ~event:"recv" ~src:dst ~dst:src label;
             handler ~src msg
           end))
 
 let at t ~delay f = Engine.schedule t.engine ~delay f
 
 let mark t ~node label =
-  Trace.record t.trace ~time:(now t) (Trace.Mark { node; label })
+  Trace.record t.trace ~time:(now t) (Trace.Mark { node; label });
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.instant t.tracer ~track:node label
 
 let run ?until ?max_steps t = Engine.run ?until ?max_steps t.engine

@@ -27,6 +27,24 @@ val network : _ t -> Network.t
 val trace : _ t -> Trace.t
 val counters : _ t -> Cloudtx_metrics.Counter.t
 
+(** The fabric's span tracer; {!Cloudtx_obs.Tracer.noop} until
+    {!enable_tracing} is called, so instrumentation is free by default. *)
+val tracer : _ t -> Cloudtx_obs.Tracer.t
+
+(** The fabric's metrics registry; {!Cloudtx_obs.Registry.noop} until
+    {!enable_metrics} is called. *)
+val registry : _ t -> Cloudtx_obs.Registry.t
+
+(** [enable_tracing t] installs (once) and returns a live tracer clocked
+    by simulated time, so exported traces are deterministic.  Every
+    [send]/[mark] from then on also lands in the tracer as an instant
+    event, bridging the {!Trace} view into the span artifact. *)
+val enable_tracing : _ t -> Cloudtx_obs.Tracer.t
+
+(** [enable_metrics t] installs (once) and returns a live registry; also
+    hooks the engine to sample queue depth ([sim.pending_events]). *)
+val enable_metrics : _ t -> Cloudtx_obs.Registry.t
+
 (** Simulated now, for convenience. *)
 val now : _ t -> float
 

@@ -7,18 +7,28 @@ type lock_state = {
   mutable queue : request list; (* oldest-ts first *)
 }
 
-type t = (string, lock_state) Hashtbl.t
-
-let create () : t = Hashtbl.create 64
-
 type outcome = Granted | Queued | Die
 
+type observer = {
+  on_acquire : txn:string -> key:string -> mode:mode -> outcome:outcome -> unit;
+  on_promoted : txn:string -> key:string -> mode:mode -> unit;
+  on_killed : txn:string -> key:string -> unit;
+}
+
+type t = {
+  table : (string, lock_state) Hashtbl.t;
+  mutable observer : observer option;
+}
+
+let create () = { table = Hashtbl.create 64; observer = None }
+let set_observer t obs = t.observer <- obs
+
 let state t key =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.table key with
   | Some s -> s
   | None ->
     let s = { holders = []; queue = [] } in
-    Hashtbl.add t key s;
+    Hashtbl.add t.table key s;
     s
 
 let compatible requested holders =
@@ -40,7 +50,7 @@ let insert_by_ts req queue =
 let wait_die requester holders =
   if List.for_all (fun h -> requester.ts < h.ts) holders then Queued else Die
 
-let acquire t ~txn ~ts ~key mode =
+let acquire_locked t ~txn ~ts ~key mode =
   let s = state t key in
   let mine, others = List.partition (fun r -> String.equal r.txn txn) s.holders in
   match (mine, mode) with
@@ -88,6 +98,13 @@ let acquire t ~txn ~ts ~key mode =
       | other -> other
     end
   | _ :: _ :: _, _ -> assert false (* one request per txn per key *)
+
+let acquire t ~txn ~ts ~key mode =
+  let outcome = acquire_locked t ~txn ~ts ~key mode in
+  (match t.observer with
+  | None -> ()
+  | Some obs -> obs.on_acquire ~txn ~key ~mode ~outcome);
+  outcome
 
 type release = {
   granted : (string * string * mode) list;
@@ -148,25 +165,33 @@ let release_all t ~txn =
       s.queue <- List.filter (fun r -> not (String.equal r.txn txn)) s.queue;
       let after = List.length s.holders + List.length s.queue in
       if after < before then promote key s granted killed)
-    t;
-  { granted = List.rev !granted; killed = List.rev !killed }
+    t.table;
+  let result = { granted = List.rev !granted; killed = List.rev !killed } in
+  (match t.observer with
+  | None -> ()
+  | Some obs ->
+    List.iter
+      (fun (txn, key, mode) -> obs.on_promoted ~txn ~key ~mode)
+      result.granted;
+    List.iter (fun (txn, key) -> obs.on_killed ~txn ~key) result.killed);
+  result
 
 let holders t ~key =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.table key with
   | None -> []
   | Some s -> List.map (fun r -> (r.txn, r.mode)) s.holders
 
 let waiters t ~key =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.table key with
   | None -> []
   | Some s -> List.map (fun r -> r.txn) s.queue
 
-let clear t = Hashtbl.reset t
+let clear t = Hashtbl.reset t.table
 
 let held_by t ~txn =
   Hashtbl.fold
     (fun key s acc ->
       if List.exists (fun r -> String.equal r.txn txn) s.holders then key :: acc
       else acc)
-    t []
+    t.table []
   |> List.sort String.compare

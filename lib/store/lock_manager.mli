@@ -51,3 +51,17 @@ val held_by : t -> txn:string -> string list
 (** [clear t] empties the whole lock table (crash of the volatile lock
     state). *)
 val clear : t -> unit
+
+(** Callbacks fired after lock-table transitions; lets the observability
+    layer watch lock waits without this module depending on it. *)
+type observer = {
+  on_acquire : txn:string -> key:string -> mode:mode -> outcome:outcome -> unit;
+  on_promoted : txn:string -> key:string -> mode:mode -> unit;
+      (** A queued request was granted during some release. *)
+  on_killed : txn:string -> key:string -> unit;
+      (** A waiter died when wait-die was re-applied at promotion. *)
+}
+
+(** [set_observer t (Some obs)] installs the hooks; [None] (the default)
+    disables them. *)
+val set_observer : t -> observer option -> unit

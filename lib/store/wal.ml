@@ -17,15 +17,27 @@ type t = {
   mutable entries : entry list; (* newest first *)
   mutable next_lsn : int;
   mutable forces : int;
+  mutable observer : (time:float -> forced:bool -> tag:string -> unit) option;
 }
 
-let create () = { entries = []; next_lsn = 0; forces = 0 }
+let create () = { entries = []; next_lsn = 0; forces = 0; observer = None }
+let set_observer t obs = t.observer <- obs
+
+let record_tag = function
+  | Begin_txn _ -> "begin"
+  | Prepared _ -> "prepared"
+  | Decision _ -> "decision"
+  | End_txn _ -> "end"
+  | Checkpoint _ -> "checkpoint"
 
 let append t ~time ~forced record =
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   if forced then t.forces <- t.forces + 1;
   t.entries <- { lsn; time; forced; record } :: t.entries;
+  (match t.observer with
+  | None -> ()
+  | Some f -> f ~time ~forced ~tag:(record_tag record));
   lsn
 
 let force_count t = t.forces

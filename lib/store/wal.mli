@@ -32,6 +32,16 @@ val create : unit -> t
 (** [append t ~time ~forced record] returns the new record's LSN. *)
 val append : t -> time:float -> forced:bool -> record -> int
 
+(** Stable short name of a record's constructor, e.g. ["prepared"]. *)
+val record_tag : record -> string
+
+(** [set_observer t (Some f)] calls [f ~time ~forced ~tag] after every
+    append; [None] (the default) disables the hook.  Lets the
+    observability layer watch log writes without this module depending on
+    it. *)
+val set_observer :
+  t -> (time:float -> forced:bool -> tag:string -> unit) option -> unit
+
 (** Number of forced (synchronous) appends — the paper's log-complexity
     metric. *)
 val force_count : t -> int

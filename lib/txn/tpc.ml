@@ -21,6 +21,14 @@ type action =
   | Outcome of bool
   | Done
 
+let action_label = function
+  | Send { msg; _ } -> "send:" ^ msg_label msg
+  | Force_log tag -> "force_log:" ^ tag
+  | Write_log tag -> "write_log:" ^ tag
+  | Apply commit -> if commit then "apply:commit" else "apply:abort"
+  | Outcome commit -> if commit then "outcome:commit" else "outcome:abort"
+  | Done -> "done"
+
 (* ------------------------------------------------------------------ *)
 (* Coordinator                                                         *)
 (* ------------------------------------------------------------------ *)

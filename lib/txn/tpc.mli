@@ -47,6 +47,9 @@ type action =
   | Outcome of bool  (** Coordinator: global decision reached. *)
   | Done  (** Machine finished; resources releasable. *)
 
+(** Stable label for traces and counters, e.g. ["send:vote-request"]. *)
+val action_label : action -> string
+
 (** {1 Coordinator} *)
 
 type coordinator

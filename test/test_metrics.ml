@@ -121,6 +121,31 @@ let test_sample_growth () =
   Alcotest.(check (float 1e-9)) "min" 1. (Sample_set.min s);
   Alcotest.(check (float 1e-9)) "max" 1000. (Sample_set.max s)
 
+let test_negative_samples () =
+  (* Regression: sorting used polymorphic compare on a float array and
+     min/max re-scanned the samples; negative and unsorted inputs must
+     order correctly under Float.compare. *)
+  let s = Sample_set.create () in
+  List.iter (Sample_set.add s) [ 3.; -5.; 1.5; -2.; 0. ];
+  Alcotest.(check (float 1e-9)) "min" (-5.) (Sample_set.min s);
+  Alcotest.(check (float 1e-9)) "max" 3. (Sample_set.max s);
+  Alcotest.(check (float 1e-9)) "median" 0. (Sample_set.median s);
+  Alcotest.(check (float 1e-9)) "p0" (-5.) (Sample_set.percentile s 0.)
+
+let test_running_min_max () =
+  (* Regression: min/max are maintained incrementally; interleaved adds
+     must never lose an extreme. *)
+  let s = Sample_set.create () in
+  for i = 0 to 99 do
+    Sample_set.add s (if i mod 2 = 0 then float_of_int i else -.float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "min" (-99.) (Sample_set.min s);
+  Alcotest.(check (float 1e-9)) "max" 98. (Sample_set.max s);
+  Sample_set.add s 1000.;
+  Sample_set.add s (-1000.);
+  Alcotest.(check (float 1e-9)) "max updates" 1000. (Sample_set.max s);
+  Alcotest.(check (float 1e-9)) "min updates" (-1000.) (Sample_set.min s)
+
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:200
     QCheck.(
@@ -219,6 +244,8 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "errors" `Quick test_percentile_errors;
           Alcotest.test_case "growth" `Quick test_sample_growth;
+          Alcotest.test_case "negative samples" `Quick test_negative_samples;
+          Alcotest.test_case "running min max" `Quick test_running_min_max;
           qc prop_percentile_bounded;
         ] );
       ( "rendering",

@@ -1,0 +1,366 @@
+(* Unit tests for cloudtx_obs: span tracing, the metrics registry, the
+   log2 histogram and the Chrome/JSONL exporters.  Exported JSON is
+   validated with the policy wire codec's parser, which is a full JSON
+   reader. *)
+
+module Tracer = Cloudtx_obs.Tracer
+module Registry = Cloudtx_obs.Registry
+module Histogram = Cloudtx_obs.Histogram
+module Export = Cloudtx_obs.Export
+module Obs_json = Cloudtx_obs.Json
+module Json = Cloudtx_policy.Json
+
+(* A hand-cranked clock makes span timestamps deterministic. *)
+let make_tracer () =
+  let now = ref 0. in
+  let t = Tracer.create ~clock:(fun () -> !now) () in
+  (t, now)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let t, now = make_tracer () in
+  let root = Tracer.start t ~track:"tm" "txn" in
+  now := 1.;
+  let child = Tracer.start t ~parent:root ~track:"tm" "query" in
+  now := 3.;
+  Tracer.finish t child;
+  now := 5.;
+  Tracer.finish t ~attrs:[ ("outcome", "commit") ] root;
+  match Tracer.spans t with
+  | [ r; c ] ->
+    Alcotest.(check string) "root name" "txn" r.Tracer.name;
+    Alcotest.(check int) "root has no parent" Tracer.no_span r.Tracer.parent;
+    Alcotest.(check int) "child links to root" root c.Tracer.parent;
+    Alcotest.(check (float 0.)) "root start" 0. r.Tracer.start;
+    Alcotest.(check (float 0.)) "root finish" 5. r.Tracer.finish;
+    Alcotest.(check (float 0.)) "child start" 1. c.Tracer.start;
+    Alcotest.(check (float 0.)) "child finish" 3. c.Tracer.finish;
+    Alcotest.(check (list (pair string string)))
+      "finish attrs" [ ("outcome", "commit") ] r.Tracer.attrs
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_ordering () =
+  let t, now = make_tracer () in
+  now := 2.;
+  let b = Tracer.start t "b" in
+  now := 1.;
+  let a = Tracer.start t "a" in
+  Tracer.finish t a;
+  Tracer.finish t b;
+  Alcotest.(check (list string))
+    "sorted by start time" [ "a"; "b" ]
+    (List.map (fun s -> s.Tracer.name) (Tracer.spans t));
+  (* Same start: creation (id) order breaks the tie. *)
+  let t, _now = make_tracer () in
+  ignore (Tracer.start t "first");
+  ignore (Tracer.start t "second");
+  Alcotest.(check (list string))
+    "ties by id" [ "first"; "second" ]
+    (List.map (fun s -> s.Tracer.name) (Tracer.spans t))
+
+let test_finish_idempotent () =
+  let t, now = make_tracer () in
+  let s = Tracer.start t "x" in
+  now := 2.;
+  Tracer.finish t s;
+  now := 9.;
+  Tracer.finish t s;
+  (* second finish ignored *)
+  Tracer.finish t 424242;
+  (* unknown id ignored *)
+  let span = List.hd (Tracer.spans t) in
+  Alcotest.(check (float 0.)) "first finish wins" 2. span.Tracer.finish
+
+let test_instant_and_open () =
+  let t, now = make_tracer () in
+  let s = Tracer.start t "open-span" in
+  ignore s;
+  now := 4.;
+  Tracer.instant t ~track:"net" ~attrs:[ ("dst", "p1") ] "send";
+  Alcotest.(check int) "two spans" 2 (Tracer.length t);
+  let by_name name = List.find (fun x -> x.Tracer.name = name) (Tracer.spans t) in
+  Alcotest.(check bool) "instant flagged" true (by_name "send").Tracer.instant;
+  Alcotest.(check bool)
+    "open span has nan finish" true
+    (Float.is_nan (by_name "open-span").Tracer.finish)
+
+let test_disabled_tracer () =
+  Alcotest.(check bool) "noop disabled" false (Tracer.enabled Tracer.noop);
+  let id = Tracer.start Tracer.noop ~track:"x" "txn" in
+  Alcotest.(check int) "start yields no_span" Tracer.no_span id;
+  Tracer.set_attr Tracer.noop id "k" "v";
+  Tracer.finish Tracer.noop id;
+  Tracer.instant Tracer.noop "i";
+  Alcotest.(check int) "nothing recorded" 0 (Tracer.length Tracer.noop)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_label_canonicalization () =
+  let r = Registry.create () in
+  Registry.incr r "msgs" [ ("b", "2"); ("a", "1") ];
+  Registry.incr r "msgs" [ ("a", "1"); ("b", "2") ];
+  Alcotest.(check int)
+    "order-insensitive identity" 2
+    (Registry.counter r "msgs" [ ("b", "2"); ("a", "1") ]);
+  Registry.incr r "msgs" [ ("a", "1") ];
+  Alcotest.(check int) "different set is a new series" 1
+    (Registry.counter r "msgs" [ ("a", "1") ]);
+  Alcotest.(check int) "total sums label sets" 3 (Registry.counter_total r "msgs")
+
+let test_registry_cells () =
+  let r = Registry.create () in
+  Registry.set_gauge r "depth" [] 3.5;
+  Registry.set_gauge r "depth" [] 1.5;
+  Alcotest.(check (option (float 0.))) "gauge overwrites" (Some 1.5)
+    (Registry.gauge r "depth" []);
+  Registry.observe r "lat" [ ("s", "a") ] 10.;
+  Registry.observe r "lat" [ ("s", "a") ] 30.;
+  (match Registry.histogram r "lat" [ ("s", "a") ] with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 2 (Histogram.count h);
+    Alcotest.(check (float 1e-9)) "mean" 20. (Histogram.mean h));
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Registry: depth is a gauge, not a counter") (fun () ->
+      Registry.incr r "depth" [])
+
+let test_registry_series_sorted () =
+  let r = Registry.create () in
+  Registry.incr r "z" [];
+  Registry.incr r "a" [ ("k", "2") ];
+  Registry.incr r "a" [ ("k", "1") ];
+  Alcotest.(check (list string))
+    "sorted by name then labels" [ "a/k=1"; "a/k=2"; "z/" ]
+    (List.map
+       (fun (name, labels, _) ->
+         name ^ "/" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+       (Registry.series r))
+
+let test_disabled_registry () =
+  Alcotest.(check bool) "noop disabled" false (Registry.enabled Registry.noop);
+  Registry.incr Registry.noop "c" [];
+  Registry.set_gauge Registry.noop "g" [] 1.;
+  Registry.observe Registry.noop "h" [] 1.;
+  Alcotest.(check int) "no cells" 0 (List.length (Registry.series Registry.noop));
+  Alcotest.(check int) "counter reads zero" 0 (Registry.counter Registry.noop "c" [])
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_bucket_boundaries () =
+  let h = Histogram.create () in
+  (* Exact powers of two sit on bucket boundaries; each must land in the
+     bucket whose upper bound equals the value. *)
+  List.iter (Histogram.observe h) [ 0.5; 1.; 2.; 4. ];
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "one per boundary bucket"
+    [ (0.5, 1); (1., 1); (2., 1); (4., 1) ]
+    (Histogram.buckets h);
+  (* Just above a boundary moves up one bucket. *)
+  let h2 = Histogram.create () in
+  Histogram.observe h2 2.0001;
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "above boundary" [ (4., 1) ] (Histogram.buckets h2)
+
+let test_histogram_percentiles_exact () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.observe h (float_of_int i)
+  done;
+  (* Percentiles come from the exact sample store (linear interpolation
+     over n-1 intervals), not from bucket edges. *)
+  Alcotest.(check (float 1e-9)) "p50" 50.5 (Histogram.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p95" 95.05 (Histogram.percentile h 95.);
+  Alcotest.(check (float 1e-9)) "p99" 99.01 (Histogram.percentile h 99.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Histogram.percentile h 100.);
+  Alcotest.(check (float 1e-9)) "min" 1. (Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 100. (Histogram.max h)
+
+let test_histogram_extremes () =
+  let h = Histogram.create () in
+  Histogram.observe h 0.;
+  Histogram.observe h (-5.);
+  Histogram.observe h 1e30;
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  (* 0 and -5 share the lowest bucket; 1e30 gets its own. *)
+  Alcotest.(check int) "two buckets" 2 (List.length (Histogram.buckets h));
+  Alcotest.(check (float 0.)) "min tracks negatives" (-5.) (Histogram.min h)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_tracer () =
+  let t, now = make_tracer () in
+  let root = Tracer.start t ~track:"tm" "txn" in
+  Tracer.set_attr t root "scheme" "deferred";
+  now := 1.5;
+  let q = Tracer.start t ~parent:root ~track:"tm" "query" in
+  now := 2.25;
+  Tracer.instant t ~track:"server-1" ~attrs:[ ("record", "prepared") ] "wal.force";
+  now := 3.;
+  Tracer.finish t q;
+  now := 4.;
+  Tracer.finish t root;
+  (* One deliberately open span, and a name needing JSON escaping. *)
+  ignore (Tracer.start t ~track:"tm" "odd \"name\"\n");
+  t
+
+let test_chrome_export_well_formed () =
+  let t = sample_tracer () in
+  let rendered = Export.to_chrome t in
+  match Json.parse rendered with
+  | Error e -> Alcotest.failf "chrome export does not parse: %s" e
+  | Ok doc ->
+    let events =
+      match Json.(member "traceEvents" doc) with
+      | Ok (Json.List l) -> l
+      | _ -> Alcotest.fail "traceEvents missing"
+    in
+    (* 4 spans (one open, one instant) + thread_name metadata per track. *)
+    let phase e =
+      match Json.(member "ph" e) with Ok (Json.String s) -> s | _ -> "?"
+    in
+    let count p = List.length (List.filter (fun e -> phase e = p) events) in
+    Alcotest.(check int) "complete spans" 3 (count "X");
+    Alcotest.(check int) "instants" 1 (count "i");
+    Alcotest.(check int) "track metadata" 2 (count "M");
+    (* Timestamps are microseconds: the query span starts at 1.5ms. *)
+    let query_ts =
+      List.find_map
+        (fun e ->
+          match (Json.member "name" e, Json.member "ts" e) with
+          | Ok (Json.String "query"), Ok (Json.Int ts) -> Some ts
+          | _ -> None)
+        events
+    in
+    Alcotest.(check (option int)) "ts in us" (Some 1500) query_ts
+
+let test_jsonl_export () =
+  let t = sample_tracer () in
+  let lines =
+    Export.to_jsonl t |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per span" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error e -> Alcotest.failf "jsonl line does not parse: %s (%s)" e line
+      | Ok _ -> ())
+    lines;
+  (* The open span must carry a null end_ms. *)
+  let has_null_end =
+    List.exists
+      (fun line ->
+        match Json.parse line with
+        | Ok doc -> Json.member "end_ms" doc = Ok Json.Null
+        | Error _ -> false)
+      lines
+  in
+  Alcotest.(check bool) "open span end_ms is null" true has_null_end
+
+let test_sim_trace_jsonl () =
+  let trace = Cloudtx_sim.Trace.create () in
+  Cloudtx_sim.Trace.record trace ~time:1.
+    (Cloudtx_sim.Trace.Send { src = "a"; dst = "b"; label = "m \"x\"" });
+  Cloudtx_sim.Trace.record trace ~time:2.
+    (Cloudtx_sim.Trace.Mark { node = "a"; label = "sync" });
+  let lines =
+    Cloudtx_sim.Trace.to_jsonl trace
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error e -> Alcotest.failf "trace jsonl does not parse: %s (%s)" e line
+      | Ok _ -> ())
+    lines
+
+let test_registry_json () =
+  let r = Registry.create () in
+  Registry.incr r "txn_total" [ ("outcome", "commit") ];
+  Registry.set_gauge r "depth" [] 2.;
+  Registry.observe r "lat \"ms\"" [ ("s", "a") ] 3.;
+  match Json.parse (Registry.to_json r) with
+  | Error e -> Alcotest.failf "metrics json does not parse: %s" e
+  | Ok (Json.List series) ->
+    Alcotest.(check int) "three series" 3 (List.length series)
+  | Ok _ -> Alcotest.fail "expected a JSON array"
+
+let test_json_number_rendering () =
+  Alcotest.(check string) "integral floats stay short" "42" (Obs_json.number 42.);
+  Alcotest.(check string) "nan is null" "null" (Obs_json.number Float.nan);
+  Alcotest.(check string) "inf is null" "null" (Obs_json.number Float.infinity);
+  Alcotest.(check string) "escaping" "\"a\\\"b\\n\"" (Obs_json.quote "a\"b\n")
+
+(* ------------------------------------------------------------------ *)
+(* Wiring: simulator clock feeds spans                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_transport_tracing () =
+  let transport =
+    Cloudtx_sim.Transport.create
+      ~latency:(Cloudtx_sim.Latency.Constant 2.) ~label_of:(fun l -> l) ()
+  in
+  Alcotest.(check bool) "off by default" false
+    (Tracer.enabled (Cloudtx_sim.Transport.tracer transport));
+  let tracer = Cloudtx_sim.Transport.enable_tracing transport in
+  let tracer' = Cloudtx_sim.Transport.enable_tracing transport in
+  Alcotest.(check bool) "enable is idempotent" true (tracer == tracer');
+  Cloudtx_sim.Transport.register transport "b" (fun ~src:_ _ -> ());
+  Cloudtx_sim.Transport.send transport ~src:"a" ~dst:"b" "hello";
+  ignore (Cloudtx_sim.Transport.run transport);
+  let names = List.map (fun s -> (s.Tracer.name, s.Tracer.start)) (Tracer.spans tracer) in
+  Alcotest.(check bool) "send instant at t=0" true (List.mem ("send", 0.) names);
+  Alcotest.(check bool) "recv instant at sim time 2" true (List.mem ("recv", 2.) names)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span ordering" `Quick test_span_ordering;
+          Alcotest.test_case "finish idempotent" `Quick test_finish_idempotent;
+          Alcotest.test_case "instants and open spans" `Quick test_instant_and_open;
+          Alcotest.test_case "disabled fast path" `Quick test_disabled_tracer;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "label canonicalization" `Quick
+            test_label_canonicalization;
+          Alcotest.test_case "cells" `Quick test_registry_cells;
+          Alcotest.test_case "series sorted" `Quick test_registry_series_sorted;
+          Alcotest.test_case "disabled fast path" `Quick test_disabled_registry;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "exact percentiles" `Quick
+            test_histogram_percentiles_exact;
+          Alcotest.test_case "extremes" `Quick test_histogram_extremes;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome well-formed" `Quick
+            test_chrome_export_well_formed;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_export;
+          Alcotest.test_case "sim trace jsonl" `Quick test_sim_trace_jsonl;
+          Alcotest.test_case "registry json" `Quick test_registry_json;
+          Alcotest.test_case "number rendering" `Quick test_json_number_rendering;
+        ] );
+      ( "wiring",
+        [ Alcotest.test_case "transport tracing" `Quick test_transport_tracing ] );
+    ]
