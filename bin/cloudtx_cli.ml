@@ -109,6 +109,16 @@ let metrics_json_arg =
     & info [ "metrics-json" ]
         ~doc:"Write the metrics registry snapshot as JSON to $(docv)." ~docv:"FILE")
 
+let metrics_prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-prom" ]
+        ~doc:
+          "Write the metrics registry snapshot in Prometheus text exposition \
+           format to $(docv)."
+        ~docv:"FILE")
+
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
 (* ------------------------------------------------------------------ *)
@@ -129,12 +139,13 @@ let write_file path contents =
 
 (* Turn the sinks on before any transaction runs; spans and metrics only
    exist for what happens afterwards. *)
-let enable_obs cluster ~trace_out ~metrics_json =
+let enable_obs cluster ~trace_out ~metrics_json ~metrics_prom =
   let transport = Cluster.transport cluster in
   if trace_out <> None then ignore (Transport.enable_tracing transport);
-  if metrics_json <> None then ignore (Transport.enable_metrics transport)
+  if metrics_json <> None || metrics_prom <> None then
+    ignore (Transport.enable_metrics transport)
 
-let dump_obs cluster ~trace_out ~metrics_json =
+let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom =
   let transport = Cluster.transport cluster in
   Option.iter
     (fun path ->
@@ -146,7 +157,12 @@ let dump_obs cluster ~trace_out ~metrics_json =
     (fun path ->
       write_file path (Registry.to_json (Transport.registry transport));
       Format.printf "wrote %s (metrics snapshot)@." path)
-    metrics_json
+    metrics_json;
+  Option.iter
+    (fun path ->
+      write_file path (Registry.to_prometheus (Transport.registry transport));
+      Format.printf "wrote %s (metrics snapshot, Prometheus text format)@." path)
+    metrics_prom
 
 (* End-of-run summary off the registry: outcome counts, resource totals,
    phase percentiles, and the paper's worst-case analytic predictions for
@@ -223,12 +239,12 @@ let obs_summary reg ~scheme ~level ~servers ~queries ~txns =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd verbose scheme level servers queries txns seed update_period
-    write_ratio zipf trace_out metrics_json =
+    write_ratio zipf trace_out metrics_json metrics_prom =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
   in
-  enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json;
+  enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom;
   (match update_period with
   | Some period when period > 0. ->
     Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
@@ -269,13 +285,13 @@ let run_cmd verbose scheme level servers queries txns seed update_period
   obs_summary
     (Transport.registry (Cluster.transport scenario.Scenario.cluster))
     ~scheme ~level ~servers ~queries ~txns;
-  dump_obs scenario.Scenario.cluster ~trace_out ~metrics_json
+  dump_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
 
 let run_term =
   Term.(
     const run_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
-    $ zipf_arg $ trace_out_arg $ metrics_json_arg)
+    $ zipf_arg $ trace_out_arg $ metrics_json_arg $ metrics_prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -301,14 +317,15 @@ let table1_term =
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let trace_cmd verbose scheme level servers queries format trace_out metrics_json =
+let trace_cmd verbose scheme level servers queries format trace_out metrics_json
+    metrics_prom =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
       ~n_subjects:1 ()
   in
   let cluster = scenario.Scenario.cluster in
-  enable_obs cluster ~trace_out ~metrics_json;
+  enable_obs cluster ~trace_out ~metrics_json ~metrics_prom;
   let txn =
     Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
   in
@@ -324,7 +341,7 @@ let trace_cmd verbose scheme level servers queries format trace_out metrics_json
   | other ->
     Printf.eprintf "unknown format %s (text|mermaid|csv|jsonl)\n" other;
     exit 2);
-  dump_obs cluster ~trace_out ~metrics_json
+  dump_obs cluster ~trace_out ~metrics_json ~metrics_prom
 
 let format_arg =
   Arg.(
@@ -335,7 +352,8 @@ let format_arg =
 let trace_term =
   Term.(
     const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
-    $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg)
+    $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg
+    $ metrics_prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

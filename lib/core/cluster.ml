@@ -112,6 +112,30 @@ let publish t ~domain ?accept_capabilities ~delay rules =
     | None -> invalid_arg (Printf.sprintf "Cluster.publish: unknown domain %s" domain)
   in
   let policy = Admin.publish ?accept_capabilities admin rules in
+  (* Staleness accounting: record the master's latest version and how far
+     each replica now trails it.  Participants re-settle their own gauge
+     as propagations and fetch-driven updates land. *)
+  let registry = Transport.registry t.transport in
+  if Cloudtx_obs.Registry.enabled registry then begin
+    let version = float_of_int policy.Cloudtx_policy.Policy.version in
+    Cloudtx_obs.Registry.set_gauge registry "policy_master_version"
+      [ ("domain", domain) ] version;
+    List.iter
+      (fun (name, participant) ->
+        let held =
+          match
+            Cloudtx_policy.Replica.get
+              (Server.replica (Participant.server participant))
+              ~domain
+          with
+          | Some p -> float_of_int p.Cloudtx_policy.Policy.version
+          | None -> 0.
+        in
+        Cloudtx_obs.Registry.set_gauge registry "policy_staleness"
+          [ ("server", name); ("domain", domain) ]
+          (Float.max 0. (version -. held)))
+      t.participants
+  end;
   List.iter
     (fun (name, _) ->
       let lag =

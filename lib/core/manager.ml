@@ -1,19 +1,21 @@
+(* Thin driver binding {!Cloudtx_protocol.Tm_machine} to the simulated
+   transport, clock and observability sinks.  All protocol decisions live
+   in the machine; this file only interprets its actions. *)
+
 module Transport = Cloudtx_sim.Transport
 module Counter = Cloudtx_metrics.Counter
 module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
 module Transaction = Cloudtx_txn.Transaction
-module Query = Cloudtx_txn.Query
-module Proof = Cloudtx_policy.Proof
-module Policy = Cloudtx_policy.Policy
+module Tm = Cloudtx_protocol.Tm_machine
 
 let log_src = Logs.Src.create "cloudtx.manager" ~doc:"Transaction manager"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type master_mode = [ `Once | `Every_round ]
+type master_mode = Tm.master_mode
 
-type config = {
+type config = Tm.config = {
   scheme : Scheme.t;
   level : Consistency.level;
   master_mode : master_mode;
@@ -24,617 +26,169 @@ type config = {
   snapshot_reads : bool;
 }
 
-let config ?(master_mode = `Every_round) ?(max_rounds = 16) ?(vote_timeout = 0.)
-    ?(decision_retry = 0.) ?(read_only_optimization = false)
-    ?(snapshot_reads = false) scheme level =
-  {
-    scheme;
-    level;
-    master_mode;
-    max_rounds;
-    vote_timeout;
-    decision_retry;
-    read_only_optimization;
-    snapshot_reads;
-  }
+let config = Tm.config
 
-type awaiting_master =
-  | No_fetch
-  | Exec_check of Proof.t  (** Incremental global: current query's proof. *)
-  | Query_prefetch  (** Continuous global: before Validate requests. *)
-  | Commit_resolve  (** 2PVC: before resolving the completed round. *)
-
-type phase =
-  | Executing
-  | Query_validating  (** Continuous per-query 2PV. *)
-  | Committing
-  | Deciding
-  | Finished
-
-type state = {
+type driver = {
   cluster : Cluster.t;
-  cfg : config;
-  txn : Transaction.t;
+  machine : Tm.t;
   name : string;
+  txn_id : string;
   on_done : Outcome.t -> unit;
-  view : View.t;
-  submitted_at : float;
-  queries : Query.t array;
-  mutable qidx : int;
-  mutable phase : phase;
-  mutable awaiting_master : awaiting_master;
-  mutable watchdog_epoch : int;  (* guards stale watchdog timers *)
-  mutable validation : Validation.t option;
-  mutable commit_validates : bool;
-  mutable master_fetched_round : int;
-  mutable versions_seen : (string * int) list; (* incremental view *)
-  mutable decision : bool option;
-  mutable reason : Outcome.reason;
-  mutable commit_rounds : int;
-  mutable decision_targets : string list;
-  mutable acked : string list;
-  mutable read_only : string list;  (* voted READ; skip the decision phase *)
-  (* Observability: span ids are immediate ints (Tracer.no_span when
-     tracing is off); the float timestamps are only written when the
+  (* Observability registers: span ids are immediate ints (Tracer.no_span
+     when tracing is off); the float timestamps are only written when the
      registry is live, keeping the disabled path allocation-free. *)
   mutable txn_span : int;
   mutable query_span : int;
-  mutable round_span : int;  (* open 2pv.round / 2pvc.validate span *)
-  mutable phase_span : int;  (* open 2pvc.prepare / 2pvc.commit|abort span *)
+  mutable round_span : int; (* open 2pv.round / 2pvc.validate span *)
+  mutable phase_span : int; (* open 2pvc.prepare / 2pvc.commit|abort span *)
   mutable commit_started_at : float;
   mutable decided_at : float;
 }
 
-let transport s = Cluster.transport s.cluster
-let now s = Transport.now (transport s)
-let send s ~dst msg = Transport.send (transport s) ~src:s.name ~dst msg
-let mark s label = Transport.mark (transport s) ~node:s.name label
-let tracer s = Transport.tracer (transport s)
-let registry s = Transport.registry (transport s)
+let transport d = Cluster.transport d.cluster
+let now d = Transport.now (transport d)
+let tracer d = Transport.tracer (transport d)
+let registry d = Transport.registry (transport d)
 
-let scheme_labels s =
+let scheme_labels (cfg : config) =
   [
-    ("scheme", Scheme.name s.cfg.scheme);
-    ("consistency", Consistency.name s.cfg.level);
+    ("scheme", Scheme.name cfg.scheme);
+    ("consistency", Consistency.name cfg.level);
   ]
 
-let close_round_span s ?attrs () =
-  let tr = tracer s in
-  if Tracer.enabled tr && s.round_span <> Tracer.no_span then begin
-    Tracer.finish tr ?attrs s.round_span;
-    s.round_span <- Tracer.no_span
-  end
-
-let close_phase_span s =
-  let tr = tracer s in
-  if Tracer.enabled tr && s.phase_span <> Tracer.no_span then begin
-    Tracer.finish tr s.phase_span;
-    s.phase_span <- Tracer.no_span
-  end
-
-(* Watchdog (installed after [decide] below): every point where the TM
-   starts waiting on remote replies arms a timer; any progress that starts
-   a new wait re-arms it (bumping the epoch, which invalidates older
-   timers), and reaching a decision defuses it. With [vote_timeout] = 0
-   the TM blocks indefinitely, the paper's implicit assumption. *)
-let watchdog_hook : (state -> unit) ref = ref (fun _ -> assert false)
-let arm_watchdog s = !watchdog_hook s
-
-(* Distinct servers of queries 0..k inclusive, in first-use order. *)
-let servers_upto s k =
-  let seen = Hashtbl.create 8 in
-  let out = ref [] in
-  for i = 0 to k do
-    let server = s.queries.(i).Query.server in
-    if not (Hashtbl.mem seen server) then begin
-      Hashtbl.add seen server ();
-      out := server :: !out
+let perform_obs d (o : Tm.obs) =
+  let tr = tracer d in
+  match o with
+  | Tm.Query_open { index; server } ->
+    if Tracer.enabled tr then begin
+      d.query_span <- Tracer.start tr ~parent:d.txn_span ~track:d.name "query";
+      Tracer.set_attr tr d.query_span "index" (string_of_int index);
+      Tracer.set_attr tr d.query_span "server" server
     end
-  done;
-  List.rev !out
-
-let all_servers s = servers_upto s (Array.length s.queries - 1)
-
-let send_execute s =
-  arm_watchdog s;
-  let q = s.queries.(s.qidx) in
-  let tr = tracer s in
-  if Tracer.enabled tr then begin
-    s.query_span <- Tracer.start tr ~parent:s.txn_span ~track:s.name "query";
-    Tracer.set_attr tr s.query_span "index" (string_of_int s.qidx);
-    Tracer.set_attr tr s.query_span "server" q.Query.server
-  end;
-  send s ~dst:q.Query.server
-    (Message.Execute
-       {
-         txn = s.txn.Transaction.id;
-         ts = s.submitted_at;
-         query = q;
-         subject = s.txn.Transaction.subject;
-         credentials = s.txn.Transaction.credentials;
-         evaluate_proof = Scheme.proofs_during_execution s.cfg.scheme;
-         snapshot = s.cfg.snapshot_reads && q.Query.writes = [];
-       })
-
-let fetch_master s what =
-  s.awaiting_master <- what;
-  send s ~dst:"master"
-    (Message.Master_version_request { txn = s.txn.Transaction.id })
-
-let finish s =
-  s.phase <- Finished;
-  mark s "txn_end";
-  let committed =
-    match s.decision with Some true -> true | Some false | None -> false
-  in
-  let tr = tracer s in
-  if Tracer.enabled tr then begin
-    close_round_span s ();
-    close_phase_span s;
-    if s.txn_span <> Tracer.no_span then begin
+  | Tm.Query_close { outcome } ->
+    if Tracer.enabled tr && d.query_span <> Tracer.no_span then begin
+      Tracer.finish tr ~attrs:[ ("outcome", outcome) ] d.query_span;
+      d.query_span <- Tracer.no_span
+    end
+  | Tm.Round_open { parent; span_name; round; query } ->
+    if Tracer.enabled tr then begin
+      let parent =
+        match parent with `Txn -> d.txn_span | `Phase -> d.phase_span
+      in
+      d.round_span <- Tracer.start tr ~parent ~track:d.name span_name;
+      Tracer.set_attr tr d.round_span "round" (string_of_int round);
+      Option.iter
+        (fun q -> Tracer.set_attr tr d.round_span "query" (string_of_int q))
+        query
+    end
+  | Tm.Round_close { resolution } ->
+    if Tracer.enabled tr && d.round_span <> Tracer.no_span then begin
+      let attrs = Option.map (fun r -> [ ("resolution", r) ]) resolution in
+      Tracer.finish tr ?attrs d.round_span;
+      d.round_span <- Tracer.no_span
+    end
+  | Tm.Phase_open { span_name; reason } ->
+    if Tracer.enabled tr then begin
+      d.phase_span <- Tracer.start tr ~parent:d.txn_span ~track:d.name span_name;
+      Option.iter (fun r -> Tracer.set_attr tr d.phase_span "reason" r) reason
+    end;
+    if Registry.enabled (registry d) then begin
+      match span_name with
+      | "2pvc.prepare" -> d.commit_started_at <- now d
+      | "2pvc.commit" | "2pvc.abort" -> d.decided_at <- now d
+      | _ -> ()
+    end
+  | Tm.Phase_close ->
+    if Tracer.enabled tr && d.phase_span <> Tracer.no_span then begin
+      Tracer.finish tr d.phase_span;
+      d.phase_span <- Tracer.no_span
+    end
+  | Tm.Txn_close { outcome; reason } ->
+    if Tracer.enabled tr && d.txn_span <> Tracer.no_span then begin
       Tracer.finish tr
-        ~attrs:
-          [
-            ("outcome", if committed then "commit" else "abort");
-            ("reason", Outcome.reason_name s.reason);
-          ]
-        s.txn_span;
-      s.txn_span <- Tracer.no_span
+        ~attrs:[ ("outcome", outcome); ("reason", reason) ]
+        d.txn_span;
+      d.txn_span <- Tracer.no_span
     end
-  end;
-  let counters = Transport.counters (transport s) in
-  let reg = registry s in
+
+let finish d (cfg : config) ~committed ~reason ~commit_rounds =
+  let txn_id = d.txn_id in
+  let counters = Transport.counters (transport d) in
+  let reg = registry d in
+  let submitted_at = Tm.submitted_at d.machine in
   if Registry.enabled reg then begin
-    let labels = scheme_labels s in
-    let finished_at = now s in
+    let labels = scheme_labels cfg in
+    let finished_at = now d in
     Registry.incr reg "txn_total"
       (("outcome", if committed then "commit" else "abort") :: labels);
-    Registry.observe reg "txn_latency_ms" labels (finished_at -. s.submitted_at);
-    Registry.observe reg "commit_rounds" labels (float_of_int s.commit_rounds);
+    Registry.observe reg "txn_latency_ms" labels (finished_at -. submitted_at);
+    Registry.observe reg "commit_rounds" labels (float_of_int commit_rounds);
     Registry.observe reg "proofs_per_txn" labels
-      (float_of_int (Counter.get counters ("proofs:" ^ s.txn.Transaction.id)));
-    if Float.is_finite s.commit_started_at then begin
+      (float_of_int (Counter.get counters ("proofs:" ^ txn_id)));
+    if Float.is_finite d.commit_started_at then begin
       Registry.observe reg "phase_execute_ms" labels
-        (s.commit_started_at -. s.submitted_at);
-      if Float.is_finite s.decided_at then
+        (d.commit_started_at -. submitted_at);
+      if Float.is_finite d.decided_at then
         Registry.observe reg "phase_commit_ms" labels
-          (s.decided_at -. s.commit_started_at)
+          (d.decided_at -. d.commit_started_at)
     end;
-    if Float.is_finite s.decided_at then
-      Registry.observe reg "phase_decide_ms" labels (finished_at -. s.decided_at)
+    if Float.is_finite d.decided_at then
+      Registry.observe reg "phase_decide_ms" labels (finished_at -. d.decided_at)
   end;
   let outcome =
     {
-      Outcome.txn = s.txn.Transaction.id;
-      scheme = s.cfg.scheme;
-      level = s.cfg.level;
-      committed = (match s.decision with Some true -> true | Some false | None -> false);
-      reason = s.reason;
-      submitted_at = s.submitted_at;
-      finished_at = now s;
-      commit_rounds = s.commit_rounds;
-      proofs_evaluated = Counter.get counters ("proofs:" ^ s.txn.Transaction.id);
-      view = s.view;
+      Outcome.txn = txn_id;
+      scheme = cfg.scheme;
+      level = cfg.level;
+      committed;
+      reason;
+      submitted_at;
+      finished_at = now d;
+      commit_rounds;
+      proofs_evaluated = Counter.get counters ("proofs:" ^ txn_id);
+      view = Tm.view d.machine;
     }
   in
-  s.on_done outcome
+  d.on_done outcome
 
-let rec arm_decision_retry s =
-  if s.cfg.decision_retry > 0. then
-    Transport.at (transport s) ~delay:s.cfg.decision_retry (fun () ->
-        if s.phase = Deciding then begin
-          let commit = Option.get s.decision in
-          List.iter
-            (fun dst ->
-              if not (List.mem dst s.acked) then
-                send s ~dst (Message.Decision { txn = s.txn.Transaction.id; commit }))
-            s.decision_targets;
-          arm_decision_retry s
-        end)
+let rec perform d (cfg : config) (a : Tm.action) =
+  match a with
+  | Tm.Send { dst; msg } ->
+    Transport.send (transport d) ~src:d.name ~dst msg
+  | Tm.Arm_watchdog { epoch; delay } ->
+    Transport.at (transport d) ~delay (fun () ->
+        dispatch d cfg (Tm.Watchdog_fired { epoch }))
+  | Tm.Arm_retry { delay } ->
+    Transport.at (transport d) ~delay (fun () -> dispatch d cfg Tm.Retry_fired)
+  | Tm.Force_log ->
+    Counter.incr (Transport.counters (transport d)) "log_force:tm";
+    if Registry.enabled (registry d) then
+      Registry.incr (registry d) "log_force_total" [ ("site", "tm") ]
+  | Tm.Mark label -> Transport.mark (transport d) ~node:d.name label
+  | Tm.Obs o -> perform_obs d o
+  | Tm.Finish { committed; reason; commit_rounds } ->
+    Log.debug (fun m ->
+        m "%s: finished %s (%s)" d.name
+          (if committed then "COMMIT" else "ABORT")
+          (Outcome.reason_name reason));
+    finish d cfg ~committed ~reason ~commit_rounds
 
-let decide s ~commit ~reason ~targets =
-  Log.debug (fun m ->
-      m "%s: decide %s (%s), %d targets" s.name
-        (if commit then "COMMIT" else "ABORT")
-        (Outcome.reason_name reason) (List.length targets));
-  s.decision <- Some commit;
-  s.reason <- reason;
-  s.phase <- Deciding;
-  let tr = tracer s in
-  if Tracer.enabled tr then begin
-    close_round_span s ();
-    close_phase_span s;
-    s.phase_span <-
-      Tracer.start tr ~parent:s.txn_span ~track:s.name
-        (if commit then "2pvc.commit" else "2pvc.abort");
-    Tracer.set_attr tr s.phase_span "reason" (Outcome.reason_name reason)
-  end;
-  if Registry.enabled (registry s) then s.decided_at <- now s;
-  (* Read-only voters released at vote time and take no decision. *)
-  let targets = List.filter (fun p -> not (List.mem p s.read_only)) targets in
-  if targets <> [] then begin
-    mark s
-      (Printf.sprintf "log_force:tm_decision:%s"
-         (if commit then "commit" else "abort"));
-    Counter.incr (Transport.counters (transport s)) "log_force:tm";
-    if Registry.enabled (registry s) then
-      Registry.incr (registry s) "log_force_total" [ ("site", "tm") ]
-  end;
-  s.decision_targets <- targets;
-  s.acked <- [];
-  if targets = [] then finish s
-  else begin
-    List.iter
-      (fun dst ->
-        send s ~dst (Message.Decision { txn = s.txn.Transaction.id; commit }))
-      targets;
-    arm_decision_retry s
-  end
+and dispatch d cfg input = List.iter (perform d cfg) (Tm.handle d.machine input)
 
-(* Abort during execution: tell every server that has (or may have) a
-   workspace, including the one that just reported. *)
-let abort_now s reason =
-  decide s ~commit:false ~reason ~targets:(servers_upto s s.qidx)
-
-let () =
-  watchdog_hook :=
-    fun s ->
-      if s.cfg.vote_timeout > 0. then begin
-        s.watchdog_epoch <- s.watchdog_epoch + 1;
-        let epoch = s.watchdog_epoch in
-        Transport.at (transport s) ~delay:s.cfg.vote_timeout (fun () ->
-            if s.watchdog_epoch = epoch && s.decision = None then begin
-              s.validation <- None;
-              s.awaiting_master <- No_fetch;
-              (* Past the last query (commit phase) every server is a
-                 target. *)
-              let k = min s.qidx (Array.length s.queries - 1) in
-              decide s ~commit:false ~reason:Outcome.Timed_out
-                ~targets:(servers_upto s k)
-            end)
-      end
-
-let advance s next =
-  s.qidx <- s.qidx + 1;
-  if s.qidx < Array.length s.queries then begin
-    s.phase <- Executing;
-    send_execute s
-  end
-  else next ()
-
-let start_commit s =
-  Log.debug (fun m ->
-      m "%s: commit phase over %d participants" s.name
-        (List.length (all_servers s)));
-  s.phase <- Committing;
-  let tr = tracer s in
-  if Tracer.enabled tr then begin
-    close_round_span s ();
-    s.phase_span <- Tracer.start tr ~parent:s.txn_span ~track:s.name "2pvc.prepare"
-  end;
-  if Registry.enabled (registry s) then s.commit_started_at <- now s;
-  let validate = Scheme.validates_at_commit s.cfg.scheme s.cfg.level in
-  s.commit_validates <- validate;
-  s.master_fetched_round <- 0;
-  (* Without validation, 2PVC "acts like 2PC" (Section V-C): integrity
-     votes only, no version reconciliation. *)
-  let v =
-    Validation.create ~reconcile:validate ~participants:(all_servers s)
-      ~with_integrity:true ()
-  in
-  s.validation <- Some v;
-  let allow_read_only = s.cfg.read_only_optimization && not validate in
-  List.iter
-    (fun dst ->
-      send s ~dst
-        (Message.Commit_request
-           {
-             txn = s.txn.Transaction.id;
-             round = Validation.round v;
-             validate;
-             allow_read_only;
-           }))
-    (all_servers s);
-  arm_watchdog s
-
-let validation s =
-  match s.validation with
-  | Some v -> v
-  | None -> invalid_arg "Manager: no validation in progress"
-
-let send_policy_updates s ~reply_with updates =
-  let v = validation s in
-  List.iter
-    (fun (dst, policies) ->
-      send s ~dst
-        (Message.Policy_update
-           {
-             txn = s.txn.Transaction.id;
-             round = Validation.round v;
-             policies;
-             reply_with;
-           }))
-    updates
-
-(* Continuous: 2PV over the servers involved so far (Section V-A's use of
-   2PV during execution). *)
-let start_query_validation s =
-  arm_watchdog s;
-  s.phase <- Query_validating;
-  let v =
-    Validation.create ~participants:(servers_upto s s.qidx) ~with_integrity:false ()
-  in
-  s.validation <- Some v;
-  let tr = tracer s in
-  if Tracer.enabled tr then begin
-    s.round_span <- Tracer.start tr ~parent:s.txn_span ~track:s.name "2pv.round";
-    Tracer.set_attr tr s.round_span "round" (string_of_int (Validation.round v));
-    Tracer.set_attr tr s.round_span "query" (string_of_int s.qidx)
-  end;
-  match s.cfg.level with
-  | Consistency.Global -> fetch_master s Query_prefetch
-  | Consistency.View ->
-    List.iter
-      (fun dst ->
-        send s ~dst
-          (Message.Validate_request
-             { txn = s.txn.Transaction.id; round = Validation.round v }))
-      (servers_upto s s.qidx)
-
-let send_validate_requests s =
-  let v = validation s in
-  List.iter
-    (fun dst ->
-      send s ~dst
-        (Message.Validate_request
-           { txn = s.txn.Transaction.id; round = Validation.round v }))
-    (Validation.awaiting v)
-
-let resolve_query_validation s =
-  let v = validation s in
-  mark s (Printf.sprintf "sync:%s" s.txn.Transaction.id);
-  let res = Validation.resolve v in
-  close_round_span s ~attrs:[ ("resolution", Validation.resolution_name res) ] ();
-  (match res with
-  | Validation.Need_update _ ->
-    let tr = tracer s in
-    if Tracer.enabled tr then begin
-      s.round_span <-
-        Tracer.start tr ~parent:s.txn_span ~track:s.name "2pv.round";
-      Tracer.set_attr tr s.round_span "round"
-        (string_of_int (Validation.round v));
-      Tracer.set_attr tr s.round_span "query" (string_of_int s.qidx)
-    end
-  | _ -> ());
-  match res with
-  | Validation.All_consistent_true ->
-    s.validation <- None;
-    advance s (fun () -> start_commit s)
-  | Validation.Abort_proof ->
-    s.validation <- None;
-    abort_now s Outcome.Proof_failure
-  | Validation.Abort_integrity -> assert false (* with_integrity = false *)
-  | Validation.Need_update updates ->
-    if Validation.round v > s.cfg.max_rounds then begin
-      s.validation <- None;
-      abort_now s Outcome.Rounds_exhausted
-    end
-    else begin
-      send_policy_updates s ~reply_with:`Validate updates;
-      arm_watchdog s
-    end
-
-let resolve_commit s =
-  let v = validation s in
-  mark s (Printf.sprintf "sync:%s" s.txn.Transaction.id);
-  Log.debug (fun m -> m "%s: resolving round %d" s.name (Validation.round v));
-  s.commit_rounds <- Validation.round v;
-  let res = Validation.resolve v in
-  close_round_span s ~attrs:[ ("resolution", Validation.resolution_name res) ] ();
-  (match res with
-  | Validation.Need_update _ ->
-    let tr = tracer s in
-    if Tracer.enabled tr then begin
-      s.round_span <-
-        Tracer.start tr ~parent:s.phase_span ~track:s.name "2pvc.validate";
-      Tracer.set_attr tr s.round_span "round"
-        (string_of_int (Validation.round v))
-    end
-  | _ -> ());
-  match res with
-  | Validation.Abort_integrity ->
-    decide s ~commit:false ~reason:Outcome.Integrity_violation ~targets:(all_servers s)
-  | Validation.Abort_proof ->
-    decide s ~commit:false ~reason:Outcome.Proof_failure ~targets:(all_servers s)
-  | Validation.All_consistent_true ->
-    decide s ~commit:true ~reason:Outcome.Committed ~targets:(all_servers s)
-  | Validation.Need_update updates ->
-    if Validation.round v > s.cfg.max_rounds then
-      decide s ~commit:false ~reason:Outcome.Rounds_exhausted ~targets:(all_servers s)
-    else begin
-      send_policy_updates s ~reply_with:`Commit updates;
-      arm_watchdog s
-    end
-
-(* A 2PVC round is complete: consult the master first when global
-   consistency demands it, then resolve. *)
-let commit_round_complete s =
-  let v = validation s in
-  let need_fetch =
-    s.cfg.level = Consistency.Global && s.commit_validates
-    &&
-    match s.cfg.master_mode with
-    | `Once -> s.master_fetched_round = 0
-    | `Every_round -> s.master_fetched_round < Validation.round v
-  in
-  if need_fetch then fetch_master s Commit_resolve else resolve_commit s
-
-(* Incremental Punctual under view consistency: the version of every proof
-   must match what previous queries of the same domain reported
-   (Section V-C; we abort on any mismatch since either direction is
-   phi-inconsistent). *)
-let incremental_view_check s (proof : Proof.t) =
-  match List.assoc_opt proof.Proof.domain s.versions_seen with
-  | None ->
-    s.versions_seen <-
-      (proof.Proof.domain, proof.Proof.policy_version) :: s.versions_seen;
-    true
-  | Some v -> v = proof.Proof.policy_version
-
-let on_execute_reply s (outcome : Message.exec_outcome) =
-  let tr = tracer s in
-  if Tracer.enabled tr && s.query_span <> Tracer.no_span then begin
-    Tracer.finish tr
-      ~attrs:
-        [
-          ( "outcome",
-            match outcome with
-            | Message.Exec_die -> "die"
-            | Message.Executed { proof = Some p; _ } ->
-              if p.Proof.result then "executed" else "proof_false"
-            | Message.Executed { proof = None; _ } -> "executed" );
-        ]
-      s.query_span;
-    s.query_span <- Tracer.no_span
-  end;
-  match outcome with
-  | Message.Exec_die -> abort_now s Outcome.Wait_die
-  | Message.Executed { proof; _ } -> (
-    Option.iter (View.add s.view ~instant:s.qidx) proof;
-    let proof_ok =
-      match proof with Some p -> p.Proof.result | None -> true
-    in
-    match s.cfg.scheme with
-    | Scheme.Deferred -> advance s (fun () -> start_commit s)
-    | Scheme.Punctual ->
-      if proof_ok then advance s (fun () -> start_commit s)
-      else abort_now s Outcome.Proof_failure
-    | Scheme.Incremental_punctual ->
-      if not proof_ok then abort_now s Outcome.Proof_failure
-      else begin
-        let p = Option.get proof in
-        match s.cfg.level with
-        | Consistency.View ->
-          if incremental_view_check s p then
-            advance s (fun () -> start_commit s)
-          else abort_now s Outcome.Version_inconsistency
-        | Consistency.Global -> fetch_master s (Exec_check p)
-      end
-    | Scheme.Continuous -> start_query_validation s)
-
-let on_master_reply s (policies : Policy.t list) =
-  let what = s.awaiting_master in
-  s.awaiting_master <- No_fetch;
-  match what with
-  | No_fetch -> invalid_arg "Manager: unsolicited master reply"
-  | Exec_check proof ->
-    let master_version =
-      List.find_map
-        (fun (p : Policy.t) ->
-          if String.equal p.Policy.domain proof.Proof.domain then
-            Some p.Policy.version
-          else None)
-        policies
-    in
-    if master_version = Some proof.Proof.policy_version then
-      advance s (fun () -> start_commit s)
-    else abort_now s Outcome.Version_inconsistency
-  | Query_prefetch ->
-    Validation.add_master (validation s) policies;
-    send_validate_requests s
-  | Commit_resolve ->
-    let v = validation s in
-    Validation.add_master v policies;
-    s.master_fetched_round <- Validation.round v;
-    resolve_commit s
-
-let on_ack s ~from =
-  if not (List.mem from s.acked) then begin
-    s.acked <- from :: s.acked;
-    if List.length s.acked = List.length s.decision_targets then begin
-      mark s "log:end";
-      finish s
-    end
-  end
-
-let handle s ~src msg =
-  match (s.phase, msg) with
-  | Executing, Message.Execute_reply { outcome; _ } -> on_execute_reply s outcome
-  | Query_validating, Message.Validate_reply { round; proofs; policies; _ } ->
-    let v = validation s in
-    if round <> Validation.round v then () (* stale; drop *)
-    else begin
-      (* All evaluations of this per-query 2PV belong to the current
-         query's instant t_i. *)
-      List.iter (View.add s.view ~instant:s.qidx) proofs;
-      match
-        Validation.add_reply v ~from:src ~integrity:true ~proofs ~policies
-      with
-      | `Wait -> ()
-      | `Round_complete -> resolve_query_validation s
-    end
-  | Committing, Message.Commit_reply { round; integrity; read_only; proofs; policies; _ }
-    ->
-    let v = validation s in
-    if round <> Validation.round v then ()
-    else begin
-      if read_only && not (List.mem src s.read_only) then
-        s.read_only <- src :: s.read_only;
-      (* Commit-time revalidations all belong to the commit instant. *)
-      List.iter (View.add s.view ~instant:(Array.length s.queries)) proofs;
-      match Validation.add_reply v ~from:src ~integrity ~proofs ~policies with
-      | `Wait -> ()
-      | `Round_complete -> commit_round_complete s
-    end
-  | (Executing | Query_validating | Committing), Message.Master_version_reply { policies; _ }
-    ->
-    on_master_reply s policies
-  | Deciding, Message.Decision_ack _ -> on_ack s ~from:src
-  | (Deciding | Finished), Message.Inquiry _ -> (
-    match s.decision with
-    | Some commit ->
-      send s ~dst:src (Message.Decision { txn = s.txn.Transaction.id; commit })
-    | None -> ())
-  | Finished, Message.Decision_ack _ -> () (* late ack after inquiry resend *)
-  | (Deciding | Finished),
-    ( Message.Validate_reply _ | Message.Commit_reply _
-    | Message.Master_version_reply _ ) ->
-    (* Stragglers from a round the vote timeout already aborted. *)
-    ()
-  | _, msg ->
-    invalid_arg
-      (Printf.sprintf "TM %s: unexpected %s in this phase" s.name
-         (Message.label msg))
-
-let submit ?ts cluster cfg txn ~on_done =
+let submit ?ts cluster (cfg : config) txn ~on_done =
   if txn.Transaction.queries = [] then
     invalid_arg "Manager.submit: transaction has no queries";
   let name = "tm-" ^ txn.Transaction.id in
   let transport = Cluster.transport cluster in
-  let s =
+  let submitted_at = Option.value ~default:(Transport.now transport) ts in
+  let machine = Tm.create cfg txn ~submitted_at in
+  let d =
     {
       cluster;
-      cfg;
-      txn;
+      machine;
       name;
+      txn_id = txn.Transaction.id;
       on_done;
-      view = View.create ~txn:txn.Transaction.id;
-      submitted_at = Option.value ~default:(Transport.now transport) ts;
-      queries = Array.of_list txn.Transaction.queries;
-      qidx = 0;
-      phase = Executing;
-      awaiting_master = No_fetch;
-      watchdog_epoch = 0;
-      validation = None;
-      commit_validates = false;
-      master_fetched_round = 0;
-      versions_seen = [];
-      decision = None;
-      reason = Outcome.Committed;
-      commit_rounds = 0;
-      decision_targets = [];
-      acked = [];
-      read_only = [];
       txn_span = Tracer.no_span;
       query_span = Tracer.no_span;
       round_span = Tracer.no_span;
@@ -643,16 +197,17 @@ let submit ?ts cluster cfg txn ~on_done =
       decided_at = Float.nan;
     }
   in
-  Transport.register transport name (fun ~src msg -> handle s ~src msg);
+  Transport.register transport name (fun ~src msg ->
+      dispatch d cfg (Tm.Deliver { src; msg }));
   Transport.mark transport ~node:name "txn_start";
   let tr = Transport.tracer transport in
   if Tracer.enabled tr then begin
-    s.txn_span <- Tracer.start tr ~track:name "txn";
-    Tracer.set_attr tr s.txn_span "txn" txn.Transaction.id;
-    Tracer.set_attr tr s.txn_span "scheme" (Scheme.name cfg.scheme);
-    Tracer.set_attr tr s.txn_span "consistency" (Consistency.name cfg.level)
+    d.txn_span <- Tracer.start tr ~track:name "txn";
+    Tracer.set_attr tr d.txn_span "txn" txn.Transaction.id;
+    Tracer.set_attr tr d.txn_span "scheme" (Scheme.name cfg.scheme);
+    Tracer.set_attr tr d.txn_span "consistency" (Consistency.name cfg.level)
   end;
-  send_execute s
+  List.iter (perform d cfg) (Tm.start machine)
 
 let run_one cluster cfg txn =
   let result = ref None in

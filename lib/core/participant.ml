@@ -1,3 +1,8 @@
+(* Thin driver binding {!Cloudtx_protocol.Ps_machine} to a simulated
+   server: store, lock manager, policy replica, WAL and the transport's
+   observability sinks.  All protocol decisions live in the machine; this
+   file only interprets its actions and feeds local results back. *)
+
 module Transport = Cloudtx_sim.Transport
 module Counter = Cloudtx_metrics.Counter
 module Server = Cloudtx_store.Server
@@ -11,67 +16,43 @@ module Lock_manager = Cloudtx_store.Lock_manager
 module Wal = Cloudtx_store.Wal
 module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
+module Ps = Cloudtx_protocol.Ps_machine
 
-let log_src = Logs.Src.create "cloudtx.participant" ~doc:"Data-server protocol node"
+let log_src =
+  Logs.Src.create "cloudtx.participant" ~doc:"Data-server protocol node"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type pending = {
-  p_query : Query.t;
-  p_evaluate_proof : bool;
-  p_reply_to : string;
-  p_span : int;  (** Open [lock.wait] span; [Tracer.no_span] when off. *)
-  p_blocked_at : float;
-}
-
-type txn_state = {
-  ts : float;
-  subject : string;
-  credentials : Credential.t list;
-  mutable queries : Query.t list; (* executed here, oldest first *)
-  mutable integrity : bool option; (* the vote, once prepared *)
-  mutable pending : pending option;
-}
+(* An open [lock.wait] span for a parked query. *)
+type wait = { w_span : int; w_blocked_at : float }
 
 type t = {
   transport : Message.t Transport.t;
   server : Server.t;
   env : Proof.env;
   domain_of : string -> string;
-  variant : Tpc.variant;
+  machine : Ps.t;
   ocsp_delay : (unit -> float) option;
   proof_cache : (string, string list) Hashtbl.t option;
-  txns : (string, txn_state) Hashtbl.t;
+  waits : (string, wait) Hashtbl.t; (* txn -> open lock.wait *)
+  mutable releases : (string option * Lock_manager.release) list;
+      (* lock releases queued during action interpretation, FIFO; drained
+         only after the current input is fully interpreted so decision
+         acks stay ahead of retried queries on the wire *)
 }
 
 let name t = Server.name t.server
 let server t = t.server
-
-let queries_of t ~txn =
-  match Hashtbl.find_opt t.txns txn with
-  | Some st -> st.queries
-  | None -> []
-
+let queries_of t ~txn = Ps.queries_of t.machine ~txn
 let now t = Transport.now t.transport
 let send t ~dst msg = Transport.send t.transport ~src:(name t) ~dst msg
 let mark t label = Transport.mark t.transport ~node:(name t) label
 let tracer t = Transport.tracer t.transport
 let registry t = Transport.registry t.transport
 
-(* Close a parked query's [lock.wait] span and record the wait. *)
-let settle_wait t (p : pending) ~outcome =
-  let tr = tracer t in
-  if Tracer.enabled tr && p.p_span <> Tracer.no_span then
-    Tracer.finish tr ~attrs:[ ("outcome", outcome) ] p.p_span;
-  let reg = registry t in
-  if Registry.enabled reg then
-    Registry.observe reg "lock_wait_ms"
-      [ ("server", name t) ]
-      (now t -. p.p_blocked_at)
-
 (* Simulated cost of the online credential-status checks one proof
    evaluation performs: one OCSP round-trip per CA-issued credential. *)
-let status_check_delay t st =
+let status_check_delay t credentials =
   match t.ocsp_delay with
   | None -> 0.
   | Some sample ->
@@ -80,23 +61,7 @@ let status_check_delay t st =
         match t.env.Proof.find_ca c.Credential.issuer with
         | Some _ -> acc +. sample ()
         | None -> acc)
-      0. st.credentials
-
-(* Send [msg] after the status-check work for [proofs] proof evaluations
-   has completed. *)
-let send_after_checks t st ~proofs ~dst msg =
-  let delay = float_of_int proofs *. status_check_delay t st in
-  if delay <= 0. then send t ~dst msg
-  else Transport.at t.transport ~delay (fun () -> send t ~dst msg)
-
-let state t ~txn ~ts ~subject ~credentials =
-  match Hashtbl.find_opt t.txns txn with
-  | Some st -> st
-  | None ->
-    let st = { ts; subject; credentials; queries = []; integrity = None; pending = None } in
-    Hashtbl.add t.txns txn st;
-    Server.begin_work t.server ~txn ~ts ~time:(now t);
-    st
+      0. credentials
 
 (* The administrative domain a query belongs to: the domain of its items,
    which must agree (the paper scopes each policy to one domain). *)
@@ -121,7 +86,7 @@ let policy_for t domain =
       (Printf.sprintf "server %s has no policy replica for domain %s" (name t)
          domain)
 
-let evaluate_proof_fn t ~txn st (q : Query.t) =
+let evaluate_proof_fn t ~txn ~subject ~credentials (q : Query.t) =
   let domain = domain_of_query t q in
   let policy = policy_for t domain in
   let counters = Transport.counters t.transport in
@@ -139,11 +104,11 @@ let evaluate_proof_fn t ~txn st (q : Query.t) =
     else Tracer.no_span
   in
   let request =
-    { Proof.subject = st.subject; action = Query.action q; items = Query.items q }
+    { Proof.subject; action = Query.action q; items = Query.items q }
   in
   let proof =
     Proof.evaluate ?cache:t.proof_cache ~query_id:q.Query.id ~server:(name t)
-      ~policy ~creds:st.credentials ~env:t.env ~at:(now t) request
+      ~policy ~creds:credentials ~env:t.env ~at:(now t) request
   in
   if Tracer.enabled tr then
     Tracer.finish tr
@@ -158,231 +123,168 @@ let evaluate_proof_fn t ~txn st (q : Query.t) =
     Registry.incr reg "proofs_total" [ ("server", name t) ];
   proof
 
-(* Distinct policies currently in force for [st]'s queries. *)
-let policies_used t st =
+(* Distinct policies currently in force for [queries]. *)
+let policies_used t queries =
   let policies = Hashtbl.create 4 in
   List.iter
     (fun (q : Query.t) ->
       let domain = domain_of_query t q in
       Hashtbl.replace policies domain (policy_for t domain))
-    st.queries;
+    queries;
   Hashtbl.fold (fun _ p acc -> p :: acc) policies []
   |> List.sort (fun (a : Policy.t) b ->
          String.compare a.Policy.domain b.Policy.domain)
 
-(* Evaluate (or re-evaluate) proofs for every query of [txn] executed
-   here; also returns the distinct policies used. *)
-let evaluate_all t ~txn st =
-  let proofs = List.map (evaluate_proof_fn t ~txn st) st.queries in
-  (proofs, policies_used t st)
+(* Satellite of the staleness story: how far this server's replica trails
+   the policy master, per domain.  The master's version is published into
+   the registry by {!Cluster.publish}; recompute the distance whenever we
+   install (the gauge reads 0 until the first publish). *)
+let note_staleness t (policies : Policy.t list) =
+  let reg = registry t in
+  if Registry.enabled reg then
+    List.iter
+      (fun (p : Policy.t) ->
+        let domain = p.Policy.domain in
+        match
+          Registry.gauge reg "policy_master_version" [ ("domain", domain) ]
+        with
+        | None -> ()
+        | Some master ->
+          let held =
+            match Replica.get (Server.replica t.server) ~domain with
+            | Some q -> float_of_int q.Policy.version
+            | None -> 0.
+          in
+          Registry.set_gauge reg "policy_staleness"
+            [ ("server", name t); ("domain", domain) ]
+            (Float.max 0. (master -. held)))
+      policies
 
-let try_execute t ~txn st ~reply_to (q : Query.t) ~evaluate:should_evaluate =
-  match
-    Server.execute t.server ~txn ~reads:q.Query.reads ~writes:q.Query.writes
-  with
-  | Server.Blocked ->
+let settle_wait t ~txn ~outcome ~killed_by =
+  match Hashtbl.find_opt t.waits txn with
+  | None -> ()
+  | Some w ->
+    Hashtbl.remove t.waits txn;
+    let tr = tracer t in
+    if Tracer.enabled tr && w.w_span <> Tracer.no_span then begin
+      let attrs = [ ("outcome", outcome) ] in
+      let attrs =
+        match killed_by with
+        | None -> attrs
+        | Some killer ->
+          (* The link target: the killer TM's [txn] span carries
+             [txn=<killer>] — join on this attribute. *)
+          ("killed_by", killer) :: attrs
+      in
+      Tracer.finish tr ~attrs w.w_span
+    end;
+    let reg = registry t in
+    if Registry.enabled reg then
+      Registry.observe reg "lock_wait_ms"
+        [ ("server", name t) ]
+        (now t -. w.w_blocked_at)
+
+let rec dispatch t input = List.iter (perform t) (Ps.handle t.machine input)
+
+and perform t (a : Ps.action) =
+  match a with
+  | Ps.Send { dst; msg; after_proofs; credentials } ->
+    let delay = float_of_int after_proofs *. status_check_delay t credentials in
+    if delay <= 0. then send t ~dst msg
+    else Transport.at t.transport ~delay (fun () -> send t ~dst msg)
+  | Ps.Begin_work { txn; ts } ->
+    Server.begin_work t.server ~txn ~ts ~time:(now t)
+  | Ps.Exec { txn; ts; query; evaluate; reply_to; snapshot } ->
+    let result =
+      if snapshot then
+        (* MVCC fast path: read the committed state as of the transaction's
+           start, no locks, never blocks. *)
+        Ps.Executed (Server.execute_snapshot t.server ~reads:query.Query.reads ~ts)
+      else
+        match
+          Server.execute t.server ~txn ~reads:query.Query.reads
+            ~writes:query.Query.writes
+        with
+        | Server.Executed reads -> Ps.Executed reads
+        | Server.Blocked -> Ps.Blocked
+        | Server.Die -> Ps.Die
+    in
+    dispatch t (Ps.Exec_result { txn; query; evaluate; reply_to; result })
+  | Ps.Eval { txn; subject; credentials; queries; with_proofs; with_policies; cont }
+    ->
+    let proofs =
+      if with_proofs then
+        List.map (evaluate_proof_fn t ~txn ~subject ~credentials) queries
+      else []
+    in
+    let policies = if with_policies then policies_used t queries else [] in
+    dispatch t (Ps.Evaluated { txn; proofs; policies; cont })
+  | Ps.Check_read_only { txn; reply_to; round } ->
+    let read_only = Server.is_read_only t.server ~txn in
+    let integrity_ok =
+      read_only && Server.integrity_violations t.server ~txn = []
+    in
+    dispatch t (Ps.Read_only_result { txn; reply_to; round; read_only; integrity_ok })
+  | Ps.Prepare { txn; proof_truth; policy_versions } ->
+    let vote =
+      Server.prepare t.server ~txn ~time:(now t) ~proof_truth ~policy_versions
+    in
+    dispatch t (Ps.Prepared { txn; vote })
+  | Ps.Apply { txn; commit; forced } ->
+    let release =
+      if commit then Server.commit ~forced t.server ~txn ~time:(now t)
+      else Server.abort ~forced t.server ~txn ~time:(now t)
+    in
+    Server.finish t.server ~txn ~time:(now t);
+    t.releases <- t.releases @ [ (Some txn, release) ]
+  | Ps.Forget { txn } ->
+    let release = Server.forget t.server ~txn ~time:(now t) in
+    t.releases <- t.releases @ [ (Some txn, release) ]
+  | Ps.Install { policies; announce } ->
+    List.iter
+      (fun (p : Policy.t) ->
+        match Replica.install (Server.replica t.server) p with
+        | `Installed ->
+          if announce then
+            mark t
+              (Printf.sprintf "policy_installed:%s:v%d" p.Policy.domain
+                 p.Policy.version)
+        | `Stale -> ())
+      policies;
+    note_staleness t policies
+  | Ps.Wait_open { txn; query_id } ->
     let tr = tracer t in
     let span =
       if Tracer.enabled tr then begin
         let span = Tracer.start tr ~track:(name t) "lock.wait" in
         Tracer.set_attr tr span "txn" txn;
-        Tracer.set_attr tr span "query" q.Query.id;
+        Tracer.set_attr tr span "query" query_id;
         span
       end
       else Tracer.no_span
     in
-    st.pending <-
-      Some
-        {
-          p_query = q;
-          p_evaluate_proof = should_evaluate;
-          p_reply_to = reply_to;
-          p_span = span;
-          p_blocked_at = now t;
-        };
-    mark t (Printf.sprintf "blocked:%s:%s" txn q.Query.id)
-  | Server.Die ->
-    st.pending <- None;
-    send t ~dst:reply_to
-      (Message.Execute_reply { txn; query_id = q.Query.id; outcome = Message.Exec_die })
-  | Server.Executed reads ->
-    st.pending <- None;
-    st.queries <- st.queries @ [ q ];
-    let proof =
-      if should_evaluate then Some (evaluate_proof_fn t ~txn st q) else None
-    in
-    send_after_checks t st
-      ~proofs:(if should_evaluate then 1 else 0)
-      ~dst:reply_to
-      (Message.Execute_reply
-         { txn; query_id = q.Query.id; outcome = Message.Executed { reads; proof } })
+    Hashtbl.replace t.waits txn { w_span = span; w_blocked_at = now t }
+  | Ps.Wait_close { txn; outcome; killed_by } ->
+    settle_wait t ~txn ~outcome ~killed_by
+  | Ps.Mark label -> mark t label
 
-(* Lock releases may unblock parked queries of other transactions — and
-   wait-die re-checks at promotion time may kill parked waiters, whose
-   TMs must be told to abort. *)
-let retry_promoted t (release : Lock_manager.release) =
-  let killed = Hashtbl.create 4 in
-  List.iter
-    (fun (txn, _key) ->
-      if not (Hashtbl.mem killed txn) then begin
-        Hashtbl.add killed txn ();
-        match Hashtbl.find_opt t.txns txn with
-        | Some ({ pending = Some p; _ } as st) ->
-          st.pending <- None;
-          settle_wait t p ~outcome:"die";
-          send t ~dst:p.p_reply_to
-            (Message.Execute_reply
-               {
-                 txn;
-                 query_id = p.p_query.Query.id;
-                 outcome = Message.Exec_die;
-               })
-        | Some { pending = None; _ } | None -> ()
-      end)
-    release.Lock_manager.killed;
-  let retried = Hashtbl.create 4 in
-  List.iter
-    (fun (txn, _key, _mode) ->
-      if (not (Hashtbl.mem retried txn)) && not (Hashtbl.mem killed txn) then begin
-        Hashtbl.add retried txn ();
-        match Hashtbl.find_opt t.txns txn with
-        | Some ({ pending = Some p; _ } as st) ->
-          settle_wait t p ~outcome:"granted";
-          try_execute t ~txn st ~reply_to:p.p_reply_to p.p_query
-            ~evaluate:p.p_evaluate_proof
-        | Some { pending = None; _ } | None -> ()
-      end)
-    release.Lock_manager.granted
-
-let versions_of policies =
-  List.map (fun (p : Policy.t) -> (p.Policy.domain, p.Policy.version)) policies
+(* Feed queued lock releases back as machine inputs.  A retried execute
+   cannot release locks, but draining in a loop keeps this robust. *)
+let drain_releases t =
+  let rec loop () =
+    match t.releases with
+    | [] -> ()
+    | (by, release) :: rest ->
+      t.releases <- rest;
+      dispatch t (Ps.Release { by; release });
+      loop ()
+  in
+  loop ()
 
 let handle t ~src msg =
-  match msg with
-  | Message.Execute { txn; ts; query; subject; credentials; evaluate_proof; snapshot }
-    ->
-    Log.debug (fun m ->
-        m "%s: execute %s for %s (proof=%b snapshot=%b)" (name t) query.Query.id
-          txn evaluate_proof snapshot);
-    mark t (Printf.sprintf "query_start:%s:%s" txn query.Query.id);
-    let st = state t ~txn ~ts ~subject ~credentials in
-    if snapshot && query.Query.writes = [] then begin
-      (* MVCC fast path: read the committed state as of the transaction's
-         start, no locks, never blocks. *)
-      let reads = Server.execute_snapshot t.server ~reads:query.Query.reads ~ts in
-      st.queries <- st.queries @ [ query ];
-      let proof =
-        if evaluate_proof then Some (evaluate_proof_fn t ~txn st query) else None
-      in
-      send_after_checks t st
-        ~proofs:(if evaluate_proof then 1 else 0)
-        ~dst:src
-        (Message.Execute_reply
-           { txn; query_id = query.Query.id; outcome = Message.Executed { reads; proof } })
-    end
-    else try_execute t ~txn st ~reply_to:src query ~evaluate:evaluate_proof
-  | Message.Validate_request { txn; round } -> (
-    match Hashtbl.find_opt t.txns txn with
-    | None -> invalid_arg (Printf.sprintf "%s: validate for unknown %s" (name t) txn)
-    | Some st ->
-      let proofs, policies = evaluate_all t ~txn st in
-      send_after_checks t st ~proofs:(List.length proofs) ~dst:src
-        (Message.Validate_reply { txn; round; proofs; policies }))
-  | Message.Commit_request { txn; round; validate; allow_read_only } -> (
-    match Hashtbl.find_opt t.txns txn with
-    | None -> invalid_arg (Printf.sprintf "%s: commit for unknown %s" (name t) txn)
-    | Some st ->
-      if allow_read_only && (not validate) && Server.is_read_only t.server ~txn
-      then begin
-        (* Read-only fast path: vote READ, release immediately, skip the
-           decision phase and all forced logging. *)
-        let vote = Server.integrity_violations t.server ~txn = [] in
-        let policies = policies_used t st in
-        send t ~dst:src
-          (Message.Commit_reply
-             { txn; round; integrity = vote; read_only = true; proofs = []; policies });
-        mark t (Printf.sprintf "read_only_release:%s" txn);
-        let promotions = Server.forget t.server ~txn ~time:(now t) in
-        Hashtbl.remove t.txns txn;
-        retry_promoted t promotions
-      end
-      else begin
-        let proofs, policies =
-          if validate then evaluate_all t ~txn st
-          else
-            (* No validation: still report the versions in force, which the
-               prepared record must carry. *)
-            ([], policies_used t st)
-        in
-        let vote =
-          match st.integrity with
-          | Some vote -> vote
-          | None ->
-            let truth = List.for_all (fun (p : Proof.t) -> p.Proof.result) proofs in
-            mark t (Printf.sprintf "log_force:prepared:%s" txn);
-            let vote =
-              Server.prepare t.server ~txn ~time:(now t) ~proof_truth:truth
-                ~policy_versions:(versions_of policies)
-            in
-            st.integrity <- Some vote;
-            vote
-        in
-        send_after_checks t st ~proofs:(List.length proofs) ~dst:src
-          (Message.Commit_reply
-             { txn; round; integrity = vote; read_only = false; proofs; policies })
-      end)
-  | Message.Policy_update { txn; round; policies; reply_with } -> (
-    List.iter
-      (fun p -> ignore (Replica.install (Server.replica t.server) p))
-      policies;
-    match Hashtbl.find_opt t.txns txn with
-    | None -> invalid_arg (Printf.sprintf "%s: update for unknown %s" (name t) txn)
-    | Some st -> (
-      let proofs, used = evaluate_all t ~txn st in
-      match reply_with with
-      | `Validate ->
-        send_after_checks t st ~proofs:(List.length proofs) ~dst:src
-          (Message.Validate_reply { txn; round; proofs; policies = used })
-      | `Commit ->
-        let vote =
-          match st.integrity with
-          | Some vote -> vote
-          | None -> invalid_arg "Policy_update(`Commit) before prepare"
-        in
-        send_after_checks t st ~proofs:(List.length proofs) ~dst:src
-          (Message.Commit_reply
-             { txn; round; integrity = vote; read_only = false; proofs; policies = used })))
-  | Message.Decision { txn; commit } ->
-    Log.debug (fun m ->
-        m "%s: decision %s for %s" (name t)
-          (if commit then "commit" else "abort")
-          txn);
-    let forced =
-      match (t.variant, commit) with
-      | Tpc.Basic, _ -> true
-      | Tpc.Presumed_abort, commit -> commit
-      | Tpc.Presumed_commit, commit -> not commit
-    in
-    if forced then mark t (Printf.sprintf "log_force:decision:%s" txn);
-    let promotions =
-      if commit then Server.commit ~forced t.server ~txn ~time:(now t)
-      else Server.abort ~forced t.server ~txn ~time:(now t)
-    in
-    Server.finish t.server ~txn ~time:(now t);
-    Hashtbl.remove t.txns txn;
-    send t ~dst:src (Message.Decision_ack { txn });
-    retry_promoted t promotions
-  | Message.Propagate_policy { policy } -> (
-    match Replica.install (Server.replica t.server) policy with
-    | `Installed ->
-      mark t
-        (Printf.sprintf "policy_installed:%s:v%d" policy.Policy.domain
-           policy.Policy.version)
-    | `Stale -> ())
-  | Message.Execute_reply _ | Message.Validate_reply _ | Message.Commit_reply _
-  | Message.Decision_ack _ | Message.Master_version_request _
-  | Message.Master_version_reply _ | Message.Inquiry _ ->
-    invalid_arg (Printf.sprintf "%s: unexpected %s" (name t) (Message.label msg))
+  Log.debug (fun m -> m "%s: %s from %s" (name t) (Message.label msg) src);
+  dispatch t (Ps.Deliver { src; msg });
+  drain_releases t
 
 let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
     ?(proof_cache = false) () =
@@ -392,10 +294,11 @@ let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
       server;
       env;
       domain_of;
-      variant;
+      machine = Ps.create ~name:(Server.name server) ~variant ();
       ocsp_delay;
       proof_cache = (if proof_cache then Some (Hashtbl.create 64) else None);
-      txns = Hashtbl.create 16;
+      waits = Hashtbl.create 8;
+      releases = [];
     }
   in
   Transport.register transport (Server.name server) (fun ~src msg ->
@@ -447,7 +350,9 @@ let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
   t
 
 let crash t =
-  Hashtbl.reset t.txns;
+  Ps.reset t.machine;
+  Hashtbl.reset t.waits;
+  t.releases <- [];
   Server.crash t.server;
   Transport.crash t.transport (name t);
   mark t "crash"

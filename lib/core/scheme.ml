@@ -1,37 +1,2 @@
-type t = Deferred | Punctual | Incremental_punctual | Continuous
-
-let all = [ Deferred; Punctual; Incremental_punctual; Continuous ]
-
-let name = function
-  | Deferred -> "deferred"
-  | Punctual -> "punctual"
-  | Incremental_punctual -> "incremental"
-  | Continuous -> "continuous"
-
-let of_string = function
-  | "deferred" -> Some Deferred
-  | "punctual" -> Some Punctual
-  | "incremental" | "incremental-punctual" -> Some Incremental_punctual
-  | "continuous" -> Some Continuous
-  | _ -> None
-
-let pp ppf t = Format.fprintf ppf "%s" (name t)
-
-let proofs_during_execution = function
-  | Deferred | Continuous -> false
-  | Punctual | Incremental_punctual -> true
-
-let per_query_version_check = function
-  | Incremental_punctual -> true
-  | Deferred | Punctual | Continuous -> false
-
-let per_query_validation = function
-  | Continuous -> true
-  | Deferred | Punctual | Incremental_punctual -> false
-
-let validates_at_commit t (level : Consistency.level) =
-  match (t, level) with
-  | (Deferred | Punctual), _ -> true
-  | Incremental_punctual, _ -> false
-  | Continuous, Consistency.View -> false
-  | Continuous, Consistency.Global -> true
+(* Re-export: proof-scheme taxonomy lives in the sans-IO protocol core. *)
+include Cloudtx_protocol.Scheme

@@ -1,39 +1,2 @@
-module Proof = Cloudtx_policy.Proof
-
-type t = {
-  txn : string;
-  mutable entries : (int * Proof.t) list; (* newest first *)
-}
-
-let create ~txn = { txn; entries = [] }
-let txn t = t.txn
-let add t ~instant p = t.entries <- (instant, p) :: t.entries
-let all t = List.rev_map snd t.entries
-
-let instance t ~at =
-  List.filter (fun (p : Proof.t) -> p.Proof.evaluated_at <= at) (all t)
-
-let instants t =
-  List.sort_uniq compare (List.map fst t.entries)
-
-(* Latest entry per query among a newest-first entry list. *)
-let latest_per_query entries =
-  let seen = Hashtbl.create 8 in
-  let latest =
-    List.filter
-      (fun (_, (p : Proof.t)) ->
-        if Hashtbl.mem seen p.Proof.query_id then false
-        else begin
-          Hashtbl.add seen p.Proof.query_id ();
-          true
-        end)
-      entries
-  in
-  List.rev_map snd latest
-
-let instance_at t ~instant =
-  latest_per_query (List.filter (fun (e, _) -> e <= instant) t.entries)
-
-let current t = latest_per_query t.entries
-let evaluations t = List.length t.entries
-let all_true t = List.for_all (fun (p : Proof.t) -> p.Proof.result) (current t)
+(* Re-export: the proof view lives in the sans-IO protocol core. *)
+include Cloudtx_protocol.View

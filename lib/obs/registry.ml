@@ -112,6 +112,138 @@ let to_rows t =
         ])
     (series t)
 
+(* Prometheus text exposition format (version 0.0.4). *)
+
+let prom_name name =
+  let sanitized =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  if sanitized = "" then "_"
+  else
+    match sanitized.[0] with
+    | '0' .. '9' -> "_" ^ sanitized
+    | _ -> sanitized
+
+let prom_label_name name =
+  let sanitized =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  if sanitized = "" then "_"
+  else
+    match sanitized.[0] with
+    | '0' .. '9' -> "_" ^ sanitized
+    | _ -> sanitized
+
+let prom_escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '"' -> Buffer.add_string buf {|\"|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (prom_label_name k) (prom_escape v))
+           labels)
+    ^ "}"
+
+let prom_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let prom_help = function
+  | "messages_total" -> Some "Messages sent, by wire label."
+  | "txn_total" -> Some "Finished transactions, by outcome, scheme and consistency."
+  | "txn_latency_ms" -> Some "Submit-to-finish transaction latency (ms)."
+  | "commit_rounds" -> Some "2PVC voting rounds per transaction."
+  | "proofs_per_txn" -> Some "Proofs evaluated per transaction."
+  | "phase_execute_ms" -> Some "Execution-phase duration (ms)."
+  | "phase_commit_ms" -> Some "Commit-phase (2PVC) duration (ms)."
+  | "phase_decide_ms" -> Some "Decision-distribution duration (ms)."
+  | "proofs_total" -> Some "Proof evaluations, by server."
+  | "log_force_total" -> Some "Forced log writes, by site."
+  | "wal_append_total" -> Some "WAL appends, by server and record type."
+  | "lock_acquire_total" -> Some "Lock acquisitions, by server and outcome."
+  | "lock_promoted_total" -> Some "Queued lock requests promoted to holders."
+  | "lock_killed_total" -> Some "Parked waiters killed by wait-die re-checks."
+  | "lock_wait_ms" -> Some "Time parked on a lock before grant or death (ms)."
+  | "policy_master_version" -> Some "Latest policy version at the master, by domain."
+  | "policy_staleness" ->
+    Some "Versions a server's policy replica trails the master, by domain."
+  | "sim.pending_events" -> Some "Discrete-event engine queue depth."
+  | _ -> None
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let last_name = ref None in
+  List.iter
+    (fun (name, labels, v) ->
+      let pname = prom_name name in
+      if !last_name <> Some name then begin
+        last_name := Some name;
+        (match prom_help name with
+        | Some help -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" pname help)
+        | None -> ());
+        let kind =
+          match v with
+          | `Counter _ -> "counter"
+          | `Gauge _ -> "gauge"
+          | `Histogram _ -> "histogram"
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" pname kind)
+      end;
+      match v with
+      | `Counter n ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" pname (prom_labels labels) n)
+      | `Gauge g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" pname (prom_labels labels) (prom_number g))
+      | `Histogram h ->
+        let count = Histogram.count h in
+        let cumulative = ref 0 in
+        List.iter
+          (fun (le, n) ->
+            cumulative := !cumulative + n;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" pname
+                 (prom_labels (labels @ [ ("le", prom_number le) ]))
+                 !cumulative))
+          (Histogram.buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" pname
+             (prom_labels (labels @ [ ("le", "+Inf") ]))
+             count);
+        let sum = if count = 0 then 0. else Histogram.mean h *. float_of_int count in
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" pname (prom_labels labels)
+             (prom_number sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" pname (prom_labels labels) count))
+    (series t);
+  Buffer.contents buf
+
 let to_json t =
   let buf = Buffer.create 1024 in
   Buffer.add_char buf '[';

@@ -53,3 +53,9 @@ val to_rows : t -> string list list
     either [value] (counter/gauge) or [count]/[mean]/[min]/[max]/
     [p50]/[p95]/[p99]/[buckets] (histogram). *)
 val to_json : t -> string
+
+(** Prometheus text exposition format (0.0.4): [# HELP] / [# TYPE] lines
+    per metric, histograms as cumulative [_bucket] series plus [_sum] and
+    [_count].  Metric and label names are sanitised to the Prometheus
+    charset (dots become underscores); label values are escaped. *)
+val to_prometheus : t -> string

@@ -1,0 +1,36 @@
+module Proof = Cloudtx_policy.Proof
+
+type level = View | Global
+
+let name = function View -> "view" | Global -> "global"
+
+let of_string = function
+  | "view" -> Some View
+  | "global" -> Some Global
+  | _ -> None
+
+let pp ppf l = Format.fprintf ppf "%s" (name l)
+
+let phi_consistent proofs =
+  let by_domain = Hashtbl.create 4 in
+  List.for_all
+    (fun (p : Proof.t) ->
+      match Hashtbl.find_opt by_domain p.Proof.domain with
+      | None ->
+        Hashtbl.add by_domain p.Proof.domain p.Proof.policy_version;
+        true
+      | Some v -> v = p.Proof.policy_version)
+    proofs
+
+let psi_consistent ~latest proofs =
+  List.for_all
+    (fun (p : Proof.t) ->
+      match latest p.Proof.domain with
+      | Some v -> v = p.Proof.policy_version
+      | None -> false)
+    proofs
+
+let consistent level ~latest proofs =
+  match level with
+  | View -> phi_consistent proofs
+  | Global -> psi_consistent ~latest proofs

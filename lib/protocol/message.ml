@@ -1,0 +1,100 @@
+module Query = Cloudtx_txn.Query
+module Proof = Cloudtx_policy.Proof
+module Policy = Cloudtx_policy.Policy
+module Credential = Cloudtx_policy.Credential
+module Value = Cloudtx_store.Value
+
+type exec_outcome =
+  | Executed of {
+      reads : (string * Value.t option) list;
+      proof : Proof.t option;
+    }
+  | Exec_die
+
+type t =
+  | Execute of {
+      txn : string;
+      ts : float;
+      query : Query.t;
+      subject : string;
+      credentials : Credential.t list;
+      evaluate_proof : bool;
+      snapshot : bool;
+    }
+  | Execute_reply of { txn : string; query_id : string; outcome : exec_outcome }
+  | Validate_request of { txn : string; round : int }
+  | Validate_reply of {
+      txn : string;
+      round : int;
+      proofs : Proof.t list;
+      policies : Policy.t list;
+    }
+  | Commit_request of {
+      txn : string;
+      round : int;
+      validate : bool;
+      allow_read_only : bool;
+    }
+  | Commit_reply of {
+      txn : string;
+      round : int;
+      integrity : bool;
+      read_only : bool;
+      proofs : Proof.t list;
+      policies : Policy.t list;
+    }
+  | Policy_update of {
+      txn : string;
+      round : int;
+      policies : Policy.t list;
+      reply_with : [ `Validate | `Commit ];
+    }
+  | Decision of { txn : string; commit : bool }
+  | Decision_ack of { txn : string }
+  | Master_version_request of { txn : string }
+  | Master_version_reply of { txn : string; policies : Policy.t list }
+  | Propagate_policy of { policy : Policy.t }
+  | Inquiry of { txn : string }
+
+let label = function
+  | Execute _ -> "execute"
+  | Execute_reply _ -> "execute-reply"
+  | Validate_request _ -> "validate-request"
+  | Validate_reply _ -> "validate-reply"
+  | Commit_request _ -> "commit-request"
+  | Commit_reply _ -> "commit-reply"
+  | Policy_update _ -> "policy-update"
+  | Decision { commit; _ } -> if commit then "decision-commit" else "decision-abort"
+  | Decision_ack _ -> "decision-ack"
+  | Master_version_request _ -> "master-version-request"
+  | Master_version_reply _ -> "master-version-reply"
+  | Propagate_policy _ -> "propagate-policy"
+  | Inquiry _ -> "inquiry"
+
+let protocol_labels =
+  [
+    "validate-request";
+    "validate-reply";
+    "commit-request";
+    "commit-reply";
+    "policy-update";
+    "decision-commit";
+    "decision-abort";
+    "decision-ack";
+    "master-version-reply";
+  ]
+
+let txn_of = function
+  | Execute { txn; _ }
+  | Execute_reply { txn; _ }
+  | Validate_request { txn; _ }
+  | Validate_reply { txn; _ }
+  | Commit_request { txn; _ }
+  | Commit_reply { txn; _ }
+  | Policy_update { txn; _ }
+  | Decision { txn; _ }
+  | Decision_ack { txn; _ }
+  | Master_version_request { txn; _ }
+  | Master_version_reply { txn; _ }
+  | Inquiry { txn } -> Some txn
+  | Propagate_policy _ -> None

@@ -1,0 +1,40 @@
+type reason =
+  | Committed
+  | Integrity_violation
+  | Proof_failure
+  | Version_inconsistency
+  | Wait_die
+  | Rounds_exhausted
+  | Timed_out
+
+let reason_name = function
+  | Committed -> "committed"
+  | Integrity_violation -> "integrity-violation"
+  | Proof_failure -> "proof-failure"
+  | Version_inconsistency -> "version-inconsistency"
+  | Wait_die -> "wait-die"
+  | Rounds_exhausted -> "rounds-exhausted"
+  | Timed_out -> "timed-out"
+
+let pp_reason ppf r = Format.fprintf ppf "%s" (reason_name r)
+
+type t = {
+  txn : string;
+  scheme : Scheme.t;
+  level : Consistency.level;
+  committed : bool;
+  reason : reason;
+  submitted_at : float;
+  finished_at : float;
+  commit_rounds : int;
+  proofs_evaluated : int;
+  view : View.t;
+}
+
+let latency t = t.finished_at -. t.submitted_at
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%a/%a] %s (%a) in %.2fms, %d proofs, %d rounds"
+    t.txn Scheme.pp t.scheme Consistency.pp t.level
+    (if t.committed then "COMMIT" else "ABORT")
+    pp_reason t.reason (latency t) t.proofs_evaluated t.commit_rounds

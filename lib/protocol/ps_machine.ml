@@ -1,0 +1,409 @@
+module Query = Cloudtx_txn.Query
+module Tpc = Cloudtx_txn.Tpc
+module Proof = Cloudtx_policy.Proof
+module Policy = Cloudtx_policy.Policy
+module Credential = Cloudtx_policy.Credential
+module Value = Cloudtx_store.Value
+module Lock_manager = Cloudtx_store.Lock_manager
+
+type eval_cont =
+  | To_execute_reply of {
+      reply_to : string;
+      query_id : string;
+      reads : (string * Value.t option) list;
+    }
+  | To_validate_reply of { reply_to : string; round : int }
+  | To_commit_reply of { reply_to : string; round : int }
+  | To_update_reply of {
+      reply_to : string;
+      round : int;
+      reply_with : [ `Validate | `Commit ];
+    }
+  | To_read_only_reply of { reply_to : string; round : int; vote : bool }
+
+type exec_result =
+  | Executed of (string * Value.t option) list
+  | Blocked
+  | Die
+
+type action =
+  | Send of {
+      dst : string;
+      msg : Message.t;
+      after_proofs : int;
+      credentials : Credential.t list;
+    }
+  | Begin_work of { txn : string; ts : float }
+  | Exec of {
+      txn : string;
+      ts : float;
+      query : Query.t;
+      evaluate : bool;
+      reply_to : string;
+      snapshot : bool;
+    }
+  | Eval of {
+      txn : string;
+      subject : string;
+      credentials : Credential.t list;
+      queries : Query.t list;
+      with_proofs : bool;
+      with_policies : bool;
+      cont : eval_cont;
+    }
+  | Check_read_only of { txn : string; reply_to : string; round : int }
+  | Prepare of {
+      txn : string;
+      proof_truth : bool;
+      policy_versions : (string * int) list;
+    }
+  | Apply of { txn : string; commit : bool; forced : bool }
+  | Forget of { txn : string }
+  | Install of { policies : Policy.t list; announce : bool }
+  | Wait_open of { txn : string; query_id : string }
+  | Wait_close of { txn : string; outcome : string; killed_by : string option }
+  | Mark of string
+
+type input =
+  | Deliver of { src : string; msg : Message.t }
+  | Exec_result of {
+      txn : string;
+      query : Query.t;
+      evaluate : bool;
+      reply_to : string;
+      result : exec_result;
+    }
+  | Evaluated of {
+      txn : string;
+      proofs : Proof.t list;
+      policies : Policy.t list;
+      cont : eval_cont;
+    }
+  | Prepared of { txn : string; vote : bool }
+  | Read_only_result of {
+      txn : string;
+      reply_to : string;
+      round : int;
+      read_only : bool;
+      integrity_ok : bool;
+    }
+  | Release of { by : string option; release : Lock_manager.release }
+
+type pending = { p_query : Query.t; p_evaluate : bool; p_reply_to : string }
+
+type after_prepare = {
+  ap_reply_to : string;
+  ap_round : int;
+  ap_proofs : Proof.t list;
+  ap_policies : Policy.t list;
+}
+
+type txn_state = {
+  ts : float;
+  subject : string;
+  credentials : Credential.t list;
+  mutable queries : Query.t list; (* executed here, oldest first *)
+  mutable integrity : bool option; (* the vote, once prepared *)
+  mutable pending : pending option;
+  mutable after_prepare : after_prepare option;
+}
+
+type t = {
+  name : string;
+  variant : Tpc.variant;
+  txns : (string, txn_state) Hashtbl.t;
+  mutable out : action list; (* reversed accumulator for the current step *)
+}
+
+let create ~name ?(variant = Tpc.Basic) () =
+  { name; variant; txns = Hashtbl.create 16; out = [] }
+
+let name t = t.name
+
+let queries_of t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> st.queries
+  | None -> []
+
+let reset t = Hashtbl.reset t.txns
+
+let emit t a = t.out <- a :: t.out
+let mark t label = emit t (Mark label)
+
+let send t ~st ~after_proofs ~dst msg =
+  emit t
+    (Send
+       {
+         dst;
+         msg;
+         after_proofs;
+         credentials = (match st with Some s -> s.credentials | None -> []);
+       })
+
+let state t ~txn ~ts ~subject ~credentials =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        ts;
+        subject;
+        credentials;
+        queries = [];
+        integrity = None;
+        pending = None;
+        after_prepare = None;
+      }
+    in
+    Hashtbl.add t.txns txn st;
+    emit t (Begin_work { txn; ts });
+    st
+
+let eval t ~txn st ~queries ~with_proofs ~with_policies cont =
+  emit t
+    (Eval
+       {
+         txn;
+         subject = st.subject;
+         credentials = st.credentials;
+         queries;
+         with_proofs;
+         with_policies;
+         cont;
+       })
+
+let versions_of policies =
+  List.map (fun (p : Policy.t) -> (p.Policy.domain, p.Policy.version)) policies
+
+let on_exec_result t ~txn ~(query : Query.t) ~evaluate ~reply_to st result =
+  match result with
+  | Blocked ->
+    emit t (Wait_open { txn; query_id = query.Query.id });
+    st.pending <- Some { p_query = query; p_evaluate = evaluate; p_reply_to = reply_to };
+    mark t (Printf.sprintf "blocked:%s:%s" txn query.Query.id)
+  | Die ->
+    st.pending <- None;
+    send t ~st:(Some st) ~after_proofs:0 ~dst:reply_to
+      (Message.Execute_reply
+         { txn; query_id = query.Query.id; outcome = Message.Exec_die })
+  | Executed reads ->
+    st.pending <- None;
+    st.queries <- st.queries @ [ query ];
+    if evaluate then
+      eval t ~txn st ~queries:[ query ] ~with_proofs:true ~with_policies:false
+        (To_execute_reply { reply_to; query_id = query.Query.id; reads })
+    else
+      send t ~st:(Some st) ~after_proofs:0 ~dst:reply_to
+        (Message.Execute_reply
+           {
+             txn;
+             query_id = query.Query.id;
+             outcome = Message.Executed { reads; proof = None };
+           })
+
+let on_evaluated t ~txn ~proofs ~policies cont =
+  let st txn =
+    match Hashtbl.find_opt t.txns txn with
+    | Some st -> st
+    | None -> invalid_arg (Printf.sprintf "%s: evaluation for unknown %s" t.name txn)
+  in
+  match cont with
+  | To_execute_reply { reply_to; query_id; reads } ->
+    let proof = match proofs with p :: _ -> Some p | [] -> None in
+    send t ~st:(Some (st txn)) ~after_proofs:1 ~dst:reply_to
+      (Message.Execute_reply
+         { txn; query_id; outcome = Message.Executed { reads; proof } })
+  | To_validate_reply { reply_to; round } ->
+    send t ~st:(Some (st txn)) ~after_proofs:(List.length proofs) ~dst:reply_to
+      (Message.Validate_reply { txn; round; proofs; policies })
+  | To_commit_reply { reply_to; round } -> (
+    let st = st txn in
+    match st.integrity with
+    | Some vote ->
+      send t ~st:(Some st) ~after_proofs:(List.length proofs) ~dst:reply_to
+        (Message.Commit_reply
+           { txn; round; integrity = vote; read_only = false; proofs; policies })
+    | None ->
+      let truth = List.for_all (fun (p : Proof.t) -> p.Proof.result) proofs in
+      mark t (Printf.sprintf "log_force:prepared:%s" txn);
+      st.after_prepare <-
+        Some
+          { ap_reply_to = reply_to; ap_round = round; ap_proofs = proofs;
+            ap_policies = policies };
+      emit t
+        (Prepare { txn; proof_truth = truth; policy_versions = versions_of policies }))
+  | To_update_reply { reply_to; round; reply_with } -> (
+    let st = st txn in
+    match reply_with with
+    | `Validate ->
+      send t ~st:(Some st) ~after_proofs:(List.length proofs) ~dst:reply_to
+        (Message.Validate_reply { txn; round; proofs; policies })
+    | `Commit ->
+      let vote =
+        match st.integrity with
+        | Some vote -> vote
+        | None -> invalid_arg "Policy_update(`Commit) before prepare"
+      in
+      send t ~st:(Some st) ~after_proofs:(List.length proofs) ~dst:reply_to
+        (Message.Commit_reply
+           { txn; round; integrity = vote; read_only = false; proofs; policies }))
+  | To_read_only_reply { reply_to; round; vote } ->
+    (* Read-only fast path: vote READ, release immediately, skip the
+       decision phase and all forced logging. *)
+    let st0 = st txn in
+    send t ~st:(Some st0) ~after_proofs:0 ~dst:reply_to
+      (Message.Commit_reply
+         { txn; round; integrity = vote; read_only = true; proofs = []; policies });
+    mark t (Printf.sprintf "read_only_release:%s" txn);
+    emit t (Forget { txn });
+    Hashtbl.remove t.txns txn
+
+let on_prepared t ~txn ~vote =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> invalid_arg (Printf.sprintf "%s: prepared for unknown %s" t.name txn)
+  | Some st -> (
+    st.integrity <- Some vote;
+    match st.after_prepare with
+    | None -> ()
+    | Some { ap_reply_to; ap_round; ap_proofs; ap_policies } ->
+      st.after_prepare <- None;
+      send t ~st:(Some st) ~after_proofs:(List.length ap_proofs) ~dst:ap_reply_to
+        (Message.Commit_reply
+           {
+             txn;
+             round = ap_round;
+             integrity = vote;
+             read_only = false;
+             proofs = ap_proofs;
+             policies = ap_policies;
+           }))
+
+(* Lock releases may unblock parked queries of other transactions — and
+   wait-die re-checks at promotion time may kill parked waiters, whose
+   TMs must be told to abort. *)
+let on_release t ~by (release : Lock_manager.release) =
+  let killed = Hashtbl.create 4 in
+  List.iter
+    (fun (txn, _key) ->
+      if not (Hashtbl.mem killed txn) then begin
+        Hashtbl.add killed txn ();
+        match Hashtbl.find_opt t.txns txn with
+        | Some ({ pending = Some p; _ } as st) ->
+          st.pending <- None;
+          emit t (Wait_close { txn; outcome = "die"; killed_by = by });
+          send t ~st:(Some st) ~after_proofs:0 ~dst:p.p_reply_to
+            (Message.Execute_reply
+               { txn; query_id = p.p_query.Query.id; outcome = Message.Exec_die })
+        | Some { pending = None; _ } | None -> ()
+      end)
+    release.Lock_manager.killed;
+  let retried = Hashtbl.create 4 in
+  List.iter
+    (fun (txn, _key, _mode) ->
+      if (not (Hashtbl.mem retried txn)) && not (Hashtbl.mem killed txn) then begin
+        Hashtbl.add retried txn ();
+        match Hashtbl.find_opt t.txns txn with
+        | Some ({ pending = Some p; _ } as st) ->
+          emit t (Wait_close { txn; outcome = "granted"; killed_by = None });
+          emit t
+            (Exec
+               {
+                 txn;
+                 ts = st.ts;
+                 query = p.p_query;
+                 evaluate = p.p_evaluate;
+                 reply_to = p.p_reply_to;
+                 snapshot = false;
+               })
+        | Some { pending = None; _ } | None -> ()
+      end)
+    release.Lock_manager.granted
+
+let dispatch t ~src msg =
+  match msg with
+  | Message.Execute { txn; ts; query; subject; credentials; evaluate_proof; snapshot }
+    ->
+    mark t (Printf.sprintf "query_start:%s:%s" txn query.Query.id);
+    let st = state t ~txn ~ts ~subject ~credentials in
+    (* The MVCC fast path never blocks; lock-based execution reports its
+       outcome back as an {!input.Exec_result}. *)
+    let snapshot = snapshot && query.Query.writes = [] in
+    emit t
+      (Exec { txn; ts = st.ts; query; evaluate = evaluate_proof; reply_to = src; snapshot })
+  | Message.Validate_request { txn; round } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | None -> invalid_arg (Printf.sprintf "%s: validate for unknown %s" t.name txn)
+    | Some st ->
+      eval t ~txn st ~queries:st.queries ~with_proofs:true ~with_policies:true
+        (To_validate_reply { reply_to = src; round }))
+  | Message.Commit_request { txn; round; validate; allow_read_only } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | None -> invalid_arg (Printf.sprintf "%s: commit for unknown %s" t.name txn)
+    | Some st ->
+      if allow_read_only && not validate then
+        emit t (Check_read_only { txn; reply_to = src; round })
+      else
+        (* Without validation: no re-evaluation, but still report the
+           versions in force, which the prepared record must carry. *)
+        eval t ~txn st ~queries:st.queries ~with_proofs:validate
+          ~with_policies:true
+          (To_commit_reply { reply_to = src; round }))
+  | Message.Policy_update { txn; round; policies; reply_with } -> (
+    emit t (Install { policies; announce = false });
+    match Hashtbl.find_opt t.txns txn with
+    | None -> invalid_arg (Printf.sprintf "%s: update for unknown %s" t.name txn)
+    | Some st ->
+      eval t ~txn st ~queries:st.queries ~with_proofs:true ~with_policies:true
+        (To_update_reply { reply_to = src; round; reply_with }))
+  | Message.Decision { txn; commit } ->
+    let forced =
+      match (t.variant, commit) with
+      | Tpc.Basic, _ -> true
+      | Tpc.Presumed_abort, commit -> commit
+      | Tpc.Presumed_commit, commit -> not commit
+    in
+    if forced then mark t (Printf.sprintf "log_force:decision:%s" txn);
+    emit t (Apply { txn; commit; forced });
+    Hashtbl.remove t.txns txn;
+    send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn })
+  | Message.Propagate_policy { policy } ->
+    emit t (Install { policies = [ policy ]; announce = true })
+  | Message.Execute_reply _ | Message.Validate_reply _ | Message.Commit_reply _
+  | Message.Decision_ack _ | Message.Master_version_request _
+  | Message.Master_version_reply _ | Message.Inquiry _ ->
+    invalid_arg (Printf.sprintf "%s: unexpected %s" t.name (Message.label msg))
+
+let step t f =
+  t.out <- [];
+  f t;
+  let actions = List.rev t.out in
+  t.out <- [];
+  actions
+
+let handle t input =
+  step t (fun t ->
+      match input with
+      | Deliver { src; msg } -> dispatch t ~src msg
+      | Exec_result { txn; query; evaluate; reply_to; result } -> (
+        match Hashtbl.find_opt t.txns txn with
+        | None ->
+          invalid_arg (Printf.sprintf "%s: exec result for unknown %s" t.name txn)
+        | Some st -> on_exec_result t ~txn ~query ~evaluate ~reply_to st result)
+      | Evaluated { txn; proofs; policies; cont } ->
+        on_evaluated t ~txn ~proofs ~policies cont
+      | Prepared { txn; vote } -> on_prepared t ~txn ~vote
+      | Read_only_result { txn; reply_to; round; read_only; integrity_ok } -> (
+        match Hashtbl.find_opt t.txns txn with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "%s: read-only result for unknown %s" t.name txn)
+        | Some st ->
+          if read_only then
+            eval t ~txn st ~queries:st.queries ~with_proofs:false
+              ~with_policies:true
+              (To_read_only_reply { reply_to; round; vote = integrity_ok })
+          else
+            eval t ~txn st ~queries:st.queries ~with_proofs:false
+              ~with_policies:true
+              (To_commit_reply { reply_to; round }))
+      | Release { by; release } -> on_release t ~by release)

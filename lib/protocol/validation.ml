@@ -1,0 +1,130 @@
+module Policy = Cloudtx_policy.Policy
+module Proof = Cloudtx_policy.Proof
+
+type reply = {
+  integrity : bool;
+  proofs : Proof.t list;
+  policies : Policy.t list;
+}
+
+type t = {
+  participants : string list;
+  with_integrity : bool;
+  reconcile : bool;
+  mutable round : int;
+  mutable expected : string list;
+  mutable received : string list; (* this round *)
+  replies : (string, reply) Hashtbl.t; (* latest per participant *)
+  best : (string, Policy.t) Hashtbl.t; (* freshest body per domain *)
+}
+
+let create ?(reconcile = true) ~participants ~with_integrity () =
+  if participants = [] then invalid_arg "Validation.create: no participants";
+  {
+    participants;
+    with_integrity;
+    reconcile;
+    round = 1;
+    expected = participants;
+    received = [];
+    replies = Hashtbl.create 8;
+    best = Hashtbl.create 4;
+  }
+
+let round t = t.round
+
+let awaiting t =
+  List.filter (fun p -> not (List.mem p t.received)) t.expected
+
+let note_policy t (p : Policy.t) =
+  match Hashtbl.find_opt t.best p.Policy.domain with
+  | Some held when held.Policy.version >= p.Policy.version -> ()
+  | Some _ | None -> Hashtbl.replace t.best p.Policy.domain p
+
+let add_master t policies = List.iter (note_policy t) policies
+
+let add_reply t ~from ~integrity ~proofs ~policies =
+  if not (List.mem from t.expected) then
+    invalid_arg
+      (Printf.sprintf "Validation.add_reply: unexpected reply from %s" from);
+  if List.mem from t.received then
+    invalid_arg
+      (Printf.sprintf "Validation.add_reply: duplicate reply from %s" from);
+  t.received <- from :: t.received;
+  (* Integrity votes are sticky: a participant that voted NO in round 1
+     stays NO even if later rounds only re-validate proofs. *)
+  let integrity =
+    match Hashtbl.find_opt t.replies from with
+    | Some prev -> prev.integrity && integrity
+    | None -> integrity
+  in
+  Hashtbl.replace t.replies from { integrity; proofs; policies };
+  List.iter (note_policy t) policies;
+  if awaiting t = [] then `Round_complete else `Wait
+
+type resolution =
+  | Abort_integrity
+  | Abort_proof
+  | All_consistent_true
+  | Need_update of (string * Policy.t list) list
+
+let resolve t =
+  (match awaiting t with
+  | [] -> ()
+  | missing ->
+    invalid_arg
+      (Printf.sprintf "Validation.resolve: still awaiting %s"
+         (String.concat ", " missing)));
+  let all_replies =
+    List.filter_map (fun p -> Hashtbl.find_opt t.replies p) t.participants
+  in
+  if t.with_integrity && List.exists (fun r -> not r.integrity) all_replies
+  then Abort_integrity
+  else begin
+    (* Who used an out-of-date version of any policy they reported? *)
+    let stale_policies_of r =
+      List.filter_map
+        (fun (p : Policy.t) ->
+          match Hashtbl.find_opt t.best p.Policy.domain with
+          | Some freshest when freshest.Policy.version > p.Policy.version ->
+            Some freshest
+          | Some _ | None -> None)
+        r.policies
+    in
+    let stale =
+      if not t.reconcile then []
+      else
+        List.filter_map
+          (fun name ->
+            match Hashtbl.find_opt t.replies name with
+            | None -> None
+            | Some r -> (
+              match stale_policies_of r with
+              | [] -> None
+              | fresh -> Some (name, fresh)))
+          t.participants
+    in
+    match stale with
+    | [] ->
+      let all_true =
+        List.for_all
+          (fun r -> List.for_all (fun (p : Proof.t) -> p.Proof.result) r.proofs)
+          all_replies
+      in
+      if all_true then All_consistent_true else Abort_proof
+    | _ :: _ ->
+      t.round <- t.round + 1;
+      t.expected <- List.map fst stale;
+      t.received <- [];
+      Need_update stale
+  end
+
+let freshest t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.best []
+  |> List.sort (fun (a : Policy.t) b -> String.compare a.Policy.domain b.Policy.domain)
+
+let resolution_name = function
+  | Abort_integrity -> "abort_integrity"
+  | Abort_proof -> "abort_proof"
+  | All_consistent_true -> "all_consistent_true"
+  | Need_update _ -> "need_update"

@@ -302,6 +302,43 @@ let test_json_number_rendering () =
   Alcotest.(check string) "inf is null" "null" (Obs_json.number Float.infinity);
   Alcotest.(check string) "escaping" "\"a\\\"b\\n\"" (Obs_json.quote "a\"b\n")
 
+let test_prometheus_export () =
+  let r = Registry.create () in
+  Registry.incr r "txn_total" [ ("outcome", "commit") ];
+  Registry.set_gauge r "sim.pending_events" [] 3.;
+  Registry.observe r "lat" [ ("s", "a\"b") ] 0.5;
+  Registry.observe r "lat" [ ("s", "a\"b") ] 3.;
+  let expected =
+    String.concat "\n"
+      [
+        (* Histograms render cumulative buckets, +Inf, _sum and _count;
+           label values are escaped, metric names sanitised to the
+           Prometheus charset, HELP emitted for the known vocabulary. *)
+        "# TYPE lat histogram";
+        "lat_bucket{s=\"a\\\"b\",le=\"0.5\"} 1";
+        "lat_bucket{s=\"a\\\"b\",le=\"4\"} 2";
+        "lat_bucket{s=\"a\\\"b\",le=\"+Inf\"} 2";
+        "lat_sum{s=\"a\\\"b\"} 3.5";
+        "lat_count{s=\"a\\\"b\"} 2";
+        "# HELP sim_pending_events Discrete-event engine queue depth.";
+        "# TYPE sim_pending_events gauge";
+        "sim_pending_events 3";
+        "# HELP txn_total Finished transactions, by outcome, scheme and consistency.";
+        "# TYPE txn_total counter";
+        "txn_total{outcome=\"commit\"} 1";
+        "";
+      ]
+  in
+  Alcotest.(check string) "text exposition format" expected
+    (Registry.to_prometheus r)
+
+let test_prometheus_empty_histogram_sum () =
+  let r = Registry.create () in
+  Registry.set_gauge r "g" [] 0.25;
+  Alcotest.(check string) "non-integral gauge" "# TYPE g gauge\ng 0.25\n"
+    (Registry.to_prometheus r);
+  Alcotest.(check string) "empty registry" "" (Registry.to_prometheus (Registry.create ()))
+
 (* ------------------------------------------------------------------ *)
 (* Wiring: simulator clock feeds spans                                 *)
 (* ------------------------------------------------------------------ *)
@@ -322,6 +359,122 @@ let test_transport_tracing () =
   let names = List.map (fun s -> (s.Tracer.name, s.Tracer.start)) (Tracer.spans tracer) in
   Alcotest.(check bool) "send instant at t=0" true (List.mem ("send", 0.) names);
   Alcotest.(check bool) "recv instant at sim time 2" true (List.mem ("recv", 2.) names)
+
+(* ------------------------------------------------------------------ *)
+(* Wiring: staleness gauges and wait-die span links                    *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = Cloudtx_core.Cluster
+module Manager = Cloudtx_core.Manager
+module Transport = Cloudtx_sim.Transport
+module Latency = Cloudtx_sim.Latency
+module Query = Cloudtx_txn.Query
+module Transaction = Cloudtx_txn.Transaction
+module Value = Cloudtx_store.Value
+
+let test_policy_staleness_gauges () =
+  (* One publication, propagated to s1 immediately and never to s2: the
+     master-version gauge records the new version, the per-server
+     staleness gauge resets to 0 where the propagation lands and keeps
+     the lag where it does not. *)
+  let cluster =
+    Cluster.create
+      ~servers:
+        [
+          Cluster.server_spec ~name:"s1" ~items:[ ("k", Value.Int 0) ] ();
+          Cluster.server_spec ~name:"s2" ~items:[ ("j", Value.Int 0) ] ();
+        ]
+      ~domains:[ ("d", []) ] ()
+  in
+  let reg = Transport.enable_metrics (Cluster.transport cluster) in
+  ignore
+    (Cluster.publish cluster ~domain:"d"
+       ~delay:(`Fixed (fun name -> if name = "s1" then 0. else Float.infinity))
+       []);
+  ignore (Cluster.run cluster);
+  Alcotest.(check (option (float 0.)))
+    "master version" (Some 2.)
+    (Registry.gauge reg "policy_master_version" [ ("domain", "d") ]);
+  Alcotest.(check (option (float 0.)))
+    "updated replica is current" (Some 0.)
+    (Registry.gauge reg "policy_staleness" [ ("server", "s1"); ("domain", "d") ]);
+  Alcotest.(check (option (float 0.)))
+    "unreached replica trails by one" (Some 1.)
+    (Registry.gauge reg "policy_staleness" [ ("server", "s2"); ("domain", "d") ])
+
+let test_wait_die_kill_links_spans () =
+  (* Three transactions contend on key [k]: [y] (youngest) grabs it while
+     the two older ones are busy on server-2, so both park behind it.
+     When [y] releases, the oldest waiter is promoted and the other —
+     younger than the new holder — is killed by wait-die.  Its
+     [lock.wait] span must close with outcome "die" and a [killed_by]
+     attribute linking it to the releasing transaction's [txn] span. *)
+  let cluster =
+    Cluster.create
+      ~latency:(Latency.Constant 1.)
+      ~servers:
+        [
+          Cluster.server_spec ~name:"server-1" ~items:[ ("k", Value.Int 0) ] ();
+          Cluster.server_spec ~name:"server-2"
+            ~items:[ ("j1", Value.Int 0); ("j2", Value.Int 0) ]
+            ();
+        ]
+      ~domains:[ ("d", []) ] ()
+  in
+  let transport = Cluster.transport cluster in
+  let tracer = Transport.enable_tracing transport in
+  let config =
+    Manager.config Cloudtx_core.Scheme.Deferred Cloudtx_core.Consistency.View
+  in
+  let two_step id warmup =
+    Transaction.make ~id ~subject:"s"
+      [
+        Query.make ~id:(id ^ "-q1") ~server:"server-2"
+          ~writes:[ (warmup, Value.Set (Value.Int 1)) ]
+          ();
+        Query.make ~id:(id ^ "-q2") ~server:"server-1"
+          ~writes:[ ("k", Value.Set (Value.Int 2)) ]
+          ();
+      ]
+  in
+  let direct id =
+    Transaction.make ~id ~subject:"s"
+      [
+        Query.make ~id:(id ^ "-q1") ~server:"server-1"
+          ~writes:[ ("k", Value.Set (Value.Int 3)) ]
+          ();
+      ]
+  in
+  let submit delay txn =
+    Transport.at transport ~delay (fun () ->
+        Manager.submit cluster config txn ~on_done:(fun _ -> ()))
+  in
+  submit 0. (two_step "o1" "j1");
+  submit 0.3 (two_step "o2" "j2");
+  submit 0.9 (direct "y");
+  ignore (Cluster.run cluster);
+  let spans = Tracer.spans tracer in
+  let killed =
+    List.filter
+      (fun s ->
+        s.Tracer.name = "lock.wait"
+        && List.assoc_opt "outcome" s.Tracer.attrs = Some "die")
+      spans
+  in
+  Alcotest.(check bool) "a parked waiter was killed" true (killed <> []);
+  List.iter
+    (fun s ->
+      match List.assoc_opt "killed_by" s.Tracer.attrs with
+      | None -> Alcotest.fail "killed lock.wait span lacks killed_by"
+      | Some killer ->
+        Alcotest.(check string) "killed by the releasing transaction" "y" killer;
+        Alcotest.(check bool) "killer has a txn span" true
+          (List.exists
+             (fun t ->
+               t.Tracer.name = "txn"
+               && List.assoc_opt "txn" t.Tracer.attrs = Some killer)
+             spans))
+    killed
 
 (* ------------------------------------------------------------------ *)
 
@@ -360,7 +513,17 @@ let () =
           Alcotest.test_case "sim trace jsonl" `Quick test_sim_trace_jsonl;
           Alcotest.test_case "registry json" `Quick test_registry_json;
           Alcotest.test_case "number rendering" `Quick test_json_number_rendering;
+          Alcotest.test_case "prometheus text format" `Quick
+            test_prometheus_export;
+          Alcotest.test_case "prometheus corner cases" `Quick
+            test_prometheus_empty_histogram_sum;
         ] );
       ( "wiring",
-        [ Alcotest.test_case "transport tracing" `Quick test_transport_tracing ] );
+        [
+          Alcotest.test_case "transport tracing" `Quick test_transport_tracing;
+          Alcotest.test_case "policy staleness gauges" `Quick
+            test_policy_staleness_gauges;
+          Alcotest.test_case "wait-die kill links spans" `Quick
+            test_wait_die_kill_links_spans;
+        ] );
     ]
