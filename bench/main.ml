@@ -46,6 +46,30 @@ module Wal = Cloudtx_store.Wal
 module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
 module Obs_export = Cloudtx_obs.Export
+module Obs_json = Cloudtx_obs.Json
+module Journal = Cloudtx_obs.Journal
+
+(* Optional artifact destinations, set by command-line flags (parsed at
+   the bottom of this file). *)
+let obs_trace_out = ref None
+let obs_metrics_json = ref None
+let obs_journal_out = ref None
+
+(* --json FILE: machine-readable per-cell results for the section(s) that
+   support it (table1, tradeoff), so the perf trajectory is tracked across
+   changes; CI uploads them as artifacts. *)
+let json_out = ref None
+
+let write_json_file ~what objs =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc "[\n  ";
+      output_string oc (String.concat ",\n  " objs);
+      output_string oc "\n]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%s, %d cells)\n" path what (List.length objs))
+    !json_out
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
@@ -75,7 +99,37 @@ let section_table1 () =
     "  the freshest policy is not, so the measured value is the bound minus 2.";
   print_endline
     "  Master-version *requests* are not counted (the paper counts r retrievals);";
-  print_endline "  every other protocol message is."
+  print_endline "  every other protocol message is.";
+  write_json_file ~what:"Table I"
+    (List.concat_map
+       (fun scheme ->
+         List.map
+           (fun level ->
+             let staleness = Table1.worst_for scheme level in
+             let m = Table1.run_case ~n_servers:n ~queries:u scheme level staleness in
+             let o = m.Table1.outcome in
+             let r = max 1 o.Outcome.commit_rounds in
+             Obs_json.obj
+               [
+                 ("scheme", Obs_json.quote (Scheme.name scheme));
+                 ("level", Obs_json.quote (Consistency.name level));
+                 ("staleness", Obs_json.quote (Table1.staleness_name staleness));
+                 ("n", string_of_int n);
+                 ("u", string_of_int u);
+                 ("r", string_of_int r);
+                 ( "analytic_messages",
+                   string_of_int (Complexity.messages scheme level ~n ~u ~r) );
+                 ("measured_messages", string_of_int m.Table1.messages);
+                 ( "analytic_proofs",
+                   string_of_int (Complexity.proofs scheme level ~n ~u ~r) );
+                 ("measured_proofs", string_of_int m.Table1.proofs);
+                 ("committed", if o.Outcome.committed then "true" else "false");
+                 ( "latency_ms",
+                   Obs_json.number (o.Outcome.finished_at -. o.Outcome.submitted_at)
+                 );
+               ])
+           [ Consistency.View; Consistency.Global ])
+       Scheme.all)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1                                                            *)
@@ -326,6 +380,7 @@ let section_tradeoff () =
     "== Section VI-B -- scheme choice vs transaction length and update interval ==";
   print_endline
     "  (the simulation study the paper's conclusion announces; view consistency)";
+  let json_cells = ref [] in
   List.iter
     (fun (label, queries, update_period) ->
       let rows =
@@ -335,6 +390,32 @@ let section_tradeoff () =
               tradeoff_cell ~scheme ~level:Consistency.View ~queries
                 ~update_period ~n:40
             in
+            json_cells :=
+              Obs_json.obj
+                [
+                  ("workload", Obs_json.quote label);
+                  ("queries", string_of_int queries);
+                  ( "update_period_ms",
+                    if Float.is_finite update_period then
+                      Obs_json.number update_period
+                    else "null" );
+                  ("scheme", Obs_json.quote (Scheme.name scheme));
+                  ("level", Obs_json.quote (Consistency.name Consistency.View));
+                  ("commit_ratio", Obs_json.number (Experiment.commit_ratio stats));
+                  ( "latency_ms_mean",
+                    Obs_json.number (Sample_set.mean stats.Experiment.latency_ms)
+                  );
+                  ( "latency_ms_p95",
+                    Obs_json.number
+                      (Sample_set.percentile stats.Experiment.latency_ms 95.) );
+                  ( "proofs_mean",
+                    Obs_json.number (Running_stats.mean stats.Experiment.proofs)
+                  );
+                  ( "messages_mean",
+                    Obs_json.number
+                      (Running_stats.mean stats.Experiment.protocol_messages) );
+                ]
+              :: !json_cells;
             [
               Scheme.name scheme;
               Printf.sprintf "%.0f%%" (100. *. Experiment.commit_ratio stats);
@@ -368,7 +449,8 @@ let section_tradeoff () =
   print_endline
     "  Punctual are cheapest; txn length > update interval -> Incremental aborts";
   print_endline
-    "  pervasively while Continuous keeps committing at quadratic proof cost."
+    "  pervasively while Continuous keeps committing at quadratic proof cost.";
+  write_json_file ~what:"trade-off" (List.rev !json_cells)
 
 (* ------------------------------------------------------------------ *)
 (* Logging / 2PC-optimization compatibility                            *)
@@ -968,10 +1050,6 @@ let section_micro () =
 (* Observability: spans + metrics over a full workload                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Optional artifact destinations, set by --trace-out / --metrics-json. *)
-let obs_trace_out = ref None
-let obs_metrics_json = ref None
-
 let section_obs () =
   print_newline ();
   print_endline "== Observability -- transaction-lifecycle spans and metrics ==";
@@ -979,6 +1057,9 @@ let section_obs () =
   let transport = Cluster.transport scenario.Scenario.cluster in
   let tracer = Transport.enable_tracing transport in
   let registry = Transport.enable_metrics transport in
+  Option.iter
+    (fun path -> ignore (Transport.enable_journal ~path transport))
+    !obs_journal_out;
   Churn.policy_refresh scenario ~period:50. ~propagation:(0.5, 8.) ~count:5000;
   let rng = Splitmix.create 21L in
   let params = { Generator.default with queries_per_txn = 4; write_ratio = 0.3 } in
@@ -1016,7 +1097,14 @@ let section_obs () =
     Printf.printf "  wrote %s\n" path
   in
   Option.iter (fun p -> write p (Obs_export.to_chrome tracer)) !obs_trace_out;
-  Option.iter (fun p -> write p (Registry.to_json registry)) !obs_metrics_json
+  Option.iter (fun p -> write p (Registry.to_json registry)) !obs_metrics_json;
+  Option.iter
+    (fun p ->
+      let journal = Transport.journal transport in
+      Journal.close journal;
+      Printf.printf "  wrote %s (flight-recorder journal, %d records)\n" p
+        (Journal.length journal))
+    !obs_journal_out
 
 (* ------------------------------------------------------------------ *)
 
@@ -1036,8 +1124,8 @@ let sections =
   ]
 
 let () =
-  (* Pull --trace-out FILE / --metrics-json FILE out of argv; what remains
-     is the list of section names. *)
+  (* Pull --trace-out/--metrics-json/--journal-out/--json FILE out of
+     argv; what remains is the list of section names. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--trace-out" :: path :: rest ->
@@ -1046,8 +1134,15 @@ let () =
     | "--metrics-json" :: path :: rest ->
       obs_metrics_json := Some path;
       parse acc rest
-    | ("--trace-out" | "--metrics-json") :: [] ->
-      Printf.eprintf "--trace-out/--metrics-json need a FILE argument\n";
+    | "--journal-out" :: path :: rest ->
+      obs_journal_out := Some path;
+      parse acc rest
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      parse acc rest
+    | ("--trace-out" | "--metrics-json" | "--journal-out" | "--json") :: [] ->
+      Printf.eprintf
+        "--trace-out/--metrics-json/--journal-out/--json need a FILE argument\n";
       exit 2
     | arg :: rest -> parse (arg :: acc) rest
   in

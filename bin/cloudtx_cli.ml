@@ -30,6 +30,8 @@ module Complexity = Cloudtx_core.Complexity
 module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
 module Export = Cloudtx_obs.Export
+module Journal = Cloudtx_obs.Journal
+module Audit = Cloudtx_core.Audit
 
 open Cmdliner
 
@@ -119,6 +121,16 @@ let metrics_prom_arg =
            format to $(docv)."
         ~docv:"FILE")
 
+let journal_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-out" ]
+        ~doc:
+          "Record every protocol machine step (flight recorder) as JSONL to \
+           $(docv); replay and verify offline with $(b,cloudtx audit)."
+        ~docv:"FILE")
+
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
 (* ------------------------------------------------------------------ *)
@@ -139,13 +151,16 @@ let write_file path contents =
 
 (* Turn the sinks on before any transaction runs; spans and metrics only
    exist for what happens afterwards. *)
-let enable_obs cluster ~trace_out ~metrics_json ~metrics_prom =
+let enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
   let transport = Cluster.transport cluster in
   if trace_out <> None then ignore (Transport.enable_tracing transport);
   if metrics_json <> None || metrics_prom <> None then
-    ignore (Transport.enable_metrics transport)
+    ignore (Transport.enable_metrics transport);
+  Option.iter
+    (fun path -> ignore (Transport.enable_journal ~path transport))
+    journal_out
 
-let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom =
+let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
   let transport = Cluster.transport cluster in
   Option.iter
     (fun path ->
@@ -162,7 +177,14 @@ let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom =
     (fun path ->
       write_file path (Registry.to_prometheus (Transport.registry transport));
       Format.printf "wrote %s (metrics snapshot, Prometheus text format)@." path)
-    metrics_prom
+    metrics_prom;
+  Option.iter
+    (fun path ->
+      let journal = Transport.journal transport in
+      Journal.close journal;
+      Format.printf "wrote %s (flight-recorder journal, %d records)@." path
+        (Journal.length journal))
+    journal_out
 
 (* End-of-run summary off the registry: outcome counts, resource totals,
    phase percentiles, and the paper's worst-case analytic predictions for
@@ -239,12 +261,13 @@ let obs_summary reg ~scheme ~level ~servers ~queries ~txns =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd verbose scheme level servers queries txns seed update_period
-    write_ratio zipf trace_out metrics_json metrics_prom =
+    write_ratio zipf trace_out metrics_json metrics_prom journal_out =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
   in
-  enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom;
+  enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
+    ~journal_out;
   (match update_period with
   | Some period when period > 0. ->
     Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
@@ -286,12 +309,14 @@ let run_cmd verbose scheme level servers queries txns seed update_period
     (Transport.registry (Cluster.transport scenario.Scenario.cluster))
     ~scheme ~level ~servers ~queries ~txns;
   dump_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
+    ~journal_out
 
 let run_term =
   Term.(
     const run_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
-    $ zipf_arg $ trace_out_arg $ metrics_json_arg $ metrics_prom_arg)
+    $ zipf_arg $ trace_out_arg $ metrics_json_arg $ metrics_prom_arg
+    $ journal_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -318,14 +343,14 @@ let table1_term =
 (* ------------------------------------------------------------------ *)
 
 let trace_cmd verbose scheme level servers queries format trace_out metrics_json
-    metrics_prom =
+    metrics_prom journal_out =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
       ~n_subjects:1 ()
   in
   let cluster = scenario.Scenario.cluster in
-  enable_obs cluster ~trace_out ~metrics_json ~metrics_prom;
+  enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out;
   let txn =
     Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
   in
@@ -341,7 +366,7 @@ let trace_cmd verbose scheme level servers queries format trace_out metrics_json
   | other ->
     Printf.eprintf "unknown format %s (text|mermaid|csv|jsonl)\n" other;
     exit 2);
-  dump_obs cluster ~trace_out ~metrics_json ~metrics_prom
+  dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out
 
 let format_arg =
   Arg.(
@@ -353,7 +378,33 @@ let trace_term =
   Term.(
     const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg
-    $ metrics_prom_arg)
+    $ metrics_prom_arg $ journal_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd path =
+  match Audit.of_file path with
+  | Ok report ->
+    Format.printf "%s: journal verified, zero divergences@." path;
+    Format.printf "  %s@." (Audit.report_to_string report)
+  | Error why ->
+    Format.eprintf "%s: AUDIT FAILED@.  %s@." path why;
+    exit 1
+
+let audit_term =
+  Term.(
+    const audit_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL.jsonl"
+            ~doc:
+              "Flight-recorder journal written by $(b,--journal-out); replayed \
+               through fresh protocol machines and checked for conformance, \
+               atomic commitment (AC1-AC3), prepare-before-commit and \
+               trusted-transaction soundness."))
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -618,6 +669,7 @@ let cmds =
     Cmd.v (Cmd.info "run" ~doc:"Run a workload and print aggregate statistics.") run_term;
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I: analytic vs measured complexity.") table1_term;
     Cmd.v (Cmd.info "trace" ~doc:"Run one transaction and dump the full message trace.") trace_term;
+    Cmd.v (Cmd.info "audit" ~doc:"Replay a flight-recorder journal and verify it offline.") audit_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;
     Cmd.v (Cmd.info "bank" ~doc:"Random funds transfers over the banking scenario.") bank_term;
     Cmd.v (Cmd.info "analyze" ~doc:"Semantic diff of two policy files (JSON or Datalog).") analyze_term;

@@ -1,0 +1,420 @@
+module Json = Cloudtx_policy.Json
+module Codec = Cloudtx_protocol.Codec
+module Tm = Cloudtx_protocol.Tm_machine
+module Ps = Cloudtx_protocol.Ps_machine
+
+type report = {
+  records : int;
+  nodes : int;
+  transactions : int;
+  commits : int;
+  aborts : int;
+  protocol_messages : int;
+  proofs : int;
+  forced_logs : int;
+}
+
+let report_to_string r =
+  Printf.sprintf
+    "records=%d nodes=%d transactions=%d commits=%d aborts=%d \
+     protocol_messages=%d proofs=%d forced_logs=%d"
+    r.records r.nodes r.transactions r.commits r.aborts r.protocol_messages
+    r.proofs r.forced_logs
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+let or_fail ~seq what = function
+  | Ok v -> v
+  | Error m -> failf "seq %d: cannot decode %s: %s" seq what m
+
+(* A replayed action, kept alongside its canonical rendering so matching
+   a recorded action record is a string compare and the protocol checks
+   see the typed value. *)
+type replayed = Rtm of Tm.action | Rps of Ps.action
+
+type tm_state = { cfg : Tm.config; txn_id : string; m : Tm.t }
+type kind = Tm_node of tm_state | Ps_node of { mutable ps : Ps.t }
+
+type node = {
+  node_name : string;
+  mutable kind : kind;
+  mutable pending : (string * replayed) list;
+      (* this input's recorded-but-unmatched actions, FIFO *)
+  mutable last_seq : int;  (* seq of this node's latest replayed record *)
+}
+
+(* Everything the protocol checks accumulate about one transaction. *)
+type txn_stats = {
+  mutable finish : (int * bool) option;  (* TM Finish: seq, committed *)
+  mutable applies : (string * int * bool) list;  (* node, seq, commit *)
+  mutable prepared_nodes : string list;  (* nodes with a Prepare action *)
+  mutable first_no_vote : int option;  (* seq of a Prepared{vote=false} *)
+  latest : (string, int) Hashtbl.t;
+      (* domain -> master version, from Master_version_reply deliveries *)
+  mutable master_moved : bool;
+      (* the master reported two different versions of some domain during
+         this transaction — the instant-indexed (ψ, Def 8/9) checks are
+         only exact against a fixed master, so they are skipped then,
+         mirroring the live soundness tests (the conformance replay still
+         proves the machine enforced them online) *)
+}
+
+type state = {
+  nodes : (string, node) Hashtbl.t;
+  txns : (string, txn_stats) Hashtbl.t;
+  mutable records : int;
+  mutable transactions : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable protocol_messages : int;
+  mutable proofs : int;
+  mutable forced_logs : int;
+}
+
+let txn_stats st txn =
+  match Hashtbl.find_opt st.txns txn with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        finish = None;
+        applies = [];
+        prepared_nodes = [];
+        first_no_vote = None;
+        latest = Hashtbl.create 4;
+        master_moved = false;
+      }
+    in
+    Hashtbl.add st.txns txn s;
+    s
+
+let is_protocol msg = List.mem (Message.label msg) Message.protocol_labels
+
+let render_tm a = Codec.to_string (Codec.tm_action_to_json a)
+let render_ps a = Codec.to_string (Codec.ps_action_to_json a)
+
+(* ------------------------------------------------------------------ *)
+(* Per-record protocol checks (run when the action record is matched,   *)
+(* so seq ordering of the checks follows the journal)                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_tm_action st ~seq ~node (t : tm_state) = function
+  | Tm.Send { msg; _ } -> if is_protocol msg then
+      st.protocol_messages <- st.protocol_messages + 1
+  | Tm.Force_log -> st.forced_logs <- st.forced_logs + 1
+  | Tm.Finish { committed; _ } ->
+    let s = txn_stats st t.txn_id in
+    (match s.finish with
+    | Some (prev, _) ->
+      failf "seq %d (%s): AC3 violated: second decision for %s (first at seq %d)"
+        seq node t.txn_id prev
+    | None -> s.finish <- Some (seq, committed));
+    st.transactions <- st.transactions + 1;
+    if committed then begin
+      st.commits <- st.commits + 1;
+      (* Soundness: the replayed machine's view at commit must satisfy
+         the scheme's own trusted-transaction definition, judged against
+         the master versions this TM was told about. *)
+      let latest domain = Hashtbl.find_opt s.latest domain in
+      let instant_indexed =
+        match t.cfg.Tm.scheme with
+        | Scheme.Incremental_punctual | Scheme.Continuous -> true
+        | Scheme.Deferred | Scheme.Punctual -> false
+      in
+      if not (instant_indexed && s.master_moved) then
+        match
+          Trusted.check t.cfg.Tm.scheme ~level:t.cfg.Tm.level ~latest
+            (Tm.view t.m)
+        with
+        | Ok () -> ()
+        | Error why ->
+          failf "seq %d (%s): %s committed but untrusted: %s" seq node t.txn_id
+            why
+    end
+    else st.aborts <- st.aborts + 1
+  | Tm.Arm_watchdog _ | Tm.Arm_retry _ | Tm.Mark _ | Tm.Obs _ -> ()
+
+let check_ps_action st ~seq ~node = function
+  | Ps.Send { msg; _ } ->
+    if is_protocol msg then st.protocol_messages <- st.protocol_messages + 1
+  | Ps.Prepare { txn; _ } ->
+    (* Server.prepare always forces the vote record to the WAL. *)
+    st.forced_logs <- st.forced_logs + 1;
+    let s = txn_stats st txn in
+    s.prepared_nodes <- node :: s.prepared_nodes
+  | Ps.Apply { txn; commit; forced } ->
+    if forced then st.forced_logs <- st.forced_logs + 1;
+    let s = txn_stats st txn in
+    if List.exists (fun (n, _, _) -> String.equal n node) s.applies then
+      failf "seq %d (%s): AC3 violated: node decides %s twice" seq node txn;
+    if commit && not (List.mem node s.prepared_nodes) then
+      failf "seq %d (%s): commit of %s not preceded by prepare on this node" seq
+        node txn;
+    s.applies <- (node, seq, commit) :: s.applies
+  | Ps.Begin_work _ | Ps.Exec _ | Ps.Eval _ | Ps.Check_read_only _ | Ps.Forget _
+  | Ps.Install _ | Ps.Wait_open _ | Ps.Wait_close _ | Ps.Mark _ -> ()
+
+let note_tm_input st ~seq ~node (t : tm_state) = function
+  | Tm.Deliver { src; msg } ->
+    (* Sends from journaled nodes are counted from their action records;
+       a delivery from an un-journaled sender (the master) is the only
+       trace of that message, so count it here.  Assumes loss-free
+       delivery for such senders. *)
+    if is_protocol msg && not (Hashtbl.mem st.nodes src) then
+      st.protocol_messages <- st.protocol_messages + 1;
+    (match msg with
+    | Message.Master_version_reply { txn; policies } ->
+      if not (String.equal txn t.txn_id) then
+        failf "seq %d (%s): master reply for foreign transaction %s" seq node txn;
+      let s = txn_stats st txn in
+      List.iter
+        (fun (p : Cloudtx_policy.Policy.t) ->
+          let domain = p.Cloudtx_policy.Policy.domain in
+          let version = p.Cloudtx_policy.Policy.version in
+          (match Hashtbl.find_opt s.latest domain with
+          | Some prev when prev <> version -> s.master_moved <- true
+          | _ -> ());
+          Hashtbl.replace s.latest domain version)
+        policies
+    | _ -> ())
+  | Tm.Watchdog_fired _ | Tm.Retry_fired -> ()
+
+let note_ps_input st ~seq = function
+  | Ps.Deliver { src; msg } ->
+    if is_protocol msg && not (Hashtbl.mem st.nodes src) then
+      st.protocol_messages <- st.protocol_messages + 1
+  | Ps.Evaluated { proofs; _ } -> st.proofs <- st.proofs + List.length proofs
+  | Ps.Prepared { txn; vote } ->
+    if not vote then begin
+      let s = txn_stats st txn in
+      if s.first_no_vote = None then s.first_no_vote <- Some seq
+    end
+  | Ps.Exec_result _ | Ps.Read_only_result _ | Ps.Release _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Record replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let handle_create st ~seq ~node_name payload =
+  let kind = or_fail ~seq "create kind" Result.(bind (Json.member "kind" payload) Json.to_str) in
+  match kind with
+  | "tm" ->
+    if Hashtbl.mem st.nodes node_name then
+      failf "seq %d (%s): duplicate TM create" seq node_name;
+    let cfg =
+      or_fail ~seq "TM config"
+        (Result.bind (Json.member "config" payload) Codec.config_of_json)
+    in
+    let txn =
+      or_fail ~seq "transaction"
+        (Result.bind (Json.member "txn" payload) Codec.transaction_of_json)
+    in
+    let submitted_at =
+      or_fail ~seq "submitted_at"
+        (Result.bind (Json.member "submitted_at" payload) Json.to_float)
+    in
+    let m = Tm.create cfg txn ~submitted_at in
+    let t = { cfg; txn_id = txn.Cloudtx_txn.Transaction.id; m } in
+    let pending = List.map (fun a -> (render_tm a, Rtm a)) (Tm.start m) in
+    Hashtbl.add st.nodes node_name { node_name; kind = Tm_node t; pending; last_seq = seq }
+  | "ps" ->
+    let variant =
+      or_fail ~seq "2PC variant"
+        (Result.bind (Json.member "variant" payload) Codec.variant_of_json)
+    in
+    let fresh () = Ps.create ~name:node_name ~variant () in
+    (match Hashtbl.find_opt st.nodes node_name with
+    | None ->
+      Hashtbl.add st.nodes node_name
+        { node_name; kind = Ps_node { ps = fresh () }; pending = []; last_seq = seq }
+    | Some n -> (
+      (* A repeated participant create mirrors a crash reset. *)
+      if n.pending <> [] then
+        failf "seq %d (%s): create while %d recorded action(s) unmatched" seq
+          node_name (List.length n.pending);
+      match n.kind with
+      | Ps_node p -> p.ps <- fresh ()
+      | Tm_node _ -> failf "seq %d (%s): participant create over a TM" seq node_name))
+  | other -> failf "seq %d (%s): create kind %S unknown" seq node_name other
+
+let node_of st ~seq name =
+  match Hashtbl.find_opt st.nodes name with
+  | Some n -> n
+  | None -> failf "seq %d (%s): record for a node never created" seq name
+
+let handle_input st ~seq ~node_name payload =
+  let n = node_of st ~seq node_name in
+  n.last_seq <- seq;
+  if n.pending <> [] then
+    failf
+      "seq %d (%s): input record while %d recorded action(s) unmatched \
+       (reordered or dropped record?)"
+      seq node_name (List.length n.pending);
+  match n.kind with
+  | Tm_node t ->
+    let input = or_fail ~seq "TM input" (Codec.tm_input_of_json payload) in
+    note_tm_input st ~seq ~node:node_name t input;
+    let actions =
+      try Tm.handle t.m input
+      with Invalid_argument m ->
+        failf "seq %d (%s): replayed machine rejected input: %s" seq node_name m
+    in
+    n.pending <- List.map (fun a -> (render_tm a, Rtm a)) actions
+  | Ps_node p ->
+    let input = or_fail ~seq "PS input" (Codec.ps_input_of_json payload) in
+    note_ps_input st ~seq input;
+    let actions =
+      try Ps.handle p.ps input
+      with Invalid_argument m ->
+        failf "seq %d (%s): replayed machine rejected input: %s" seq node_name m
+    in
+    n.pending <- List.map (fun a -> (render_ps a, Rps a)) actions
+
+let handle_action st ~seq ~node_name payload =
+  let n = node_of st ~seq node_name in
+  n.last_seq <- seq;
+  let got = Codec.to_string payload in
+  match n.pending with
+  | [] ->
+    failf "seq %d (%s): action record but the replayed machine emitted none"
+      seq node_name
+  | (expected, replayed) :: rest ->
+    if not (String.equal expected got) then
+      failf "seq %d (%s): action diverges\n  expected %s\n  got      %s" seq
+        node_name expected got;
+    n.pending <- rest;
+    (match (replayed, n.kind) with
+    | Rtm a, Tm_node t -> check_tm_action st ~seq ~node:node_name t a
+    | Rps a, _ -> check_ps_action st ~seq ~node:node_name a
+    | Rtm _, Ps_node _ -> failf "seq %d (%s): internal kind mismatch" seq node_name)
+
+(* ------------------------------------------------------------------ *)
+(* End-of-journal checks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_final st =
+  Hashtbl.iter
+    (fun name n ->
+      if n.pending <> [] then
+        failf
+          "%s: journal ends after seq %d with %d recorded action(s) unmatched \
+           (truncated?)"
+          name n.last_seq (List.length n.pending))
+    st.nodes;
+  Hashtbl.iter
+    (fun txn (s : txn_stats) ->
+      (* AC1: everyone who decided this transaction decided the same. *)
+      (match s.applies with
+      | [] -> ()
+      | (_, _, first) :: _ ->
+        List.iter
+          (fun (node, seq, commit) ->
+            if commit <> first then
+              failf "seq %d (%s): AC1 violated: nodes disagree on %s" seq node txn)
+          s.applies);
+      (match (s.finish, s.applies) with
+      | Some (fseq, committed), (_, _, applied) :: _ when committed <> applied ->
+        failf "seq %d: AC1 violated: TM and participants disagree on %s" fseq txn
+      | _ -> ());
+      (* AC2: a commit requires unanimous YES votes. *)
+      let committed =
+        (match s.finish with Some (_, c) -> c | None -> false)
+        || List.exists (fun (_, _, c) -> c) s.applies
+      in
+      match (committed, s.first_no_vote) with
+      | true, Some seq ->
+        failf "seq %d: AC2 violated: %s committed over a NO vote" seq txn
+      | _ -> ())
+    st.txns
+
+(* ------------------------------------------------------------------ *)
+(* Envelope parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_header line =
+  match Json.parse line with
+  | Error m -> failf "line 1: bad journal header: %s" m
+  | Ok j -> (
+    (match Result.bind (Json.member "journal" j) Json.to_str with
+    | Ok "cloudtx" -> ()
+    | Ok other -> failf "line 1: journal kind %S unknown" other
+    | Error m -> failf "line 1: bad journal header: %s" m);
+    match Result.bind (Json.member "version" j) Json.to_int with
+    | Ok v when v = Codec.version -> ()
+    | Ok v -> failf "line 1: journal version %d unsupported (want %d)" v Codec.version
+    | Error m -> failf "line 1: bad journal header: %s" m)
+
+let handle_line st ~lineno line =
+  match Json.parse line with
+  | Error m -> failf "line %d: unparseable record: %s" lineno m
+  | Ok j ->
+    let seq =
+      match Result.bind (Json.member "seq" j) Json.to_int with
+      | Ok s -> s
+      | Error m -> failf "line %d: record without seq: %s" lineno m
+    in
+    let expected = st.records + 1 in
+    if seq <> expected then
+      failf "seq %d: expected seq %d — dropped or reordered record" seq expected;
+    st.records <- seq;
+    let node_name =
+      or_fail ~seq "node" (Result.bind (Json.member "node" j) Json.to_str)
+    in
+    let dir = or_fail ~seq "dir" (Result.bind (Json.member "dir" j) Json.to_str) in
+    let payload =
+      match Json.member "payload" j with
+      | Ok p -> p
+      | Error m -> failf "seq %d: record without payload: %s" seq m
+    in
+    (match dir with
+    | "create" -> handle_create st ~seq ~node_name payload
+    | "input" -> handle_input st ~seq ~node_name payload
+    | "action" -> handle_action st ~seq ~node_name payload
+    | other -> failf "seq %d (%s): dir %S unknown" seq node_name other)
+
+let run ~lines =
+  let st =
+    {
+      nodes = Hashtbl.create 16;
+      txns = Hashtbl.create 16;
+      records = 0;
+      transactions = 0;
+      commits = 0;
+      aborts = 0;
+      protocol_messages = 0;
+      proofs = 0;
+      forced_logs = 0;
+    }
+  in
+  try
+    (match lines with
+    | [] -> failf "empty journal"
+    | header :: records ->
+      check_header header;
+      List.iteri (fun i line -> handle_line st ~lineno:(i + 2) line) records);
+    check_final st;
+    Ok
+      {
+        records = st.records;
+        nodes = Hashtbl.length st.nodes;
+        transactions = st.transactions;
+        commits = st.commits;
+        aborts = st.aborts;
+        protocol_messages = st.protocol_messages;
+        proofs = st.proofs;
+        forced_logs = st.forced_logs;
+      }
+  with Fail m -> Error m
+
+let of_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then lines := line :: !lines
+     done
+   with End_of_file -> close_in ic);
+  run ~lines:(List.rev !lines)

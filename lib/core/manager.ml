@@ -6,8 +6,10 @@ module Transport = Cloudtx_sim.Transport
 module Counter = Cloudtx_metrics.Counter
 module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
+module Journal = Cloudtx_obs.Journal
 module Transaction = Cloudtx_txn.Transaction
 module Tm = Cloudtx_protocol.Tm_machine
+module Codec = Cloudtx_protocol.Codec
 
 let log_src = Logs.Src.create "cloudtx.manager" ~doc:"Transaction manager"
 
@@ -49,6 +51,18 @@ let transport d = Cluster.transport d.cluster
 let now d = Transport.now (transport d)
 let tracer d = Transport.tracer (transport d)
 let registry d = Transport.registry (transport d)
+let journal d = Transport.journal (transport d)
+
+(* Flight recorder: the input record followed immediately by its action
+   records, all before any action is performed.  Nested dispatches are
+   synchronous and happen inside [perform], so each input's actions are
+   journaled contiguously and replay ({!Audit}) is a per-node FIFO. *)
+let journal_actions j ~node actions =
+  List.iter
+    (fun a ->
+      Journal.record j ~node ~dir:"action"
+        ~payload:(Codec.to_string (Codec.tm_action_to_json a)))
+    actions
 
 let scheme_labels (cfg : config) =
   [
@@ -173,7 +187,16 @@ let rec perform d (cfg : config) (a : Tm.action) =
           (Outcome.reason_name reason));
     finish d cfg ~committed ~reason ~commit_rounds
 
-and dispatch d cfg input = List.iter (perform d cfg) (Tm.handle d.machine input)
+and dispatch d cfg input =
+  let j = journal d in
+  if Journal.enabled j then begin
+    Journal.record j ~node:d.name ~dir:"input"
+      ~payload:(Codec.to_string (Codec.tm_input_to_json input));
+    let actions = Tm.handle d.machine input in
+    journal_actions j ~node:d.name actions;
+    List.iter (perform d cfg) actions
+  end
+  else List.iter (perform d cfg) (Tm.handle d.machine input)
 
 let submit ?ts cluster (cfg : config) txn ~on_done =
   if txn.Transaction.queries = [] then
@@ -207,7 +230,22 @@ let submit ?ts cluster (cfg : config) txn ~on_done =
     Tracer.set_attr tr d.txn_span "scheme" (Scheme.name cfg.scheme);
     Tracer.set_attr tr d.txn_span "consistency" (Consistency.name cfg.level)
   end;
-  List.iter (perform d cfg) (Tm.start machine)
+  let j = Transport.journal transport in
+  let actions = Tm.start machine in
+  if Journal.enabled j then begin
+    Journal.record j ~node:name ~dir:"create"
+      ~payload:
+        (Codec.to_string
+           (Cloudtx_policy.Json.Obj
+              [
+                ("kind", Cloudtx_policy.Json.String "tm");
+                ("config", Codec.config_to_json cfg);
+                ("txn", Codec.transaction_to_json txn);
+                ("submitted_at", Cloudtx_policy.Json.Float submitted_at);
+              ]));
+    journal_actions j ~node:name actions
+  end;
+  List.iter (perform d cfg) actions
 
 let run_one cluster cfg txn =
   let result = ref None in

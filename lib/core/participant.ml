@@ -16,7 +16,9 @@ module Lock_manager = Cloudtx_store.Lock_manager
 module Wal = Cloudtx_store.Wal
 module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
+module Journal = Cloudtx_obs.Journal
 module Ps = Cloudtx_protocol.Ps_machine
+module Codec = Cloudtx_protocol.Codec
 
 let log_src =
   Logs.Src.create "cloudtx.participant" ~doc:"Data-server protocol node"
@@ -32,6 +34,11 @@ type t = {
   env : Proof.env;
   domain_of : string -> string;
   machine : Ps.t;
+  variant : Tpc.variant;
+  mutable journaled : bool;
+      (* create record emitted?  Participants are built before the CLI
+         enables the journal, so the record is emitted lazily at the
+         first journaled step (and again after a crash reset). *)
   ocsp_delay : (unit -> float) option;
   proof_cache : (string, string list) Hashtbl.t option;
   waits : (string, wait) Hashtbl.t; (* txn -> open lock.wait *)
@@ -184,7 +191,34 @@ let settle_wait t ~txn ~outcome ~killed_by =
         [ ("server", name t) ]
         (now t -. w.w_blocked_at)
 
-let rec dispatch t input = List.iter (perform t) (Ps.handle t.machine input)
+(* Flight recorder: same input-then-actions-then-perform ordering as
+   {!Manager.dispatch}, so each input's action records are contiguous in
+   the journal and replay is a per-node FIFO. *)
+let rec dispatch t input =
+  let j = Transport.journal t.transport in
+  if Journal.enabled j then begin
+    if not t.journaled then begin
+      t.journaled <- true;
+      Journal.record j ~node:(name t) ~dir:"create"
+        ~payload:
+          (Codec.to_string
+             (Cloudtx_policy.Json.Obj
+                [
+                  ("kind", Cloudtx_policy.Json.String "ps");
+                  ("variant", Codec.variant_to_json t.variant);
+                ]))
+    end;
+    Journal.record j ~node:(name t) ~dir:"input"
+      ~payload:(Codec.to_string (Codec.ps_input_to_json input));
+    let actions = Ps.handle t.machine input in
+    List.iter
+      (fun a ->
+        Journal.record j ~node:(name t) ~dir:"action"
+          ~payload:(Codec.to_string (Codec.ps_action_to_json a)))
+      actions;
+    List.iter (perform t) actions
+  end
+  else List.iter (perform t) (Ps.handle t.machine input)
 
 and perform t (a : Ps.action) =
   match a with
@@ -295,6 +329,8 @@ let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
       env;
       domain_of;
       machine = Ps.create ~name:(Server.name server) ~variant ();
+      variant;
+      journaled = false;
       ocsp_delay;
       proof_cache = (if proof_cache then Some (Hashtbl.create 64) else None);
       waits = Hashtbl.create 8;
@@ -351,6 +387,9 @@ let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
 
 let crash t =
   Ps.reset t.machine;
+  (* A repeated create record tells the auditor to restart this node's
+     replay machine from scratch, mirroring the reset. *)
+  t.journaled <- false;
   Hashtbl.reset t.waits;
   t.releases <- [];
   Server.crash t.server;

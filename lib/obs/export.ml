@@ -73,6 +73,58 @@ let to_chrome t =
       in
       emit json)
     spans;
+  (* Victim -> killer flow arrows: a finished [lock.wait] span whose
+     [killed_by] attribute names a transaction links to that transaction's
+     [txn] span (attribute [txn=<id>]).  Chrome/Perfetto draw the arrow
+     from the flow-start ("s") to the flow-finish ("f", binding point
+     "e" = enclosing slice) with matching [id]s. *)
+  let txn_spans = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Tracer.span) ->
+      if String.equal s.Tracer.name "txn" then
+        match List.assoc_opt "txn" s.Tracer.attrs with
+        | Some id when not (Hashtbl.mem txn_spans id) -> Hashtbl.add txn_spans id s
+        | Some _ | None -> ())
+    spans;
+  let flow_id = ref 0 in
+  List.iter
+    (fun (victim : Tracer.span) ->
+      if
+        String.equal victim.Tracer.name "lock.wait"
+        && not (Float.is_nan victim.Tracer.finish)
+      then
+        match List.assoc_opt "killed_by" victim.Tracer.attrs with
+        | None -> ()
+        | Some killer_txn -> (
+          match Hashtbl.find_opt txn_spans killer_txn with
+          | None -> ()
+          | Some killer ->
+            incr flow_id;
+            let arrow ph tid ts extra =
+              Json.obj
+                ([
+                   ("name", {|"killed_by"|});
+                   ("cat", {|"flow"|});
+                   ("ph", ph);
+                   ("id", string_of_int !flow_id);
+                   ("pid", "1");
+                   ("tid", string_of_int tid);
+                   ("ts", Json.number (ts *. 1000.));
+                 ]
+                @ extra)
+            in
+            let victim_tid = Hashtbl.find tracks victim.Tracer.track in
+            let killer_tid = Hashtbl.find tracks killer.Tracer.track in
+            (* The finish event must land inside the killer's txn slice;
+               clamp in case the wait outlived it (decision in flight). *)
+            let killer_end =
+              if Float.is_nan killer.Tracer.finish then victim.Tracer.finish
+              else Float.min victim.Tracer.finish killer.Tracer.finish
+            in
+            let killer_ts = Float.max killer.Tracer.start killer_end in
+            emit (arrow {|"s"|} victim_tid victim.Tracer.finish []);
+            emit (arrow {|"f"|} killer_tid killer_ts [ ("bp", {|"e"|}) ])))
+    spans;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

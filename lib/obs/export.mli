@@ -11,7 +11,11 @@
     events, instants are [ph = "i"].  Timestamps are microseconds as the
     format requires; the tracer's millisecond clock is scaled by 1000.
     Spans still open at export time are emitted with [dur = 0] and an
-    ["open": true] argument. *)
+    ["open": true] argument.  A finished [lock.wait] span with a
+    [killed_by] attribute additionally emits a flow-event pair
+    ([ph = "s"]/["f"]) linking the wait-die victim to the killer
+    transaction's [txn] span, so the UI draws the victim->killer arrow
+    instead of burying the relationship in args. *)
 val to_chrome : Tracer.t -> string
 
 (** One JSON object per span: [id], [parent] (absent for roots), [name],

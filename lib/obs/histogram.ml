@@ -7,9 +7,10 @@ let lo_exp = -16
 let hi_exp = 47
 let n_buckets = hi_exp - lo_exp + 1
 
-type t = { samples : Sample_set.t; counts : int array }
+type t = { samples : Sample_set.t; counts : int array; mutable sum : float }
 
-let create () = { samples = Sample_set.create (); counts = Array.make n_buckets 0 }
+let create () =
+  { samples = Sample_set.create (); counts = Array.make n_buckets 0; sum = 0. }
 
 let bucket_index v =
   if v <= 0. || Float.is_nan v then 0
@@ -24,10 +25,12 @@ let bucket_index v =
 
 let observe t v =
   Sample_set.add t.samples v;
+  t.sum <- t.sum +. v;
   let i = bucket_index v in
   t.counts.(i) <- t.counts.(i) + 1
 
 let count t = Sample_set.count t.samples
+let sum t = t.sum
 let mean t = Sample_set.mean t.samples
 let min t = Sample_set.min t.samples
 let max t = Sample_set.max t.samples

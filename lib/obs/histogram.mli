@@ -8,6 +8,11 @@ type t
 val create : unit -> t
 val observe : t -> float -> unit
 val count : t -> int
+
+(** Exact running sum of every observation (not reconstructed from the
+    buckets, which would be lossy for log-bucketed data). *)
+val sum : t -> float
+
 val mean : t -> float
 val min : t -> float
 val max : t -> float

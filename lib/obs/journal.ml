@@ -1,0 +1,60 @@
+let format_version = 1
+
+type t = {
+  live : bool;
+  clock : unit -> float;
+  buf : Buffer.t;
+  mutable seq : int;
+  mutable oc : out_channel option;
+}
+
+let noop =
+  { live = false; clock = (fun () -> 0.); buf = Buffer.create 0; seq = 0; oc = None }
+
+let header =
+  Printf.sprintf "{\"journal\":\"cloudtx\",\"version\":%d}" format_version
+
+let create ~clock ?path () =
+  let t =
+    { live = true; clock; buf = Buffer.create 4096; seq = 0; oc = None }
+  in
+  Buffer.add_string t.buf header;
+  Buffer.add_char t.buf '\n';
+  (match path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc header;
+    output_char oc '\n';
+    t.oc <- Some oc);
+  t
+
+let enabled t = t.live
+
+let record t ~node ~dir ~payload =
+  if t.live then begin
+    t.seq <- t.seq + 1;
+    let line =
+      Printf.sprintf "{\"seq\":%d,\"time_ms\":%s,\"node\":%s,\"dir\":%s,\"payload\":%s}"
+        t.seq
+        (Json.number (t.clock ()))
+        (Json.quote node) (Json.quote dir) payload
+    in
+    Buffer.add_string t.buf line;
+    Buffer.add_char t.buf '\n';
+    match t.oc with
+    | None -> ()
+    | Some oc ->
+      output_string oc line;
+      output_char oc '\n'
+  end
+
+let length t = t.seq
+let to_string t = Buffer.contents t.buf
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    close_out oc

@@ -1,0 +1,49 @@
+(** Protocol flight recorder: an append-only event journal.
+
+    Records every protocol machine step — machine creation, each input
+    fed to a machine, and each action the machine emitted in response —
+    as one JSON object per line (JSONL).  The payload is an opaque,
+    already-rendered JSON fragment supplied by the caller (the protocol
+    codec lives above this library in the dependency order); the journal
+    only wraps it in the record envelope
+
+    {[ {"seq":N,"time_ms":T,"node":"...","dir":"...","payload":...} ]}
+
+    preceded by a single header line [{"journal":"cloudtx","version":V}].
+    [seq] starts at 1 and increases by exactly 1 per record, so a gap
+    proves a dropped record.  [dir] is ["create"], ["input"] or
+    ["action"].
+
+    The journal buffers every line in memory ({!to_string}) and, when
+    opened with a [path], also writes each line through to the file as it
+    is recorded, so a crash loses at most the final partial line.
+
+    Zero cost when disabled: {!noop} never records and every operation is
+    a single branch.  Instrumentation that renders payloads must guard on
+    {!enabled} so the disabled path allocates nothing. *)
+
+type t
+
+(** Shared disabled journal; all operations are no-ops. *)
+val noop : t
+
+(** [create ~clock ?path ()] builds a live journal; [clock] supplies
+    timestamps (milliseconds by convention).  With [path] every line is
+    also written through to that file (truncating it first). *)
+val create : clock:(unit -> float) -> ?path:string -> unit -> t
+
+val enabled : t -> bool
+
+(** [record t ~node ~dir ~payload] appends one record; [payload] must be
+    a valid, canonically-rendered JSON fragment. *)
+val record : t -> node:string -> dir:string -> payload:string -> unit
+
+(** Number of records appended so far (excluding the header line). *)
+val length : t -> int
+
+(** The full journal — header line plus every record, newline-terminated. *)
+val to_string : t -> string
+
+(** Flush and close the write-through file, if any; idempotent.  The
+    in-memory buffer stays readable. *)
+val close : t -> unit

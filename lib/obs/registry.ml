@@ -235,10 +235,9 @@ let to_prometheus t =
           (Printf.sprintf "%s_bucket%s %d\n" pname
              (prom_labels (labels @ [ ("le", "+Inf") ]))
              count);
-        let sum = if count = 0 then 0. else Histogram.mean h *. float_of_int count in
         Buffer.add_string buf
           (Printf.sprintf "%s_sum%s %s\n" pname (prom_labels labels)
-             (prom_number sum));
+             (prom_number (Histogram.sum h)));
         Buffer.add_string buf
           (Printf.sprintf "%s_count%s %d\n" pname (prom_labels labels) count))
     (series t);

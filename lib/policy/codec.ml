@@ -61,18 +61,18 @@ let rule_of_json j =
 (* Policies                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let policy_to_string (p : Policy.t) =
-  to_string
-    (Obj
-       [
-         ("domain", String p.Policy.domain);
-         ("version", Int p.Policy.version);
-         ("accept_capabilities", Bool p.Policy.accept_capabilities);
-         ("rules", List (List.map rule_to_json p.Policy.rules));
-       ])
+let policy_to_json (p : Policy.t) =
+  Obj
+    [
+      ("domain", String p.Policy.domain);
+      ("version", Int p.Policy.version);
+      ("accept_capabilities", Bool p.Policy.accept_capabilities);
+      ("rules", List (List.map rule_to_json p.Policy.rules));
+    ]
 
-let policy_of_string s =
-  let* j = parse s in
+let policy_to_string p = to_string (policy_to_json p)
+
+let policy_of_json j =
   let* domain = Result.bind (member "domain" j) to_str in
   let* version = Result.bind (member "version" j) to_int in
   let* accept_capabilities = Result.bind (member "accept_capabilities" j) to_bool in
@@ -80,6 +80,8 @@ let policy_of_string s =
   let* rules = map_result rule_of_json rules in
   try Ok (Policy.of_wire ~domain ~version ~accept_capabilities rules)
   with Invalid_argument m -> Error m
+
+let policy_of_string s = Result.bind (parse s) policy_of_json
 
 (* ------------------------------------------------------------------ *)
 (* Credentials                                                         *)
@@ -104,22 +106,22 @@ let fact_of_json j =
   let* a = atom_of_json j in
   if Rule.is_ground a then Ok a else Error "credential fact must be ground"
 
-let credential_to_string (c : Credential.t) =
-  to_string
-    (Obj
-       [
-         ("id", String c.Credential.id);
-         ("subject", String c.Credential.subject);
-         ("issuer", String c.Credential.issuer);
-         ("kind", kind_to_json c.Credential.kind);
-         ("facts", List (List.map atom_to_json c.Credential.facts));
-         ("issued_at", Float c.Credential.issued_at);
-         ("expires_at", Float c.Credential.expires_at);
-         ("signature", String c.Credential.signature);
-       ])
+let credential_to_json (c : Credential.t) =
+  Obj
+    [
+      ("id", String c.Credential.id);
+      ("subject", String c.Credential.subject);
+      ("issuer", String c.Credential.issuer);
+      ("kind", kind_to_json c.Credential.kind);
+      ("facts", List (List.map atom_to_json c.Credential.facts));
+      ("issued_at", Float c.Credential.issued_at);
+      ("expires_at", Float c.Credential.expires_at);
+      ("signature", String c.Credential.signature);
+    ]
 
-let credential_of_string s =
-  let* j = parse s in
+let credential_to_string c = to_string (credential_to_json c)
+
+let credential_of_json j =
   let* id = Result.bind (member "id" j) to_str in
   let* subject = Result.bind (member "subject" j) to_str in
   let* issuer = Result.bind (member "issuer" j) to_str in
@@ -134,3 +136,5 @@ let credential_of_string s =
       (Credential.of_wire ~id ~subject ~issuer ~kind ~facts ~issued_at
          ~expires_at ~signature)
   with Invalid_argument m -> Error m
+
+let credential_of_string s = Result.bind (parse s) credential_of_json

@@ -20,8 +20,19 @@
 val rule_to_json : Rule.t -> Json.t
 val rule_of_json : Json.t -> (Rule.t, string) result
 
+(** JSON-value level (for embedding in larger documents, e.g. the protocol
+    flight-recorder journal). *)
+
+val policy_to_json : Policy.t -> Json.t
+val policy_of_json : Json.t -> (Policy.t, string) result
+val credential_to_json : Credential.t -> Json.t
+val credential_of_json : Json.t -> (Credential.t, string) result
+
 val policy_to_string : Policy.t -> string
 val policy_of_string : string -> (Policy.t, string) result
 
 val credential_to_string : Credential.t -> string
 val credential_of_string : string -> (Credential.t, string) result
+
+(** Shared decoder helper: fail on the first [Error]. *)
+val map_result : ('a -> ('b, 'e) result) -> 'a list -> ('b list, 'e) result

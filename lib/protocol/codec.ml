@@ -1,0 +1,968 @@
+(* Canonical JSON codec for the sans-IO protocol vocabulary.  Encoders fix
+   the field order and tag every variant with a ["t"] discriminator whose
+   value matches the protocol's stable labels where one exists; decoders
+   validate and never raise.  See codec.mli for the contract. *)
+
+module Json = Cloudtx_policy.Json
+module Pcodec = Cloudtx_policy.Codec
+module Proof = Cloudtx_policy.Proof
+module Credential = Cloudtx_policy.Credential
+module Query = Cloudtx_txn.Query
+module Transaction = Cloudtx_txn.Transaction
+module Tpc = Cloudtx_txn.Tpc
+module Value = Cloudtx_store.Value
+module Lock_manager = Cloudtx_store.Lock_manager
+open Json
+
+let version = 1
+let to_string = Json.to_string
+let map_result = Pcodec.map_result
+
+(* Variant tag: every encoded variant is {"t": tag, ...fields}. *)
+let tag name fields = Obj (("t", String name) :: fields)
+
+let tag_of j = Result.bind (member "t" j) to_str
+
+let bad what j =
+  Error (Printf.sprintf "%s: unexpected %s" what (Json.to_string j))
+
+let opt_field j name decode =
+  match member name j with
+  | Error _ | Ok Null -> Ok None
+  | Ok inner -> Result.map Option.some (decode inner)
+
+let opt_to_json encode = function None -> Null | Some v -> encode v
+let str_list_to_json l = List (List.map (fun s -> String s) l)
+
+let str_list_of_json j =
+  Result.bind (to_list j) (map_result to_str)
+
+(* ------------------------------------------------------------------ *)
+(* Store values and queries                                            *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Value.Int n -> Obj [ ("int", Int n) ]
+  | Value.Text s -> Obj [ ("text", String s) ]
+
+let value_of_json j =
+  match j with
+  | Obj [ ("int", Int n) ] -> Ok (Value.Int n)
+  | Obj [ ("text", String s) ] -> Ok (Value.Text s)
+  | _ -> bad "value" j
+
+let update_to_json = function
+  | Value.Set v -> Obj [ ("set", value_to_json v) ]
+  | Value.Add n -> Obj [ ("add", Int n) ]
+
+let update_of_json j =
+  match j with
+  | Obj [ ("set", v) ] -> Result.map (fun v -> Value.Set v) (value_of_json v)
+  | Obj [ ("add", Int n) ] -> Ok (Value.Add n)
+  | _ -> bad "update" j
+
+let write_to_json (key, update) =
+  Obj [ ("key", String key); ("update", update_to_json update) ]
+
+let write_of_json j =
+  let* key = Result.bind (member "key" j) to_str in
+  let* update = Result.bind (member "update" j) update_of_json in
+  Ok (key, update)
+
+let query_to_json (q : Query.t) =
+  Obj
+    [
+      ("id", String q.Query.id);
+      ("server", String q.Query.server);
+      ("reads", str_list_to_json q.Query.reads);
+      ("writes", List (List.map write_to_json q.Query.writes));
+      ("action", opt_to_json (fun s -> String s) q.Query.action_override);
+    ]
+
+let query_of_json j =
+  let* id = Result.bind (member "id" j) to_str in
+  let* server = Result.bind (member "server" j) to_str in
+  let* reads = Result.bind (member "reads" j) str_list_of_json in
+  let* writes = Result.bind (member "writes" j) to_list in
+  let* writes = map_result write_of_json writes in
+  let* action = opt_field j "action" to_str in
+  Ok (Query.make ~id ~server ~reads ~writes ?action ())
+
+let transaction_to_json (txn : Transaction.t) =
+  Obj
+    [
+      ("id", String txn.Transaction.id);
+      ("subject", String txn.Transaction.subject);
+      ("queries", List (List.map query_to_json txn.Transaction.queries));
+      ( "credentials",
+        List (List.map Pcodec.credential_to_json txn.Transaction.credentials) );
+    ]
+
+let transaction_of_json j =
+  let* id = Result.bind (member "id" j) to_str in
+  let* subject = Result.bind (member "subject" j) to_str in
+  let* queries = Result.bind (member "queries" j) to_list in
+  let* queries = map_result query_of_json queries in
+  let* credentials = Result.bind (member "credentials" j) to_list in
+  let* credentials = map_result Pcodec.credential_of_json credentials in
+  Ok (Transaction.make ~id ~subject ~credentials queries)
+
+(* ------------------------------------------------------------------ *)
+(* Proofs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let syntactic_failure_to_string = function
+  | Credential.Not_yet_valid -> "not-yet-valid"
+  | Credential.Expired -> "expired"
+  | Credential.Bad_signature -> "bad-signature"
+
+let syntactic_failure_of_string = function
+  | "not-yet-valid" -> Ok Credential.Not_yet_valid
+  | "expired" -> Ok Credential.Expired
+  | "bad-signature" -> Ok Credential.Bad_signature
+  | other -> Error (Printf.sprintf "syntactic failure %S unknown" other)
+
+let failure_to_json = function
+  | Proof.Syntactic (id, why) ->
+    tag "syntactic"
+      [
+        ("credential", String id); ("why", String (syntactic_failure_to_string why));
+      ]
+  | Proof.Revoked id -> tag "revoked" [ ("credential", String id) ]
+  | Proof.Untrusted_issuer id -> tag "untrusted-issuer" [ ("credential", String id) ]
+  | Proof.Denied item -> tag "denied" [ ("item", String item) ]
+
+let failure_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "syntactic" ->
+    let* id = Result.bind (member "credential" j) to_str in
+    let* why = Result.bind (member "why" j) to_str in
+    let* why = syntactic_failure_of_string why in
+    Ok (Proof.Syntactic (id, why))
+  | "revoked" ->
+    let* id = Result.bind (member "credential" j) to_str in
+    Ok (Proof.Revoked id)
+  | "untrusted-issuer" ->
+    let* id = Result.bind (member "credential" j) to_str in
+    Ok (Proof.Untrusted_issuer id)
+  | "denied" ->
+    let* item = Result.bind (member "item" j) to_str in
+    Ok (Proof.Denied item)
+  | other -> Error (Printf.sprintf "proof failure %S unknown" other)
+
+let request_to_json (r : Proof.request) =
+  Obj
+    [
+      ("subject", String r.Proof.subject);
+      ("action", String r.Proof.action);
+      ("items", str_list_to_json r.Proof.items);
+    ]
+
+let request_of_json j =
+  let* subject = Result.bind (member "subject" j) to_str in
+  let* action = Result.bind (member "action" j) to_str in
+  let* items = Result.bind (member "items" j) str_list_of_json in
+  Ok { Proof.subject; action; items }
+
+let proof_to_json (p : Proof.t) =
+  Obj
+    [
+      ("query_id", String p.Proof.query_id);
+      ("server", String p.Proof.server);
+      ("domain", String p.Proof.domain);
+      ("policy_version", Int p.Proof.policy_version);
+      ("evaluated_at", Float p.Proof.evaluated_at);
+      ("credential_ids", str_list_to_json p.Proof.credential_ids);
+      ("request", request_to_json p.Proof.request);
+      ("result", Bool p.Proof.result);
+      ("failures", List (List.map failure_to_json p.Proof.failures));
+    ]
+
+let proof_of_json j =
+  let* query_id = Result.bind (member "query_id" j) to_str in
+  let* server = Result.bind (member "server" j) to_str in
+  let* domain = Result.bind (member "domain" j) to_str in
+  let* policy_version = Result.bind (member "policy_version" j) to_int in
+  let* evaluated_at = Result.bind (member "evaluated_at" j) to_float in
+  let* credential_ids = Result.bind (member "credential_ids" j) str_list_of_json in
+  let* request = Result.bind (member "request" j) request_of_json in
+  let* result = Result.bind (member "result" j) to_bool in
+  let* failures = Result.bind (member "failures" j) to_list in
+  let* failures = map_result failure_of_json failures in
+  Ok
+    {
+      Proof.query_id;
+      server;
+      domain;
+      policy_version;
+      evaluated_at;
+      credential_ids;
+      request;
+      result;
+      failures;
+    }
+
+let proofs_to_json proofs = List (List.map proof_to_json proofs)
+
+let proofs_of_json j = Result.bind (to_list j) (map_result proof_of_json)
+
+let policies_to_json policies = List (List.map Pcodec.policy_to_json policies)
+
+let policies_of_json j =
+  Result.bind (to_list j) (map_result Pcodec.policy_of_json)
+
+let credentials_to_json creds = List (List.map Pcodec.credential_to_json creds)
+
+let credentials_of_json j =
+  Result.bind (to_list j) (map_result Pcodec.credential_of_json)
+
+(* (key, value option) read sets. *)
+let reads_to_json reads =
+  List
+    (List.map
+       (fun (key, v) ->
+         Obj [ ("key", String key); ("value", opt_to_json value_to_json v) ])
+       reads)
+
+let reads_of_json j =
+  Result.bind (to_list j)
+    (map_result (fun entry ->
+         let* key = Result.bind (member "key" entry) to_str in
+         let* value = opt_field entry "value" value_of_json in
+         Ok (key, value)))
+
+let reply_with_to_json = function
+  | `Validate -> String "validate"
+  | `Commit -> String "commit"
+
+let reply_with_of_json j =
+  let* s = to_str j in
+  match s with
+  | "validate" -> Ok `Validate
+  | "commit" -> Ok `Commit
+  | other -> Error (Printf.sprintf "reply_with %S unknown" other)
+
+(* ------------------------------------------------------------------ *)
+(* Wire messages                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let exec_outcome_to_json = function
+  | Message.Executed { reads; proof } ->
+    tag "executed"
+      [ ("reads", reads_to_json reads); ("proof", opt_to_json proof_to_json proof) ]
+  | Message.Exec_die -> tag "die" []
+
+let exec_outcome_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "executed" ->
+    let* reads = Result.bind (member "reads" j) reads_of_json in
+    let* proof = opt_field j "proof" proof_of_json in
+    Ok (Message.Executed { reads; proof })
+  | "die" -> Ok Message.Exec_die
+  | other -> Error (Printf.sprintf "exec outcome %S unknown" other)
+
+let message_to_json = function
+  | Message.Execute { txn; ts; query; subject; credentials; evaluate_proof; snapshot }
+    ->
+    tag "execute"
+      [
+        ("txn", String txn);
+        ("ts", Float ts);
+        ("query", query_to_json query);
+        ("subject", String subject);
+        ("credentials", credentials_to_json credentials);
+        ("evaluate_proof", Bool evaluate_proof);
+        ("snapshot", Bool snapshot);
+      ]
+  | Message.Execute_reply { txn; query_id; outcome } ->
+    tag "execute-reply"
+      [
+        ("txn", String txn);
+        ("query_id", String query_id);
+        ("outcome", exec_outcome_to_json outcome);
+      ]
+  | Message.Validate_request { txn; round } ->
+    tag "validate-request" [ ("txn", String txn); ("round", Int round) ]
+  | Message.Validate_reply { txn; round; proofs; policies } ->
+    tag "validate-reply"
+      [
+        ("txn", String txn);
+        ("round", Int round);
+        ("proofs", proofs_to_json proofs);
+        ("policies", policies_to_json policies);
+      ]
+  | Message.Commit_request { txn; round; validate; allow_read_only } ->
+    tag "commit-request"
+      [
+        ("txn", String txn);
+        ("round", Int round);
+        ("validate", Bool validate);
+        ("allow_read_only", Bool allow_read_only);
+      ]
+  | Message.Commit_reply { txn; round; integrity; read_only; proofs; policies } ->
+    tag "commit-reply"
+      [
+        ("txn", String txn);
+        ("round", Int round);
+        ("integrity", Bool integrity);
+        ("read_only", Bool read_only);
+        ("proofs", proofs_to_json proofs);
+        ("policies", policies_to_json policies);
+      ]
+  | Message.Policy_update { txn; round; policies; reply_with } ->
+    tag "policy-update"
+      [
+        ("txn", String txn);
+        ("round", Int round);
+        ("policies", policies_to_json policies);
+        ("reply_with", reply_with_to_json reply_with);
+      ]
+  | Message.Decision { txn; commit } ->
+    tag "decision" [ ("txn", String txn); ("commit", Bool commit) ]
+  | Message.Decision_ack { txn } -> tag "decision-ack" [ ("txn", String txn) ]
+  | Message.Master_version_request { txn } ->
+    tag "master-version-request" [ ("txn", String txn) ]
+  | Message.Master_version_reply { txn; policies } ->
+    tag "master-version-reply"
+      [ ("txn", String txn); ("policies", policies_to_json policies) ]
+  | Message.Propagate_policy { policy } ->
+    tag "propagate-policy" [ ("policy", Pcodec.policy_to_json policy) ]
+  | Message.Inquiry { txn } -> tag "inquiry" [ ("txn", String txn) ]
+
+let message_of_json j =
+  let* t = tag_of j in
+  let txn () = Result.bind (member "txn" j) to_str in
+  let round () = Result.bind (member "round" j) to_int in
+  match t with
+  | "execute" ->
+    let* txn = txn () in
+    let* ts = Result.bind (member "ts" j) to_float in
+    let* query = Result.bind (member "query" j) query_of_json in
+    let* subject = Result.bind (member "subject" j) to_str in
+    let* credentials = Result.bind (member "credentials" j) credentials_of_json in
+    let* evaluate_proof = Result.bind (member "evaluate_proof" j) to_bool in
+    let* snapshot = Result.bind (member "snapshot" j) to_bool in
+    Ok
+      (Message.Execute
+         { txn; ts; query; subject; credentials; evaluate_proof; snapshot })
+  | "execute-reply" ->
+    let* txn = txn () in
+    let* query_id = Result.bind (member "query_id" j) to_str in
+    let* outcome = Result.bind (member "outcome" j) exec_outcome_of_json in
+    Ok (Message.Execute_reply { txn; query_id; outcome })
+  | "validate-request" ->
+    let* txn = txn () in
+    let* round = round () in
+    Ok (Message.Validate_request { txn; round })
+  | "validate-reply" ->
+    let* txn = txn () in
+    let* round = round () in
+    let* proofs = Result.bind (member "proofs" j) proofs_of_json in
+    let* policies = Result.bind (member "policies" j) policies_of_json in
+    Ok (Message.Validate_reply { txn; round; proofs; policies })
+  | "commit-request" ->
+    let* txn = txn () in
+    let* round = round () in
+    let* validate = Result.bind (member "validate" j) to_bool in
+    let* allow_read_only = Result.bind (member "allow_read_only" j) to_bool in
+    Ok (Message.Commit_request { txn; round; validate; allow_read_only })
+  | "commit-reply" ->
+    let* txn = txn () in
+    let* round = round () in
+    let* integrity = Result.bind (member "integrity" j) to_bool in
+    let* read_only = Result.bind (member "read_only" j) to_bool in
+    let* proofs = Result.bind (member "proofs" j) proofs_of_json in
+    let* policies = Result.bind (member "policies" j) policies_of_json in
+    Ok (Message.Commit_reply { txn; round; integrity; read_only; proofs; policies })
+  | "policy-update" ->
+    let* txn = txn () in
+    let* round = round () in
+    let* policies = Result.bind (member "policies" j) policies_of_json in
+    let* reply_with = Result.bind (member "reply_with" j) reply_with_of_json in
+    Ok (Message.Policy_update { txn; round; policies; reply_with })
+  | "decision" ->
+    let* txn = txn () in
+    let* commit = Result.bind (member "commit" j) to_bool in
+    Ok (Message.Decision { txn; commit })
+  | "decision-ack" ->
+    let* txn = txn () in
+    Ok (Message.Decision_ack { txn })
+  | "master-version-request" ->
+    let* txn = txn () in
+    Ok (Message.Master_version_request { txn })
+  | "master-version-reply" ->
+    let* txn = txn () in
+    let* policies = Result.bind (member "policies" j) policies_of_json in
+    Ok (Message.Master_version_reply { txn; policies })
+  | "propagate-policy" ->
+    let* policy = Result.bind (member "policy" j) Pcodec.policy_of_json in
+    Ok (Message.Propagate_policy { policy })
+  | "inquiry" ->
+    let* txn = txn () in
+    Ok (Message.Inquiry { txn })
+  | other -> Error (Printf.sprintf "message tag %S unknown" other)
+
+(* ------------------------------------------------------------------ *)
+(* TM configuration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let master_mode_to_json = function
+  | `Once -> String "once"
+  | `Every_round -> String "every-round"
+
+let master_mode_of_json j =
+  let* s = to_str j in
+  match s with
+  | "once" -> Ok `Once
+  | "every-round" -> Ok `Every_round
+  | other -> Error (Printf.sprintf "master mode %S unknown" other)
+
+let config_to_json (cfg : Tm_machine.config) =
+  Obj
+    [
+      ("scheme", String (Scheme.name cfg.Tm_machine.scheme));
+      ("level", String (Consistency.name cfg.Tm_machine.level));
+      ("master_mode", master_mode_to_json cfg.Tm_machine.master_mode);
+      ("max_rounds", Int cfg.Tm_machine.max_rounds);
+      ("vote_timeout", Float cfg.Tm_machine.vote_timeout);
+      ("decision_retry", Float cfg.Tm_machine.decision_retry);
+      ("read_only_optimization", Bool cfg.Tm_machine.read_only_optimization);
+      ("snapshot_reads", Bool cfg.Tm_machine.snapshot_reads);
+    ]
+
+let scheme_of_json j =
+  let* s = to_str j in
+  match Scheme.of_string s with
+  | Some scheme -> Ok scheme
+  | None -> Error (Printf.sprintf "scheme %S unknown" s)
+
+let level_of_json j =
+  let* s = to_str j in
+  match Consistency.of_string s with
+  | Some level -> Ok level
+  | None -> Error (Printf.sprintf "consistency level %S unknown" s)
+
+let config_of_json j =
+  let* scheme = Result.bind (member "scheme" j) scheme_of_json in
+  let* level = Result.bind (member "level" j) level_of_json in
+  let* master_mode = Result.bind (member "master_mode" j) master_mode_of_json in
+  let* max_rounds = Result.bind (member "max_rounds" j) to_int in
+  let* vote_timeout = Result.bind (member "vote_timeout" j) to_float in
+  let* decision_retry = Result.bind (member "decision_retry" j) to_float in
+  let* read_only_optimization =
+    Result.bind (member "read_only_optimization" j) to_bool
+  in
+  let* snapshot_reads = Result.bind (member "snapshot_reads" j) to_bool in
+  Ok
+    {
+      Tm_machine.scheme;
+      level;
+      master_mode;
+      max_rounds;
+      vote_timeout;
+      decision_retry;
+      read_only_optimization;
+      snapshot_reads;
+    }
+
+let variant_to_json = function
+  | Tpc.Basic -> String "basic"
+  | Tpc.Presumed_abort -> String "presumed-abort"
+  | Tpc.Presumed_commit -> String "presumed-commit"
+
+let variant_of_json j =
+  let* s = to_str j in
+  match s with
+  | "basic" -> Ok Tpc.Basic
+  | "presumed-abort" -> Ok Tpc.Presumed_abort
+  | "presumed-commit" -> Ok Tpc.Presumed_commit
+  | other -> Error (Printf.sprintf "2PC variant %S unknown" other)
+
+let reason_to_json r = String (Outcome.reason_name r)
+
+let reason_of_json j =
+  let* s = to_str j in
+  match s with
+  | "committed" -> Ok Outcome.Committed
+  | "integrity-violation" -> Ok Outcome.Integrity_violation
+  | "proof-failure" -> Ok Outcome.Proof_failure
+  | "version-inconsistency" -> Ok Outcome.Version_inconsistency
+  | "wait-die" -> Ok Outcome.Wait_die
+  | "rounds-exhausted" -> Ok Outcome.Rounds_exhausted
+  | "timed-out" -> Ok Outcome.Timed_out
+  | other -> Error (Printf.sprintf "outcome reason %S unknown" other)
+
+(* ------------------------------------------------------------------ *)
+(* TM inputs and actions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tm_input_to_json = function
+  | Tm_machine.Deliver { src; msg } ->
+    tag "deliver" [ ("src", String src); ("msg", message_to_json msg) ]
+  | Tm_machine.Watchdog_fired { epoch } -> tag "watchdog-fired" [ ("epoch", Int epoch) ]
+  | Tm_machine.Retry_fired -> tag "retry-fired" []
+
+let tm_input_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "deliver" ->
+    let* src = Result.bind (member "src" j) to_str in
+    let* msg = Result.bind (member "msg" j) message_of_json in
+    Ok (Tm_machine.Deliver { src; msg })
+  | "watchdog-fired" ->
+    let* epoch = Result.bind (member "epoch" j) to_int in
+    Ok (Tm_machine.Watchdog_fired { epoch })
+  | "retry-fired" -> Ok Tm_machine.Retry_fired
+  | other -> Error (Printf.sprintf "TM input tag %S unknown" other)
+
+let obs_to_json = function
+  | Tm_machine.Query_open { index; server } ->
+    tag "query-open" [ ("index", Int index); ("server", String server) ]
+  | Tm_machine.Query_close { outcome } ->
+    tag "query-close" [ ("outcome", String outcome) ]
+  | Tm_machine.Round_open { parent; span_name; round; query } ->
+    tag "round-open"
+      [
+        ("parent", String (match parent with `Txn -> "txn" | `Phase -> "phase"));
+        ("span_name", String span_name);
+        ("round", Int round);
+        ("query", opt_to_json (fun q -> Int q) query);
+      ]
+  | Tm_machine.Round_close { resolution } ->
+    tag "round-close" [ ("resolution", opt_to_json (fun r -> String r) resolution) ]
+  | Tm_machine.Phase_open { span_name; reason } ->
+    tag "phase-open"
+      [
+        ("span_name", String span_name);
+        ("reason", opt_to_json (fun r -> String r) reason);
+      ]
+  | Tm_machine.Phase_close -> tag "phase-close" []
+  | Tm_machine.Txn_close { outcome; reason } ->
+    tag "txn-close" [ ("outcome", String outcome); ("reason", String reason) ]
+
+let obs_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "query-open" ->
+    let* index = Result.bind (member "index" j) to_int in
+    let* server = Result.bind (member "server" j) to_str in
+    Ok (Tm_machine.Query_open { index; server })
+  | "query-close" ->
+    let* outcome = Result.bind (member "outcome" j) to_str in
+    Ok (Tm_machine.Query_close { outcome })
+  | "round-open" ->
+    let* parent = Result.bind (member "parent" j) to_str in
+    let* parent =
+      match parent with
+      | "txn" -> Ok `Txn
+      | "phase" -> Ok `Phase
+      | other -> Error (Printf.sprintf "round parent %S unknown" other)
+    in
+    let* span_name = Result.bind (member "span_name" j) to_str in
+    let* round = Result.bind (member "round" j) to_int in
+    let* query = opt_field j "query" to_int in
+    Ok (Tm_machine.Round_open { parent; span_name; round; query })
+  | "round-close" ->
+    let* resolution = opt_field j "resolution" to_str in
+    Ok (Tm_machine.Round_close { resolution })
+  | "phase-open" ->
+    let* span_name = Result.bind (member "span_name" j) to_str in
+    let* reason = opt_field j "reason" to_str in
+    Ok (Tm_machine.Phase_open { span_name; reason })
+  | "phase-close" -> Ok Tm_machine.Phase_close
+  | "txn-close" ->
+    let* outcome = Result.bind (member "outcome" j) to_str in
+    let* reason = Result.bind (member "reason" j) to_str in
+    Ok (Tm_machine.Txn_close { outcome; reason })
+  | other -> Error (Printf.sprintf "TM obs tag %S unknown" other)
+
+let tm_action_to_json = function
+  | Tm_machine.Send { dst; msg } ->
+    tag "send" [ ("dst", String dst); ("msg", message_to_json msg) ]
+  | Tm_machine.Arm_watchdog { epoch; delay } ->
+    tag "arm-watchdog" [ ("epoch", Int epoch); ("delay", Float delay) ]
+  | Tm_machine.Arm_retry { delay } -> tag "arm-retry" [ ("delay", Float delay) ]
+  | Tm_machine.Force_log -> tag "force-log" []
+  | Tm_machine.Mark label -> tag "mark" [ ("label", String label) ]
+  | Tm_machine.Obs o -> tag "obs" [ ("obs", obs_to_json o) ]
+  | Tm_machine.Finish { committed; reason; commit_rounds } ->
+    tag "finish"
+      [
+        ("committed", Bool committed);
+        ("reason", reason_to_json reason);
+        ("commit_rounds", Int commit_rounds);
+      ]
+
+let tm_action_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "send" ->
+    let* dst = Result.bind (member "dst" j) to_str in
+    let* msg = Result.bind (member "msg" j) message_of_json in
+    Ok (Tm_machine.Send { dst; msg })
+  | "arm-watchdog" ->
+    let* epoch = Result.bind (member "epoch" j) to_int in
+    let* delay = Result.bind (member "delay" j) to_float in
+    Ok (Tm_machine.Arm_watchdog { epoch; delay })
+  | "arm-retry" ->
+    let* delay = Result.bind (member "delay" j) to_float in
+    Ok (Tm_machine.Arm_retry { delay })
+  | "force-log" -> Ok Tm_machine.Force_log
+  | "mark" ->
+    let* label = Result.bind (member "label" j) to_str in
+    Ok (Tm_machine.Mark label)
+  | "obs" ->
+    let* o = Result.bind (member "obs" j) obs_of_json in
+    Ok (Tm_machine.Obs o)
+  | "finish" ->
+    let* committed = Result.bind (member "committed" j) to_bool in
+    let* reason = Result.bind (member "reason" j) reason_of_json in
+    let* commit_rounds = Result.bind (member "commit_rounds" j) to_int in
+    Ok (Tm_machine.Finish { committed; reason; commit_rounds })
+  | other -> Error (Printf.sprintf "TM action tag %S unknown" other)
+
+(* ------------------------------------------------------------------ *)
+(* PS inputs and actions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cont_to_json = function
+  | Ps_machine.To_execute_reply { reply_to; query_id; reads } ->
+    tag "to-execute-reply"
+      [
+        ("reply_to", String reply_to);
+        ("query_id", String query_id);
+        ("reads", reads_to_json reads);
+      ]
+  | Ps_machine.To_validate_reply { reply_to; round } ->
+    tag "to-validate-reply" [ ("reply_to", String reply_to); ("round", Int round) ]
+  | Ps_machine.To_commit_reply { reply_to; round } ->
+    tag "to-commit-reply" [ ("reply_to", String reply_to); ("round", Int round) ]
+  | Ps_machine.To_update_reply { reply_to; round; reply_with } ->
+    tag "to-update-reply"
+      [
+        ("reply_to", String reply_to);
+        ("round", Int round);
+        ("reply_with", reply_with_to_json reply_with);
+      ]
+  | Ps_machine.To_read_only_reply { reply_to; round; vote } ->
+    tag "to-read-only-reply"
+      [ ("reply_to", String reply_to); ("round", Int round); ("vote", Bool vote) ]
+
+let eval_cont_of_json j =
+  let* t = tag_of j in
+  let reply_to () = Result.bind (member "reply_to" j) to_str in
+  let round () = Result.bind (member "round" j) to_int in
+  match t with
+  | "to-execute-reply" ->
+    let* reply_to = reply_to () in
+    let* query_id = Result.bind (member "query_id" j) to_str in
+    let* reads = Result.bind (member "reads" j) reads_of_json in
+    Ok (Ps_machine.To_execute_reply { reply_to; query_id; reads })
+  | "to-validate-reply" ->
+    let* reply_to = reply_to () in
+    let* round = round () in
+    Ok (Ps_machine.To_validate_reply { reply_to; round })
+  | "to-commit-reply" ->
+    let* reply_to = reply_to () in
+    let* round = round () in
+    Ok (Ps_machine.To_commit_reply { reply_to; round })
+  | "to-update-reply" ->
+    let* reply_to = reply_to () in
+    let* round = round () in
+    let* reply_with = Result.bind (member "reply_with" j) reply_with_of_json in
+    Ok (Ps_machine.To_update_reply { reply_to; round; reply_with })
+  | "to-read-only-reply" ->
+    let* reply_to = reply_to () in
+    let* round = round () in
+    let* vote = Result.bind (member "vote" j) to_bool in
+    Ok (Ps_machine.To_read_only_reply { reply_to; round; vote })
+  | other -> Error (Printf.sprintf "eval continuation tag %S unknown" other)
+
+let exec_result_to_json = function
+  | Ps_machine.Executed reads -> tag "executed" [ ("reads", reads_to_json reads) ]
+  | Ps_machine.Blocked -> tag "blocked" []
+  | Ps_machine.Die -> tag "die" []
+
+let exec_result_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "executed" ->
+    let* reads = Result.bind (member "reads" j) reads_of_json in
+    Ok (Ps_machine.Executed reads)
+  | "blocked" -> Ok Ps_machine.Blocked
+  | "die" -> Ok Ps_machine.Die
+  | other -> Error (Printf.sprintf "exec result tag %S unknown" other)
+
+let mode_to_json = function
+  | Lock_manager.Shared -> String "shared"
+  | Lock_manager.Exclusive -> String "exclusive"
+
+let mode_of_json j =
+  let* s = to_str j in
+  match s with
+  | "shared" -> Ok Lock_manager.Shared
+  | "exclusive" -> Ok Lock_manager.Exclusive
+  | other -> Error (Printf.sprintf "lock mode %S unknown" other)
+
+let release_to_json (r : Lock_manager.release) =
+  Obj
+    [
+      ( "granted",
+        List
+          (List.map
+             (fun (txn, key, mode) ->
+               Obj
+                 [
+                   ("txn", String txn); ("key", String key); ("mode", mode_to_json mode);
+                 ])
+             r.Lock_manager.granted) );
+      ( "killed",
+        List
+          (List.map
+             (fun (txn, key) -> Obj [ ("txn", String txn); ("key", String key) ])
+             r.Lock_manager.killed) );
+    ]
+
+let release_of_json j =
+  let* granted = Result.bind (member "granted" j) to_list in
+  let* granted =
+    map_result
+      (fun entry ->
+        let* txn = Result.bind (member "txn" entry) to_str in
+        let* key = Result.bind (member "key" entry) to_str in
+        let* mode = Result.bind (member "mode" entry) mode_of_json in
+        Ok (txn, key, mode))
+      granted
+  in
+  let* killed = Result.bind (member "killed" j) to_list in
+  let* killed =
+    map_result
+      (fun entry ->
+        let* txn = Result.bind (member "txn" entry) to_str in
+        let* key = Result.bind (member "key" entry) to_str in
+        Ok (txn, key))
+      killed
+  in
+  Ok { Lock_manager.granted; killed }
+
+let policy_versions_to_json versions =
+  List
+    (List.map
+       (fun (domain, v) -> Obj [ ("domain", String domain); ("version", Int v) ])
+       versions)
+
+let policy_versions_of_json j =
+  Result.bind (to_list j)
+    (map_result (fun entry ->
+         let* domain = Result.bind (member "domain" entry) to_str in
+         let* v = Result.bind (member "version" entry) to_int in
+         Ok (domain, v)))
+
+let ps_input_to_json = function
+  | Ps_machine.Deliver { src; msg } ->
+    tag "deliver" [ ("src", String src); ("msg", message_to_json msg) ]
+  | Ps_machine.Exec_result { txn; query; evaluate; reply_to; result } ->
+    tag "exec-result"
+      [
+        ("txn", String txn);
+        ("query", query_to_json query);
+        ("evaluate", Bool evaluate);
+        ("reply_to", String reply_to);
+        ("result", exec_result_to_json result);
+      ]
+  | Ps_machine.Evaluated { txn; proofs; policies; cont } ->
+    tag "evaluated"
+      [
+        ("txn", String txn);
+        ("proofs", proofs_to_json proofs);
+        ("policies", policies_to_json policies);
+        ("cont", eval_cont_to_json cont);
+      ]
+  | Ps_machine.Prepared { txn; vote } ->
+    tag "prepared" [ ("txn", String txn); ("vote", Bool vote) ]
+  | Ps_machine.Read_only_result { txn; reply_to; round; read_only; integrity_ok } ->
+    tag "read-only-result"
+      [
+        ("txn", String txn);
+        ("reply_to", String reply_to);
+        ("round", Int round);
+        ("read_only", Bool read_only);
+        ("integrity_ok", Bool integrity_ok);
+      ]
+  | Ps_machine.Release { by; release } ->
+    tag "release"
+      [
+        ("by", opt_to_json (fun s -> String s) by);
+        ("release", release_to_json release);
+      ]
+
+let ps_input_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "deliver" ->
+    let* src = Result.bind (member "src" j) to_str in
+    let* msg = Result.bind (member "msg" j) message_of_json in
+    Ok (Ps_machine.Deliver { src; msg })
+  | "exec-result" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* query = Result.bind (member "query" j) query_of_json in
+    let* evaluate = Result.bind (member "evaluate" j) to_bool in
+    let* reply_to = Result.bind (member "reply_to" j) to_str in
+    let* result = Result.bind (member "result" j) exec_result_of_json in
+    Ok (Ps_machine.Exec_result { txn; query; evaluate; reply_to; result })
+  | "evaluated" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* proofs = Result.bind (member "proofs" j) proofs_of_json in
+    let* policies = Result.bind (member "policies" j) policies_of_json in
+    let* cont = Result.bind (member "cont" j) eval_cont_of_json in
+    Ok (Ps_machine.Evaluated { txn; proofs; policies; cont })
+  | "prepared" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* vote = Result.bind (member "vote" j) to_bool in
+    Ok (Ps_machine.Prepared { txn; vote })
+  | "read-only-result" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* reply_to = Result.bind (member "reply_to" j) to_str in
+    let* round = Result.bind (member "round" j) to_int in
+    let* read_only = Result.bind (member "read_only" j) to_bool in
+    let* integrity_ok = Result.bind (member "integrity_ok" j) to_bool in
+    Ok (Ps_machine.Read_only_result { txn; reply_to; round; read_only; integrity_ok })
+  | "release" ->
+    let* by = opt_field j "by" to_str in
+    let* release = Result.bind (member "release" j) release_of_json in
+    Ok (Ps_machine.Release { by; release })
+  | other -> Error (Printf.sprintf "PS input tag %S unknown" other)
+
+let ps_action_to_json = function
+  | Ps_machine.Send { dst; msg; after_proofs; credentials } ->
+    tag "send"
+      [
+        ("dst", String dst);
+        ("msg", message_to_json msg);
+        ("after_proofs", Int after_proofs);
+        ("credentials", credentials_to_json credentials);
+      ]
+  | Ps_machine.Begin_work { txn; ts } ->
+    tag "begin-work" [ ("txn", String txn); ("ts", Float ts) ]
+  | Ps_machine.Exec { txn; ts; query; evaluate; reply_to; snapshot } ->
+    tag "exec"
+      [
+        ("txn", String txn);
+        ("ts", Float ts);
+        ("query", query_to_json query);
+        ("evaluate", Bool evaluate);
+        ("reply_to", String reply_to);
+        ("snapshot", Bool snapshot);
+      ]
+  | Ps_machine.Eval { txn; subject; credentials; queries; with_proofs; with_policies; cont }
+    ->
+    tag "eval"
+      [
+        ("txn", String txn);
+        ("subject", String subject);
+        ("credentials", credentials_to_json credentials);
+        ("queries", List (List.map query_to_json queries));
+        ("with_proofs", Bool with_proofs);
+        ("with_policies", Bool with_policies);
+        ("cont", eval_cont_to_json cont);
+      ]
+  | Ps_machine.Check_read_only { txn; reply_to; round } ->
+    tag "check-read-only"
+      [ ("txn", String txn); ("reply_to", String reply_to); ("round", Int round) ]
+  | Ps_machine.Prepare { txn; proof_truth; policy_versions } ->
+    tag "prepare"
+      [
+        ("txn", String txn);
+        ("proof_truth", Bool proof_truth);
+        ("policy_versions", policy_versions_to_json policy_versions);
+      ]
+  | Ps_machine.Apply { txn; commit; forced } ->
+    tag "apply"
+      [ ("txn", String txn); ("commit", Bool commit); ("forced", Bool forced) ]
+  | Ps_machine.Forget { txn } -> tag "forget" [ ("txn", String txn) ]
+  | Ps_machine.Install { policies; announce } ->
+    tag "install"
+      [ ("policies", policies_to_json policies); ("announce", Bool announce) ]
+  | Ps_machine.Wait_open { txn; query_id } ->
+    tag "wait-open" [ ("txn", String txn); ("query_id", String query_id) ]
+  | Ps_machine.Wait_close { txn; outcome; killed_by } ->
+    tag "wait-close"
+      [
+        ("txn", String txn);
+        ("outcome", String outcome);
+        ("killed_by", opt_to_json (fun s -> String s) killed_by);
+      ]
+  | Ps_machine.Mark label -> tag "mark" [ ("label", String label) ]
+
+let ps_action_of_json j =
+  let* t = tag_of j in
+  match t with
+  | "send" ->
+    let* dst = Result.bind (member "dst" j) to_str in
+    let* msg = Result.bind (member "msg" j) message_of_json in
+    let* after_proofs = Result.bind (member "after_proofs" j) to_int in
+    let* credentials = Result.bind (member "credentials" j) credentials_of_json in
+    Ok (Ps_machine.Send { dst; msg; after_proofs; credentials })
+  | "begin-work" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* ts = Result.bind (member "ts" j) to_float in
+    Ok (Ps_machine.Begin_work { txn; ts })
+  | "exec" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* ts = Result.bind (member "ts" j) to_float in
+    let* query = Result.bind (member "query" j) query_of_json in
+    let* evaluate = Result.bind (member "evaluate" j) to_bool in
+    let* reply_to = Result.bind (member "reply_to" j) to_str in
+    let* snapshot = Result.bind (member "snapshot" j) to_bool in
+    Ok (Ps_machine.Exec { txn; ts; query; evaluate; reply_to; snapshot })
+  | "eval" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* subject = Result.bind (member "subject" j) to_str in
+    let* credentials = Result.bind (member "credentials" j) credentials_of_json in
+    let* queries = Result.bind (member "queries" j) to_list in
+    let* queries = map_result query_of_json queries in
+    let* with_proofs = Result.bind (member "with_proofs" j) to_bool in
+    let* with_policies = Result.bind (member "with_policies" j) to_bool in
+    let* cont = Result.bind (member "cont" j) eval_cont_of_json in
+    Ok
+      (Ps_machine.Eval
+         { txn; subject; credentials; queries; with_proofs; with_policies; cont })
+  | "check-read-only" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* reply_to = Result.bind (member "reply_to" j) to_str in
+    let* round = Result.bind (member "round" j) to_int in
+    Ok (Ps_machine.Check_read_only { txn; reply_to; round })
+  | "prepare" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* proof_truth = Result.bind (member "proof_truth" j) to_bool in
+    let* policy_versions =
+      Result.bind (member "policy_versions" j) policy_versions_of_json
+    in
+    Ok (Ps_machine.Prepare { txn; proof_truth; policy_versions })
+  | "apply" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* commit = Result.bind (member "commit" j) to_bool in
+    let* forced = Result.bind (member "forced" j) to_bool in
+    Ok (Ps_machine.Apply { txn; commit; forced })
+  | "forget" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    Ok (Ps_machine.Forget { txn })
+  | "install" ->
+    let* policies = Result.bind (member "policies" j) policies_of_json in
+    let* announce = Result.bind (member "announce" j) to_bool in
+    Ok (Ps_machine.Install { policies; announce })
+  | "wait-open" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* query_id = Result.bind (member "query_id" j) to_str in
+    Ok (Ps_machine.Wait_open { txn; query_id })
+  | "wait-close" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* outcome = Result.bind (member "outcome" j) to_str in
+    let* killed_by = opt_field j "killed_by" to_str in
+    Ok (Ps_machine.Wait_close { txn; outcome; killed_by })
+  | "mark" ->
+    let* label = Result.bind (member "label" j) to_str in
+    Ok (Ps_machine.Mark label)
+  | other -> Error (Printf.sprintf "PS action tag %S unknown" other)

@@ -1,0 +1,58 @@
+(** Canonical, versioned JSON codec for the sans-IO protocol vocabulary.
+
+    Every {!Tm_machine} / {!Ps_machine} input and emitted action — and
+    everything they carry (messages, queries, transactions, proofs,
+    policies, credentials, lock releases) — has an exact JSON encoding
+    here, so a protocol run can be journaled as text and replayed
+    byte-for-byte (the flight recorder, {!Cloudtx_core.Audit}).
+
+    Canonical means: encoders fix the field order, rendering
+    ({!Cloudtx_policy.Json.to_string}) is deterministic and
+    whitespace-free, and [decode ∘ encode = id] over every constructor
+    (asserted exhaustively in [test/test_protocol_codec.ml]).  Comparing
+    two values therefore reduces to comparing their rendered strings.
+
+    Decoders validate structurally and return [Error reason] on anything
+    malformed; they never raise. *)
+
+module Json = Cloudtx_policy.Json
+
+(** Journal/codec format version; bump on any encoding change. *)
+val version : int
+
+(** Canonical rendering of an encoded value. *)
+val to_string : Json.t -> string
+
+(** {1 Carried data} *)
+
+val value_to_json : Cloudtx_store.Value.t -> Json.t
+val value_of_json : Json.t -> (Cloudtx_store.Value.t, string) result
+val query_to_json : Cloudtx_txn.Query.t -> Json.t
+val query_of_json : Json.t -> (Cloudtx_txn.Query.t, string) result
+val transaction_to_json : Cloudtx_txn.Transaction.t -> Json.t
+val transaction_of_json : Json.t -> (Cloudtx_txn.Transaction.t, string) result
+val proof_to_json : Cloudtx_policy.Proof.t -> Json.t
+val proof_of_json : Json.t -> (Cloudtx_policy.Proof.t, string) result
+
+(** {1 Wire messages} *)
+
+val message_to_json : Message.t -> Json.t
+val message_of_json : Json.t -> (Message.t, string) result
+
+(** {1 Machine configuration} *)
+
+val config_to_json : Tm_machine.config -> Json.t
+val config_of_json : Json.t -> (Tm_machine.config, string) result
+val variant_to_json : Cloudtx_txn.Tpc.variant -> Json.t
+val variant_of_json : Json.t -> (Cloudtx_txn.Tpc.variant, string) result
+
+(** {1 Machine inputs and actions} *)
+
+val tm_input_to_json : Tm_machine.input -> Json.t
+val tm_input_of_json : Json.t -> (Tm_machine.input, string) result
+val tm_action_to_json : Tm_machine.action -> Json.t
+val tm_action_of_json : Json.t -> (Tm_machine.action, string) result
+val ps_input_to_json : Ps_machine.input -> Json.t
+val ps_input_of_json : Json.t -> (Ps_machine.input, string) result
+val ps_action_to_json : Ps_machine.action -> Json.t
+val ps_action_of_json : Json.t -> (Ps_machine.action, string) result

@@ -12,6 +12,7 @@ type 'msg t = {
   rng : Splitmix.t;
   mutable tracer : Obs.Tracer.t;
   mutable registry : Obs.Registry.t;
+  mutable journal : Obs.Journal.t;
 }
 
 let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
@@ -28,6 +29,7 @@ let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
     rng;
     tracer = Obs.Tracer.noop;
     registry = Obs.Registry.noop;
+    journal = Obs.Journal.noop;
   }
 
 let engine t = t.engine
@@ -36,6 +38,7 @@ let trace t = t.trace
 let counters t = t.counters
 let tracer t = t.tracer
 let registry t = t.registry
+let journal t = t.journal
 let now t = Engine.now t.engine
 let fork_rng t = Splitmix.split t.rng
 
@@ -55,6 +58,11 @@ let enable_metrics t =
              (float_of_int pending)))
   end;
   t.registry
+
+let enable_journal ?path t =
+  if not (Obs.Journal.enabled t.journal) then
+    t.journal <- Obs.Journal.create ~clock:(fun () -> Engine.now t.engine) ?path ();
+  t.journal
 
 let register t name handler =
   if Hashtbl.mem t.handlers name then

@@ -45,6 +45,16 @@ val enable_tracing : _ t -> Cloudtx_obs.Tracer.t
     hooks the engine to sample queue depth ([sim.pending_events]). *)
 val enable_metrics : _ t -> Cloudtx_obs.Registry.t
 
+(** The fabric's flight-recorder journal; {!Cloudtx_obs.Journal.noop}
+    until {!enable_journal} is called. *)
+val journal : _ t -> Cloudtx_obs.Journal.t
+
+(** [enable_journal ?path t] installs (once) and returns a live journal
+    clocked by simulated time; with [path] records are also written
+    through to that JSONL file.  The protocol drivers record every
+    machine step from then on. *)
+val enable_journal : ?path:string -> _ t -> Cloudtx_obs.Journal.t
+
 (** Simulated now, for convenience. *)
 val now : _ t -> float
 

@@ -124,7 +124,8 @@ let test_registry_cells () =
   | None -> Alcotest.fail "histogram missing"
   | Some h ->
     Alcotest.(check int) "count" 2 (Histogram.count h);
-    Alcotest.(check (float 1e-9)) "mean" 20. (Histogram.mean h));
+    Alcotest.(check (float 1e-9)) "mean" 20. (Histogram.mean h);
+    Alcotest.(check (float 0.)) "exact running sum" 40. (Histogram.sum h));
   Alcotest.check_raises "type mismatch"
     (Invalid_argument "Registry: depth is a gauge, not a counter") (fun () ->
       Registry.incr r "depth" [])
@@ -474,7 +475,32 @@ let test_wait_die_kill_links_spans () =
                t.Tracer.name = "txn"
                && List.assoc_opt "txn" t.Tracer.attrs = Some killer)
              spans))
-    killed
+    killed;
+  (* The Chrome export draws the same link as a flow-event pair. *)
+  match Json.parse (Export.to_chrome tracer) with
+  | Error e -> Alcotest.failf "chrome export does not parse: %s" e
+  | Ok doc ->
+    let events =
+      match Json.(member "traceEvents" doc) with
+      | Ok (Json.List l) -> l
+      | _ -> Alcotest.fail "traceEvents missing"
+    in
+    let flows ph =
+      List.filter_map
+        (fun e ->
+          match (Json.member "name" e, Json.member "ph" e, Json.member "id" e)
+          with
+          | Ok (Json.String "killed_by"), Ok (Json.String p), Ok id when p = ph
+            ->
+            Some id
+          | _ -> None)
+        events
+    in
+    let starts = flows "s" and finishes = flows "f" in
+    Alcotest.(check int)
+      "one flow start per kill" (List.length killed) (List.length starts);
+    Alcotest.(check bool) "flow ids pair up" true
+      (List.sort compare starts = List.sort compare finishes)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,0 +1,425 @@
+(* Exhaustive decode ∘ encode = id over the flight-recorder codec.
+
+   One sample (or several, covering the edge payloads: empty lists, [None]
+   options, r > 1 version vectors, no-vote, every failure kind) per
+   constructor of every type {!Cloudtx_protocol.Codec} encodes.  Equality
+   is the codec's own contract: canonical rendered strings — policies and
+   credentials decode through [of_wire], so structural equality would be
+   too strong (signatures are carried, closures rebuilt). *)
+
+module Codec = Cloudtx_protocol.Codec
+module Message = Cloudtx_protocol.Message
+module Tm = Cloudtx_protocol.Tm_machine
+module Ps = Cloudtx_protocol.Ps_machine
+module Scheme = Cloudtx_protocol.Scheme
+module Consistency = Cloudtx_protocol.Consistency
+module Outcome = Cloudtx_protocol.Outcome
+module Query = Cloudtx_txn.Query
+module Transaction = Cloudtx_txn.Transaction
+module Tpc = Cloudtx_txn.Tpc
+module Value = Cloudtx_store.Value
+module Policy = Cloudtx_policy.Policy
+module Credential = Cloudtx_policy.Credential
+module Proof = Cloudtx_policy.Proof
+module Rule = Cloudtx_policy.Rule
+
+let rt (type a) what (enc : a -> Codec.Json.t)
+    (dec : Codec.Json.t -> (a, string) result) (v : a) =
+  let rendered = Codec.to_string (enc v) in
+  match dec (enc v) with
+  | Error e -> Alcotest.failf "%s: decode failed: %s\n  on %s" what e rendered
+  | Ok v' ->
+      Alcotest.(check string) (what ^ " round-trips") rendered
+        (Codec.to_string (enc v'))
+
+(* --- sample data ------------------------------------------------------ *)
+
+let cred_attr =
+  Credential.make ~id:"c-role" ~subject:"bob" ~issuer:"ca.example"
+    ~kind:Credential.Attribute
+    ~facts:[ Rule.fact "role" [ "bob"; "clerk" ] ]
+    ~issued_at:0. ~expires_at:500.
+
+let cred_access =
+  Credential.make ~id:"c-cap" ~subject:"bob" ~issuer:"server-1"
+    ~kind:(Credential.Access { action = "read"; item = "acct:7" })
+    ~facts:[] ~issued_at:1.5 ~expires_at:2.5
+
+let q_read = Query.make ~id:"q0" ~server:"server-1" ~reads:[ "a"; "b" ] ()
+let q_empty = Query.make ~id:"q-empty" ~server:"server-2" ()
+
+let q_write =
+  Query.make ~id:"q1" ~server:"server-2" ~reads:[ "a" ]
+    ~writes:
+      [
+        ("a", Value.Set (Value.Int (-3)));
+        ("b", Value.Set (Value.Text "weird \"json\"\n"));
+        ("c", Value.Add 42);
+      ]
+    ~action:"deposit" ()
+
+let queries = [ q_read; q_empty; q_write ]
+
+let txn =
+  Transaction.make ~id:"t7" ~subject:"bob"
+    ~credentials:[ cred_attr; cred_access ]
+    [ q_read; q_write ]
+
+let txn_bare = Transaction.make ~id:"t8" ~subject:"eve" [ q_empty ]
+
+let policy_v1 =
+  Policy.create ~domain:"accounts"
+    [
+      Rule.rule
+        (Policy.goal ~subject:"S" ~action:"A" ~item:"I")
+        [ Rule.atom "role" [ Rule.v "S"; Rule.c "clerk" ] ];
+    ]
+
+(* r > 1: an amended policy carries a bumped version number. *)
+let policy_v2 = Policy.amend ~accept_capabilities:true policy_v1 []
+
+let proof_ok =
+  {
+    Proof.query_id = "q1";
+    server = "server-2";
+    domain = "accounts";
+    policy_version = 2;
+    evaluated_at = 12.25;
+    credential_ids = [ "c-role"; "c-cap" ];
+    request = { Proof.subject = "bob"; action = "deposit"; items = [ "a"; "b"; "c" ] };
+    result = true;
+    failures = [];
+  }
+
+let proof_failed =
+  {
+    proof_ok with
+    Proof.result = false;
+    credential_ids = [];
+    request = { Proof.subject = "eve"; action = "read"; items = [] };
+    failures =
+      [
+        Proof.Syntactic ("c-role", Credential.Not_yet_valid);
+        Proof.Syntactic ("c-role", Credential.Expired);
+        Proof.Syntactic ("c-role", Credential.Bad_signature);
+        Proof.Revoked "c-cap";
+        Proof.Untrusted_issuer "c-cap";
+        Proof.Denied "acct:7";
+      ];
+  }
+
+let proofs = [ proof_ok; proof_failed ]
+
+let messages =
+  [
+    Message.Execute
+      {
+        txn = "t7";
+        ts = 3.5;
+        query = q_write;
+        subject = "bob";
+        credentials = [ cred_attr; cred_access ];
+        evaluate_proof = true;
+        snapshot = false;
+      };
+    Message.Execute
+      {
+        txn = "t8";
+        ts = 0.;
+        query = q_empty;
+        subject = "eve";
+        credentials = [];
+        evaluate_proof = false;
+        snapshot = true;
+      };
+    Message.Execute_reply
+      {
+        txn = "t7";
+        query_id = "q1";
+        outcome =
+          Message.Executed
+            {
+              reads = [ ("a", Some (Value.Int 1)); ("b", None) ];
+              proof = Some proof_ok;
+            };
+      };
+    Message.Execute_reply
+      {
+        txn = "t8";
+        query_id = "q-empty";
+        outcome = Message.Executed { reads = []; proof = None };
+      };
+    Message.Execute_reply { txn = "t7"; query_id = "q1"; outcome = Message.Exec_die };
+    Message.Validate_request { txn = "t7"; round = 1 };
+    Message.Validate_reply
+      { txn = "t7"; round = 2; proofs; policies = [ policy_v1; policy_v2 ] };
+    Message.Validate_reply { txn = "t8"; round = 1; proofs = []; policies = [] };
+    Message.Commit_request
+      { txn = "t7"; round = 3; validate = true; allow_read_only = false };
+    Message.Commit_request
+      { txn = "t8"; round = 1; validate = false; allow_read_only = true };
+    Message.Commit_reply
+      {
+        txn = "t7";
+        round = 3;
+        integrity = true;
+        read_only = false;
+        proofs = [ proof_failed ];
+        policies = [ policy_v2 ];
+      };
+    Message.Commit_reply
+      {
+        txn = "t8";
+        round = 1;
+        integrity = false;
+        read_only = true;
+        proofs = [];
+        policies = [];
+      };
+    Message.Policy_update
+      { txn = "t7"; round = 2; policies = [ policy_v2 ]; reply_with = `Validate };
+    Message.Policy_update
+      { txn = "t7"; round = 3; policies = []; reply_with = `Commit };
+    Message.Decision { txn = "t7"; commit = true };
+    Message.Decision { txn = "t7"; commit = false };
+    Message.Decision_ack { txn = "t7" };
+    Message.Master_version_request { txn = "t7" };
+    Message.Master_version_reply
+      { txn = "t7"; policies = [ policy_v1; policy_v2 ] };
+    Message.Propagate_policy { policy = policy_v2 };
+    Message.Inquiry { txn = "t7" };
+  ]
+
+let configs =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun level -> Tm.config scheme level)
+        [ Consistency.View; Consistency.Global ])
+    [
+      Scheme.Deferred;
+      Scheme.Punctual;
+      Scheme.Incremental_punctual;
+      Scheme.Continuous;
+    ]
+  @ [
+      Tm.config ~master_mode:`Once ~max_rounds:7 ~vote_timeout:12.5
+        ~decision_retry:3.25 ~read_only_optimization:true ~snapshot_reads:true
+        Scheme.Deferred Consistency.Global;
+    ]
+
+let reasons =
+  [
+    Outcome.Committed;
+    Outcome.Integrity_violation;
+    Outcome.Proof_failure;
+    Outcome.Version_inconsistency;
+    Outcome.Wait_die;
+    Outcome.Rounds_exhausted;
+    Outcome.Timed_out;
+  ]
+
+let obs_samples =
+  [
+    Tm.Query_open { index = 0; server = "server-1" };
+    Tm.Query_close { outcome = "executed" };
+    Tm.Round_open
+      { parent = `Txn; span_name = "2pv.round"; round = 1; query = Some 2 };
+    Tm.Round_open
+      { parent = `Phase; span_name = "2pvc.validate"; round = 4; query = None };
+    Tm.Round_close { resolution = Some "all-true" };
+    Tm.Round_close { resolution = None };
+    Tm.Phase_open { span_name = "2pvc.prepare"; reason = None };
+    Tm.Phase_open { span_name = "2pvc.abort"; reason = Some "proof-failure" };
+    Tm.Phase_close;
+    Tm.Txn_close { outcome = "abort"; reason = "wait-die" };
+  ]
+
+let tm_inputs =
+  List.map (fun msg -> Tm.Deliver { src = "server-1"; msg }) messages
+  @ [ Tm.Watchdog_fired { epoch = 3 }; Tm.Retry_fired ]
+
+let tm_actions =
+  List.map (fun msg -> Tm.Send { dst = "master"; msg }) messages
+  @ List.map (fun o -> Tm.Obs o) obs_samples
+  @ List.map
+      (fun reason -> Tm.Finish { committed = reason = Outcome.Committed; reason; commit_rounds = 2 })
+      reasons
+  @ [
+      Tm.Arm_watchdog { epoch = 1; delay = 40. };
+      Tm.Arm_retry { delay = 0.5 };
+      Tm.Force_log;
+      Tm.Mark "decision_logged";
+    ]
+
+let conts =
+  [
+    Ps.To_execute_reply
+      {
+        reply_to = "tm-t7";
+        query_id = "q1";
+        reads = [ ("a", Some (Value.Text "")); ("b", None) ];
+      };
+    Ps.To_execute_reply { reply_to = "tm-t8"; query_id = "q-empty"; reads = [] };
+    Ps.To_validate_reply { reply_to = "tm-t7"; round = 2 };
+    Ps.To_commit_reply { reply_to = "tm-t7"; round = 1 };
+    Ps.To_update_reply { reply_to = "tm-t7"; round = 3; reply_with = `Validate };
+    Ps.To_update_reply { reply_to = "tm-t7"; round = 3; reply_with = `Commit };
+    Ps.To_read_only_reply { reply_to = "tm-t8"; round = 1; vote = false };
+  ]
+
+let ps_inputs =
+  List.map (fun msg -> Ps.Deliver { src = "tm-t7"; msg }) messages
+  @ List.map
+      (fun result ->
+        Ps.Exec_result
+          { txn = "t7"; query = q_write; evaluate = true; reply_to = "tm-t7"; result })
+      [ Ps.Executed [ ("a", Some (Value.Int 0)) ]; Ps.Executed []; Ps.Blocked; Ps.Die ]
+  @ List.map
+      (fun cont ->
+        Ps.Evaluated { txn = "t7"; proofs; policies = [ policy_v1 ]; cont })
+      conts
+  @ [
+      Ps.Evaluated { txn = "t8"; proofs = []; policies = []; cont = List.hd conts };
+      Ps.Prepared { txn = "t7"; vote = true };
+      Ps.Prepared { txn = "t7"; vote = false };
+      Ps.Read_only_result
+        { txn = "t8"; reply_to = "tm-t8"; round = 1; read_only = true; integrity_ok = false };
+      Ps.Release
+        {
+          by = Some "t7";
+          release =
+            {
+              Cloudtx_store.Lock_manager.granted =
+                [
+                  ("t8", "a", Cloudtx_store.Lock_manager.Shared);
+                  ("t9", "b", Cloudtx_store.Lock_manager.Exclusive);
+                ];
+              killed = [ ("t10", "a") ];
+            };
+        };
+      Ps.Release
+        { by = None; release = { Cloudtx_store.Lock_manager.granted = []; killed = [] } };
+    ]
+
+let ps_actions =
+  List.map
+    (fun msg ->
+      Ps.Send { dst = "tm-t7"; msg; after_proofs = 2; credentials = [ cred_attr ] })
+    messages
+  @ List.map
+      (fun cont ->
+        Ps.Eval
+          {
+            txn = "t7";
+            subject = "bob";
+            credentials = [ cred_attr; cred_access ];
+            queries;
+            with_proofs = true;
+            with_policies = false;
+            cont;
+          })
+      conts
+  @ [
+      Ps.Send
+        { dst = "tm-t8"; msg = List.hd messages; after_proofs = 0; credentials = [] };
+      Ps.Begin_work { txn = "t7"; ts = 1.25 };
+      Ps.Exec
+        {
+          txn = "t7";
+          ts = 1.25;
+          query = q_read;
+          evaluate = false;
+          reply_to = "tm-t7";
+          snapshot = true;
+        };
+      Ps.Eval
+        {
+          txn = "t8";
+          subject = "eve";
+          credentials = [];
+          queries = [];
+          with_proofs = false;
+          with_policies = true;
+          cont = List.hd conts;
+        };
+      Ps.Check_read_only { txn = "t8"; reply_to = "tm-t8"; round = 1 };
+      (* r > 1 version vector: several domains at different versions. *)
+      Ps.Prepare
+        {
+          txn = "t7";
+          proof_truth = true;
+          policy_versions = [ ("accounts", 2); ("inventory", 7); ("hr", 1) ];
+        };
+      Ps.Prepare { txn = "t8"; proof_truth = false; policy_versions = [] };
+      Ps.Apply { txn = "t7"; commit = true; forced = true };
+      Ps.Apply { txn = "t7"; commit = false; forced = false };
+      Ps.Forget { txn = "t8" };
+      Ps.Install { policies = [ policy_v1; policy_v2 ]; announce = true };
+      Ps.Install { policies = []; announce = false };
+      Ps.Wait_open { txn = "t7"; query_id = "q1" };
+      Ps.Wait_close { txn = "t7"; outcome = "granted"; killed_by = None };
+      Ps.Wait_close { txn = "t7"; outcome = "die"; killed_by = Some "t3" };
+      Ps.Mark "policy_installed";
+    ]
+
+(* --- tests ------------------------------------------------------------ *)
+
+let iter what enc dec vs =
+  List.iteri (fun i v -> rt (Printf.sprintf "%s[%d]" what i) enc dec v) vs
+
+let test_carried_data () =
+  iter "value" Codec.value_to_json Codec.value_of_json
+    [ Value.Int 0; Value.Int (-3); Value.Text ""; Value.Text "a\"b\\c\n" ];
+  iter "query" Codec.query_to_json Codec.query_of_json queries;
+  iter "transaction" Codec.transaction_to_json Codec.transaction_of_json
+    [ txn; txn_bare ];
+  iter "proof" Codec.proof_to_json Codec.proof_of_json proofs
+
+let test_messages () =
+  iter "message" Codec.message_to_json Codec.message_of_json messages
+
+let test_config_variant () =
+  iter "config" Codec.config_to_json Codec.config_of_json configs;
+  iter "variant" Codec.variant_to_json Codec.variant_of_json
+    [ Tpc.Basic; Tpc.Presumed_abort; Tpc.Presumed_commit ]
+
+let test_tm () =
+  iter "tm_input" Codec.tm_input_to_json Codec.tm_input_of_json tm_inputs;
+  iter "tm_action" Codec.tm_action_to_json Codec.tm_action_of_json tm_actions
+
+let test_ps () =
+  iter "ps_input" Codec.ps_input_to_json Codec.ps_input_of_json ps_inputs;
+  iter "ps_action" Codec.ps_action_to_json Codec.ps_action_of_json ps_actions
+
+let test_rejects_malformed () =
+  let bad = Codec.Json.String "nope" in
+  let expect_error what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: decoded a bare string" what
+  in
+  expect_error "message" (Codec.message_of_json bad);
+  expect_error "tm_input" (Codec.tm_input_of_json bad);
+  expect_error "tm_action" (Codec.tm_action_of_json bad);
+  expect_error "ps_input" (Codec.ps_input_of_json bad);
+  expect_error "ps_action" (Codec.ps_action_of_json bad);
+  expect_error "config" (Codec.config_of_json bad);
+  (* Unknown tag names must be rejected, not mapped to a default. *)
+  expect_error "unknown tag"
+    (Codec.message_of_json
+       (Codec.Json.Obj [ ("t", Codec.Json.String "warp-core-breach") ]))
+
+let () =
+  Alcotest.run "protocol codec"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "carried data" `Quick test_carried_data;
+          Alcotest.test_case "messages" `Quick test_messages;
+          Alcotest.test_case "config and variant" `Quick test_config_variant;
+          Alcotest.test_case "tm inputs and actions" `Quick test_tm;
+          Alcotest.test_case "ps inputs and actions" `Quick test_ps;
+        ] );
+      ( "robustness",
+        [ Alcotest.test_case "malformed rejected" `Quick test_rejects_malformed ] );
+    ]
