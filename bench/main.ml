@@ -60,7 +60,19 @@ let obs_journal_out = ref None
    changes; CI uploads them as artifacts. *)
 let json_out = ref None
 
+(* --check BASELINE: regression gate.  After the section(s) run, the
+   produced cells are compared field-by-field against the committed
+   baseline JSON (BENCH_table1.json / BENCH_tradeoff.json) — latency
+   fields excepted, since those are the trajectory being tracked, while
+   counts (messages, proofs, commit ratios) are deterministic under the
+   fixed seeds and must not drift silently.  Cells carrying analytic
+   bounds are additionally checked against them (measured <= closed
+   form). *)
+let check_baseline = ref None
+let produced_cells : string list ref = ref []
+
 let write_json_file ~what objs =
+  if !check_baseline <> None then produced_cells := !produced_cells @ objs;
   Option.iter
     (fun path ->
       let oc = open_out path in
@@ -70,6 +82,96 @@ let write_json_file ~what objs =
       close_out oc;
       Printf.printf "  wrote %s (%s, %d cells)\n" path what (List.length objs))
     !json_out
+
+(* Latency is machine-independent here (simulated ms) but remains the
+   tracked trajectory, not a gate. *)
+let check_skip_fields = [ "latency_ms"; "latency_ms_mean"; "latency_ms_p95" ]
+
+module Pjson = Cloudtx_policy.Json
+
+let cell_id fields i =
+  let get k =
+    match List.assoc_opt k fields with
+    | Some (Pjson.String s) -> Some s
+    | _ -> None
+  in
+  match (get "workload", get "scheme", get "level") with
+  | None, Some s, Some l -> Printf.sprintf "cell %d (%s/%s)" i s l
+  | Some w, Some s, Some l -> Printf.sprintf "cell %d (%s: %s/%s)" i w s l
+  | _ -> Printf.sprintf "cell %d" i
+
+let run_check path =
+  let fail = ref 0 in
+  let failf fmt =
+    incr fail;
+    Printf.ksprintf (fun m -> Printf.printf "  CHECK FAILED: %s\n" m) fmt
+  in
+  let produced =
+    List.filter_map
+      (fun s ->
+        match Pjson.parse s with
+        | Ok (Pjson.Obj fields) -> Some fields
+        | Ok _ | Error _ ->
+          failf "a produced cell is not a JSON object";
+          None)
+      !produced_cells
+  in
+  (* Closed forms: measured must sit at or below the analytic bound,
+     baseline or not. *)
+  List.iteri
+    (fun i p ->
+      let name = cell_id p (i + 1) in
+      let int_field k =
+        match List.assoc_opt k p with Some (Pjson.Int n) -> Some n | _ -> None
+      in
+      (match (int_field "measured_messages", int_field "analytic_messages") with
+      | Some m, Some a when m > a ->
+        failf "%s: measured messages %d exceed the closed form %d" name m a
+      | _ -> ());
+      match (int_field "measured_proofs", int_field "analytic_proofs") with
+      | Some m, Some a when m > a ->
+        failf "%s: measured proofs %d exceed the closed form %d" name m a
+      | _ -> ())
+    produced;
+  let contents =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (match Pjson.parse contents with
+  | Error m -> failf "%s: unparseable baseline: %s" path m
+  | Ok (Pjson.List baseline) ->
+    if List.length baseline <> List.length produced then
+      failf "%s has %d cell(s), this run produced %d" path
+        (List.length baseline) (List.length produced)
+    else
+      List.iteri
+        (fun i (b, p) ->
+          let name = cell_id p (i + 1) in
+          match b with
+          | Pjson.Obj bf ->
+            List.iter
+              (fun (k, bv) ->
+                if not (List.mem k check_skip_fields) then
+                  match List.assoc_opt k p with
+                  | None -> failf "%s: field %s missing from this run" name k
+                  | Some pv ->
+                    if not (String.equal (Pjson.to_string bv) (Pjson.to_string pv))
+                    then
+                      failf "%s: %s diverged -- baseline %s, this run %s" name k
+                        (Pjson.to_string bv) (Pjson.to_string pv))
+              bf
+          | _ -> failf "%s: baseline cell is not an object" name)
+        (List.combine baseline produced)
+  | Ok _ -> failf "%s: baseline is not a JSON array" path);
+  if !fail = 0 then
+    Printf.printf "  check: %d cell(s) match %s (latency fields excepted)\n"
+      (List.length produced) path
+  else begin
+    Printf.printf "  check: %d failure(s) against %s\n" !fail path;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
@@ -1140,9 +1242,15 @@ let () =
     | "--json" :: path :: rest ->
       json_out := Some path;
       parse acc rest
-    | ("--trace-out" | "--metrics-json" | "--journal-out" | "--json") :: [] ->
+    | "--check" :: path :: rest ->
+      check_baseline := Some path;
+      parse acc rest
+    | ("--trace-out" | "--metrics-json" | "--journal-out" | "--json"
+      | "--check")
+      :: [] ->
       Printf.eprintf
-        "--trace-out/--metrics-json/--journal-out/--json need a FILE argument\n";
+        "--trace-out/--metrics-json/--journal-out/--json/--check need a FILE \
+         argument\n";
       exit 2
     | arg :: rest -> parse (arg :: acc) rest
   in
@@ -1159,4 +1267,5 @@ let () =
         Printf.eprintf "unknown section %s (known: %s)\n" name
           (String.concat ", " (List.map fst sections));
         exit 2)
-    requested
+    requested;
+  Option.iter run_check !check_baseline

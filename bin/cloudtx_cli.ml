@@ -32,6 +32,9 @@ module Registry = Cloudtx_obs.Registry
 module Export = Cloudtx_obs.Export
 module Journal = Cloudtx_obs.Journal
 module Audit = Cloudtx_core.Audit
+module Monitor = Cloudtx_obs.Monitor
+module Slo = Cloudtx_obs.Slo
+module Health = Cloudtx_core.Health
 
 open Cmdliner
 
@@ -131,6 +134,82 @@ let journal_out_arg =
            $(docv); replay and verify offline with $(b,cloudtx audit)."
         ~docv:"FILE")
 
+let monitor_arg =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:
+          "Run the Watchtower health monitor live: evaluate the SLO rules \
+           over the protocol event stream as it happens, printing alert \
+           transitions and an end-of-run health summary.")
+
+let alerts_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "alerts-out" ]
+        ~doc:"Write every alert transition as a JSONL record to $(docv)."
+        ~docv:"FILE")
+
+(* The SLO rule thresholds, shared by run/trace --monitor, watch and
+   health. *)
+let rules_term =
+  let open Slo in
+  let mk stuck_ms staleness_versions staleness_ms abort_window abort_rate
+      livelock_kills =
+    {
+      stuck_ms;
+      staleness_versions;
+      staleness_ms;
+      abort_window;
+      abort_rate;
+      livelock_kills;
+    }
+  in
+  Term.(
+    const mk
+    $ Arg.(
+        value
+        & opt float default.stuck_ms
+        & info [ "stuck-ms" ]
+            ~doc:
+              "Fire $(b,stuck_txn) when an unfinished transaction's TM takes \
+               no machine step for more than this many simulated ms.")
+    $ Arg.(
+        value
+        & opt int default.staleness_versions
+        & info [ "staleness-versions" ]
+            ~doc:
+              "Fire $(b,policy_staleness) when a replica lags the observed \
+               master by more than this many versions.")
+    $ Arg.(
+        value
+        & opt float default.staleness_ms
+        & info [ "staleness-ms" ]
+            ~doc:
+              "Fire $(b,policy_staleness) when any nonzero replica lag \
+               persists longer than this many simulated ms (default: \
+               disabled).")
+    $ Arg.(
+        value
+        & opt int default.abort_window
+        & info [ "abort-window" ]
+            ~doc:"Sliding window (finished transactions) for $(b,abort_storm).")
+    $ Arg.(
+        value
+        & opt float default.abort_rate
+        & info [ "abort-rate" ]
+            ~doc:
+              "Fire $(b,abort_storm) at or above this abort fraction over a \
+               full window.")
+    $ Arg.(
+        value
+        & opt int default.livelock_kills
+        & info [ "livelock-kills" ]
+            ~doc:
+              "Fire $(b,livelock) when the same logical transaction dies as \
+               a wait-die victim this many consecutive times."))
+
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
 (* ------------------------------------------------------------------ *)
@@ -159,6 +238,71 @@ let enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
   Option.iter
     (fun path -> ignore (Transport.enable_journal ~path transport))
     journal_out
+
+(* A monitor without --journal-out still needs the event stream, so it
+   enables an in-memory journal — capped, so long runs cannot grow memory
+   unboundedly (evictions land in the [journal.dropped] counter; the
+   monitor taps records before eviction, so it misses nothing). *)
+let monitor_buffer_cap = 4 * 1024 * 1024
+
+let alerts_sink = function
+  | None -> (None, fun () -> ())
+  | Some path ->
+    let oc =
+      try open_out path
+      with Sys_error msg ->
+        Format.eprintf "cloudtx: cannot write %s: %s@." path msg;
+        exit 1
+    in
+    output_string oc Slo.log_header;
+    output_char oc '\n';
+    let log line =
+      output_string oc line;
+      output_char oc '\n'
+    in
+    (Some log, fun () -> close_out oc)
+
+(* Call after {!enable_obs} (the monitor snapshots the transport's
+   registry, and reuses a --journal-out journal when one exists). *)
+let enable_monitor cluster ~monitor ~alerts_out ~rules =
+  if (not monitor) && alerts_out = None then None
+  else begin
+    let transport = Cluster.transport cluster in
+    let journal =
+      Transport.enable_journal ~max_buffer_bytes:monitor_buffer_cap transport
+    in
+    let log, close_log = alerts_sink alerts_out in
+    let m =
+      Monitor.create ~rules
+        ~registry:(Transport.registry transport)
+        ?log ~console:print_endline ()
+    in
+    ignore (Health.attach journal m);
+    Some (m, close_log)
+  end
+
+let monitor_summary (m : Monitor.t) =
+  let open_alerts = Monitor.open_alerts m in
+  Format.printf "health    : %d alert(s) fired, %d open@."
+    (Monitor.fired_total m)
+    (List.length open_alerts);
+  List.iter
+    (fun a -> Format.printf "  open: %s@." (Slo.console_line `Fire a))
+    open_alerts;
+  (match Monitor.staleness_peak m with
+  | [] -> ()
+  | peaks ->
+    List.iter
+      (fun (node, (versions, domain)) ->
+        Format.printf "  staleness peak: %s lagged %d version(s) on %s@." node
+          versions domain)
+      peaks)
+
+let finish_monitor = function
+  | None -> ()
+  | Some (m, close_log) ->
+    monitor_summary m;
+    close_log ()
 
 let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
   let transport = Cluster.transport cluster in
@@ -261,13 +405,15 @@ let obs_summary reg ~scheme ~level ~servers ~queries ~txns =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd verbose scheme level servers queries txns seed update_period
-    write_ratio zipf trace_out metrics_json metrics_prom journal_out =
+    write_ratio zipf trace_out metrics_json metrics_prom journal_out monitor
+    alerts_out rules =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
   in
   enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
     ~journal_out;
+  let mon = enable_monitor scenario.Scenario.cluster ~monitor ~alerts_out ~rules in
   (match update_period with
   | Some period when period > 0. ->
     Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
@@ -308,6 +454,7 @@ let run_cmd verbose scheme level servers queries txns seed update_period
   obs_summary
     (Transport.registry (Cluster.transport scenario.Scenario.cluster))
     ~scheme ~level ~servers ~queries ~txns;
+  finish_monitor mon;
   dump_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
     ~journal_out
 
@@ -316,7 +463,7 @@ let run_term =
     const run_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
     $ zipf_arg $ trace_out_arg $ metrics_json_arg $ metrics_prom_arg
-    $ journal_out_arg)
+    $ journal_out_arg $ monitor_arg $ alerts_out_arg $ rules_term)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -343,7 +490,7 @@ let table1_term =
 (* ------------------------------------------------------------------ *)
 
 let trace_cmd verbose scheme level servers queries format trace_out metrics_json
-    metrics_prom journal_out =
+    metrics_prom journal_out monitor alerts_out rules =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
@@ -351,6 +498,7 @@ let trace_cmd verbose scheme level servers queries format trace_out metrics_json
   in
   let cluster = scenario.Scenario.cluster in
   enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out;
+  let mon = enable_monitor cluster ~monitor ~alerts_out ~rules in
   let txn =
     Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
   in
@@ -366,6 +514,7 @@ let trace_cmd verbose scheme level servers queries format trace_out metrics_json
   | other ->
     Printf.eprintf "unknown format %s (text|mermaid|csv|jsonl)\n" other;
     exit 2);
+  finish_monitor mon;
   dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out
 
 let format_arg =
@@ -378,7 +527,8 @@ let trace_term =
   Term.(
     const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg
-    $ metrics_prom_arg $ journal_out_arg)
+    $ metrics_prom_arg $ journal_out_arg $ monitor_arg $ alerts_out_arg
+    $ rules_term)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -405,6 +555,159 @@ let audit_term =
                through fresh protocol machines and checked for conformance, \
                atomic commitment (AC1-AC3), prepare-before-commit and \
                trusted-transaction soundness."))
+
+(* ------------------------------------------------------------------ *)
+(* watch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let watch_cmd path rules alerts_out =
+  let log, close_log = alerts_sink alerts_out in
+  let monitor = Monitor.create ~rules ?log ~console:print_endline () in
+  match Health.of_file path monitor with
+  | Error why ->
+    Format.eprintf "%s: cannot watch journal@.  %s@." path why;
+    exit 2
+  | Ok records ->
+    let open_alerts = Monitor.open_alerts monitor in
+    Format.printf "%s: %d record(s) replayed, %d alert(s) fired, %d open@."
+      path records
+      (Monitor.fired_total monitor)
+      (List.length open_alerts);
+    monitor_summary monitor;
+    close_log ();
+    if Monitor.unresolved_critical monitor > 0 then exit 1
+
+let watch_term =
+  Term.(
+    const watch_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL.jsonl"
+            ~doc:
+              "Flight-recorder journal written by $(b,--journal-out); \
+               replayed through the Watchtower health monitor in journal \
+               order, streaming alert transitions as they fire.  Exits \
+               non-zero when critical alerts remain unresolved at the end \
+               of the journal.")
+    $ rules_term $ alerts_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* health                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let health_cmd verbose servers queries txns seed update_period rules alerts_out
+    metrics_prom =
+  setup_logs verbose;
+  let scenario =
+    Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
+  in
+  let cluster = scenario.Scenario.cluster in
+  let transport = Cluster.transport cluster in
+  let registry = Transport.enable_metrics transport in
+  let journal =
+    Transport.enable_journal ~max_buffer_bytes:monitor_buffer_cap transport
+  in
+  let log, close_log = alerts_sink alerts_out in
+  let monitor =
+    Monitor.create ~rules ~registry ?log ~console:print_endline ()
+  in
+  ignore (Health.attach journal monitor);
+  (match update_period with
+  | Some period when period > 0. ->
+    Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
+  | Some _ | None -> ());
+  let rng = Splitmix.create (Int64.of_int (seed + 1)) in
+  let params = { Generator.default with queries_per_txn = queries } in
+  (* One scenario, all eight scheme x level cells, so the snapshot covers
+     the full grid off a single registry and a single monitor. *)
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun level ->
+          let cell =
+            Printf.sprintf "%s-%s" (Scheme.name scheme) (Consistency.name level)
+          in
+          ignore
+            (Experiment.run_sequential scenario (Manager.config scheme level)
+               ~n:txns (fun ~i ->
+                 Generator.generate scenario rng params
+                   ~id:(Printf.sprintf "%s-t%d" cell i))))
+        [ Consistency.View; Consistency.Global ])
+    Scheme.all;
+  (* Per-cell phase percentiles (Section VI-B: the scheme choice follows
+     from exactly these distributions). *)
+  let phase_rows =
+    List.concat_map
+      (fun scheme ->
+        List.concat_map
+          (fun level ->
+            let labels =
+              [
+                ("scheme", Scheme.name scheme);
+                ("consistency", Consistency.name level);
+              ]
+            in
+            List.filter_map
+              (fun (phase, metric) ->
+                match Registry.histogram registry metric labels with
+                | None -> None
+                | Some h ->
+                  Some
+                    [
+                      Scheme.name scheme;
+                      Consistency.name level;
+                      phase;
+                      string_of_int (Cloudtx_obs.Histogram.count h);
+                      Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 50.);
+                      Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 99.);
+                    ])
+              [
+                ("execute", "phase_execute_ms");
+                ("commit", "phase_commit_ms");
+                ("decide", "phase_decide_ms");
+                ("end-to-end", "txn_latency_ms");
+              ])
+          [ Consistency.View; Consistency.Global ])
+      Scheme.all
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "per-phase latency (ms), %d txns/cell, u=%d, n=%d" txns
+         queries servers)
+    ~headers:[ "scheme"; "level"; "phase"; "count"; "p50"; "p99" ]
+    phase_rows;
+  Format.printf "per-node health@.";
+  let peaks = Monitor.staleness_peak monitor in
+  List.iter
+    (fun server ->
+      match List.assoc_opt server peaks with
+      | Some (versions, domain) ->
+        Format.printf "  %-12s worst staleness %d version(s) on %s@." server
+          versions domain
+      | None -> Format.printf "  %-12s worst staleness 0 versions@." server)
+    (List.map Cloudtx_core.Participant.name (Cluster.participants cluster));
+  let open_alerts = Monitor.open_alerts monitor in
+  Format.printf "alerts    : %d fired, %d open@."
+    (Monitor.fired_total monitor)
+    (List.length open_alerts);
+  List.iter
+    (fun a -> Format.printf "  open: %s@." (Slo.console_line `Fire a))
+    open_alerts;
+  Option.iter
+    (fun path ->
+      write_file path (Registry.to_prometheus registry);
+      Format.printf "wrote %s (metrics snapshot, Prometheus text format)@." path)
+    metrics_prom;
+  close_log ();
+  if Monitor.unresolved_critical monitor > 0 then exit 1
+
+let health_term =
+  Term.(
+    const health_cmd $ verbose_arg $ servers_arg $ queries_arg
+    $ Arg.(value & opt int 10 & info [ "txns" ] ~doc:"Transactions per cell.")
+    $ seed_arg $ update_period_arg $ rules_term $ alerts_out_arg
+    $ metrics_prom_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -670,6 +973,8 @@ let cmds =
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I: analytic vs measured complexity.") table1_term;
     Cmd.v (Cmd.info "trace" ~doc:"Run one transaction and dump the full message trace.") trace_term;
     Cmd.v (Cmd.info "audit" ~doc:"Replay a flight-recorder journal and verify it offline.") audit_term;
+    Cmd.v (Cmd.info "watch" ~doc:"Replay a flight-recorder journal through the Watchtower health monitor.") watch_term;
+    Cmd.v (Cmd.info "health" ~doc:"Run the full scheme x level grid and print a health snapshot.") health_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;
     Cmd.v (Cmd.info "bank" ~doc:"Random funds transfers over the banking scenario.") bank_term;
     Cmd.v (Cmd.info "analyze" ~doc:"Semantic diff of two policy files (JSON or Datalog).") analyze_term;

@@ -1,0 +1,254 @@
+module Json = Cloudtx_policy.Json
+module Codec = Cloudtx_protocol.Codec
+module Tm = Cloudtx_protocol.Tm_machine
+module Ps = Cloudtx_protocol.Ps_machine
+module Monitor = Cloudtx_obs.Monitor
+module Proof = Cloudtx_policy.Proof
+module Policy = Cloudtx_policy.Policy
+
+type kind = Tm_node of string  (** transaction id *) | Ps_node
+
+type t = {
+  monitor : Monitor.t;
+  kinds : (string, kind) Hashtbl.t;
+  mutable decode_errors : int;
+}
+
+let create monitor =
+  { monitor; kinds = Hashtbl.create 16; decode_errors = 0 }
+
+let decode_errors t = t.decode_errors
+
+let emit t ~seq ~time_ms ev = Monitor.observe t.monitor ~seq ~time_ms ev
+
+let emit_masters t ~seq ~time_ms policies =
+  List.iter
+    (fun (p : Policy.t) ->
+      emit t ~seq ~time_ms
+        (Monitor.Master_version { domain = p.Policy.domain; version = p.Policy.version }))
+    policies
+
+let emit_proofs t ~seq ~time_ms ~txn proofs =
+  List.iter
+    (fun (p : Proof.t) ->
+      emit t ~seq ~time_ms
+        (Monitor.Proof_result
+           {
+             txn;
+             node = p.Proof.server;
+             domain = p.Proof.domain;
+             version = p.Proof.policy_version;
+             result = p.Proof.result;
+           }))
+    proofs
+
+(* ------------------------------------------------------------------ *)
+(* Per-record event extraction                                         *)
+(* ------------------------------------------------------------------ *)
+
+let on_create t ~seq ~time_ms ~node payload =
+  match Result.bind (Json.member "kind" payload) Json.to_str with
+  | Ok "tm" -> (
+    let decoded =
+      match Result.bind (Json.member "txn" payload) Codec.transaction_of_json with
+      | Error _ -> None
+      | Ok txn -> (
+        match Result.bind (Json.member "config" payload) Codec.config_of_json with
+        | Error _ -> None
+        | Ok cfg -> Some (txn.Cloudtx_txn.Transaction.id, cfg))
+    in
+    match decoded with
+    | None ->
+      t.decode_errors <- t.decode_errors + 1;
+      emit t ~seq ~time_ms (Monitor.Activity { node })
+    | Some (txn, cfg) ->
+      Hashtbl.replace t.kinds node (Tm_node txn);
+      emit t ~seq ~time_ms
+        (Monitor.Txn_begin
+           {
+             txn;
+             node;
+             scheme = Scheme.name cfg.Tm.scheme;
+             level = Consistency.name cfg.Tm.level;
+           }))
+  | Ok _ ->
+    Hashtbl.replace t.kinds node Ps_node;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+
+let on_tm_input t ~seq ~time_ms ~node ~txn payload =
+  (* Any input means the TM machine stepped. *)
+  emit t ~seq ~time_ms (Monitor.Txn_step { txn });
+  match Codec.tm_input_of_json payload with
+  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Ok (Tm.Deliver { msg; _ }) -> (
+    match msg with
+    | Message.Master_version_reply { policies; _ } ->
+      emit_masters t ~seq ~time_ms policies
+    | Message.Validate_reply { txn; proofs; _ }
+    | Message.Commit_reply { txn; proofs; _ } ->
+      emit_proofs t ~seq ~time_ms ~txn proofs
+    | _ -> ())
+  | Ok (Tm.Watchdog_fired _ | Tm.Retry_fired) -> ignore node
+
+let on_tm_action t ~seq ~time_ms ~node ~txn payload =
+  match Codec.tm_action_of_json payload with
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Ok (Tm.Finish { committed; reason; _ }) ->
+    emit t ~seq ~time_ms
+      (Monitor.Txn_end
+         {
+           txn;
+           committed;
+           reason = Outcome.reason_name reason;
+           killed = reason = Outcome.Wait_die;
+         })
+  | Ok (Tm.Send { msg = Message.Policy_update { policies; _ }; _ }) ->
+    (* Fresh bodies the TM relays came from the master. *)
+    emit_masters t ~seq ~time_ms policies;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Ok _ -> emit t ~seq ~time_ms (Monitor.Activity { node })
+
+let on_ps_input t ~seq ~time_ms ~node payload =
+  match Codec.ps_input_of_json payload with
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Ok (Ps.Prepared { txn; vote }) ->
+    emit t ~seq ~time_ms (Monitor.Vote { txn; node; vote })
+  | Ok (Ps.Evaluated { txn; proofs; policies; _ }) ->
+    emit_proofs t ~seq ~time_ms ~txn proofs;
+    List.iter
+      (fun (p : Policy.t) ->
+        emit t ~seq ~time_ms
+          (Monitor.Replica_version
+             { node; domain = p.Policy.domain; version = p.Policy.version }))
+      policies
+  | Ok (Ps.Deliver { msg; _ }) -> (
+    (match msg with
+    | Message.Propagate_policy { policy } -> emit_masters t ~seq ~time_ms [ policy ]
+    | Message.Policy_update { policies; _ } -> emit_masters t ~seq ~time_ms policies
+    | _ -> ());
+    emit t ~seq ~time_ms (Monitor.Activity { node }))
+  | Ok _ -> emit t ~seq ~time_ms (Monitor.Activity { node })
+
+let on_ps_action t ~seq ~time_ms ~node payload =
+  match Codec.ps_action_of_json payload with
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Ok (Ps.Install { policies; _ }) ->
+    List.iter
+      (fun (p : Policy.t) ->
+        emit t ~seq ~time_ms
+          (Monitor.Replica_version
+             { node; domain = p.Policy.domain; version = p.Policy.version }))
+      policies
+  | Ok (Ps.Prepare { policy_versions; _ }) ->
+    List.iter
+      (fun (domain, version) ->
+        emit t ~seq ~time_ms (Monitor.Replica_version { node; domain; version }))
+      policy_versions
+  | Ok _ -> emit t ~seq ~time_ms (Monitor.Activity { node })
+
+let feed_json t ~seq ~time_ms ~node ~dir payload =
+  match dir with
+  | "create" -> on_create t ~seq ~time_ms ~node payload
+  | "input" -> (
+    match Hashtbl.find_opt t.kinds node with
+    | Some (Tm_node txn) -> on_tm_input t ~seq ~time_ms ~node ~txn payload
+    | Some Ps_node -> on_ps_input t ~seq ~time_ms ~node payload
+    | None ->
+      (* Node never created in this journal (e.g. a capped buffer dropped
+         the create): classify by trying both decoders. *)
+      (match Codec.ps_input_of_json payload with
+      | Ok _ ->
+        Hashtbl.replace t.kinds node Ps_node;
+        on_ps_input t ~seq ~time_ms ~node payload
+      | Error _ -> emit t ~seq ~time_ms (Monitor.Activity { node })))
+  | "action" -> (
+    match Hashtbl.find_opt t.kinds node with
+    | Some (Tm_node txn) -> on_tm_action t ~seq ~time_ms ~node ~txn payload
+    | Some Ps_node -> on_ps_action t ~seq ~time_ms ~node payload
+    | None -> emit t ~seq ~time_ms (Monitor.Activity { node }))
+  | _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+
+let feed t ~seq ~time_ms ~node ~dir ~payload =
+  match Json.parse payload with
+  | Ok j -> feed_json t ~seq ~time_ms ~node ~dir j
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+
+let attach journal monitor =
+  let t = create monitor in
+  Cloudtx_obs.Journal.set_observer journal (fun ~seq ~time_ms ~node ~dir ~payload ->
+      feed t ~seq ~time_ms ~node ~dir ~payload);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Offline replay                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_header line =
+  match Json.parse line with
+  | Error m -> Error (Printf.sprintf "line 1: bad journal header: %s" m)
+  | Ok j -> (
+    match Result.bind (Json.member "journal" j) Json.to_str with
+    | Ok "cloudtx" -> Ok ()
+    | Ok other -> Error (Printf.sprintf "line 1: journal kind %S unknown" other)
+    | Error m -> Error (Printf.sprintf "line 1: bad journal header: %s" m))
+
+let feed_line t ~lineno line =
+  match Json.parse line with
+  | Error m -> Error (Printf.sprintf "line %d: unparseable record: %s" lineno m)
+  | Ok j -> (
+    let ( let* ) = Result.bind in
+    let field what r =
+      Result.map_error
+        (fun m -> Printf.sprintf "line %d: record without %s: %s" lineno what m)
+        r
+    in
+    let* seq = field "seq" (Result.bind (Json.member "seq" j) Json.to_int) in
+    let* time_ms =
+      field "time_ms" (Result.bind (Json.member "time_ms" j) Json.to_float)
+    in
+    let* node = field "node" (Result.bind (Json.member "node" j) Json.to_str) in
+    let* dir = field "dir" (Result.bind (Json.member "dir" j) Json.to_str) in
+    let* payload = field "payload" (Json.member "payload" j) in
+    feed_json t ~seq ~time_ms ~node ~dir payload;
+    Ok ())
+
+let of_file path monitor =
+  match
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then lines := line :: !lines
+       done
+     with End_of_file -> close_in ic);
+    List.rev !lines
+  with
+  | exception Sys_error m -> Error m
+  | [] -> Error "empty journal"
+  | header :: records -> (
+    match check_header header with
+    | Error _ as e -> e
+    | Ok () ->
+      let t = create monitor in
+      let rec go n lineno = function
+        | [] -> Ok n
+        | line :: rest -> (
+          match feed_line t ~lineno line with
+          | Ok () -> go (n + 1) (lineno + 1) rest
+          | Error _ as e -> e)
+      in
+      go 0 2 records)

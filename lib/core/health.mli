@@ -1,0 +1,39 @@
+(** Journal-to-health bridge: decodes flight-recorder records into
+    {!Cloudtx_obs.Monitor} events.
+
+    The monitor itself ([lib/obs]) is protocol-blind; this module owns the
+    protocol-aware half of the Watchtower — it reads each journal record
+    (live through {!attach}, or offline from a file through {!of_file}),
+    decodes the payload with {!Cloudtx_protocol.Codec}, and emits the
+    neutral {!Cloudtx_obs.Monitor.event}s the SLO rules consume:
+    transaction begin/step/end, master and replica policy versions,
+    prepare votes and proof evaluations.
+
+    Decoding is best-effort: a record whose payload does not decode still
+    advances the monitor's clock (as [Activity]) and is counted in
+    {!decode_errors}; the bridge never raises on malformed input. *)
+
+type t
+
+val create : Cloudtx_obs.Monitor.t -> t
+
+(** Feed one journal record; [payload] is the raw JSON fragment from the
+    record envelope. *)
+val feed :
+  t -> seq:int -> time_ms:float -> node:string -> dir:string -> payload:string -> unit
+
+(** Records whose payload failed to decode so far. *)
+val decode_errors : t -> int
+
+(** [attach journal monitor] registers a streaming observer on [journal]
+    (see {!Cloudtx_obs.Journal.set_observer}) feeding [monitor] — the
+    live [--monitor] path.  Returns the bridge for {!decode_errors}. *)
+val attach : Cloudtx_obs.Journal.t -> Cloudtx_obs.Monitor.t -> t
+
+(** [of_file path monitor] replays a journal file through the monitor in
+    journal order — the [watch] path.  Returns the number of records fed,
+    or [Error] on an unreadable file or a bad header line.  Unlike
+    {!Audit.of_file} this tolerates seq gaps (a capped in-memory buffer
+    legitimately drops oldest records); each record's own [seq] is what
+    lands in alert evidence. *)
+val of_file : string -> Cloudtx_obs.Monitor.t -> (int, string) result

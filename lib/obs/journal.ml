@@ -3,23 +3,50 @@ let format_version = 1
 type t = {
   live : bool;
   clock : unit -> float;
-  buf : Buffer.t;
+  lines : string Queue.t;
+  mutable buffered_bytes : int;
+  max_buffer_bytes : int;
+  mutable dropped : int;
   mutable seq : int;
   mutable oc : out_channel option;
+  mutable observer :
+    (seq:int -> time_ms:float -> node:string -> dir:string -> payload:string -> unit)
+    option;
+  mutable on_drop : (int -> unit) option;
 }
 
 let noop =
-  { live = false; clock = (fun () -> 0.); buf = Buffer.create 0; seq = 0; oc = None }
+  {
+    live = false;
+    clock = (fun () -> 0.);
+    lines = Queue.create ();
+    buffered_bytes = 0;
+    max_buffer_bytes = max_int;
+    dropped = 0;
+    seq = 0;
+    oc = None;
+    observer = None;
+    on_drop = None;
+  }
 
 let header =
   Printf.sprintf "{\"journal\":\"cloudtx\",\"version\":%d}" format_version
 
-let create ~clock ?path () =
+let create ~clock ?(max_buffer_bytes = max_int) ?path () =
   let t =
-    { live = true; clock; buf = Buffer.create 4096; seq = 0; oc = None }
+    {
+      live = true;
+      clock;
+      lines = Queue.create ();
+      buffered_bytes = 0;
+      max_buffer_bytes = max 0 max_buffer_bytes;
+      dropped = 0;
+      seq = 0;
+      oc = None;
+      observer = None;
+      on_drop = None;
+    }
   in
-  Buffer.add_string t.buf header;
-  Buffer.add_char t.buf '\n';
   (match path with
   | None -> ()
   | Some path ->
@@ -30,27 +57,59 @@ let create ~clock ?path () =
   t
 
 let enabled t = t.live
+let set_observer t f = if t.live then t.observer <- Some f
+let set_on_drop t f = if t.live then t.on_drop <- Some f
+
+let evict t =
+  let n = ref 0 in
+  while
+    t.buffered_bytes > t.max_buffer_bytes && not (Queue.is_empty t.lines)
+  do
+    let line = Queue.pop t.lines in
+    t.buffered_bytes <- t.buffered_bytes - (String.length line + 1);
+    incr n
+  done;
+  if !n > 0 then begin
+    t.dropped <- t.dropped + !n;
+    match t.on_drop with None -> () | Some f -> f !n
+  end
 
 let record t ~node ~dir ~payload =
   if t.live then begin
     t.seq <- t.seq + 1;
+    let time_ms = t.clock () in
     let line =
       Printf.sprintf "{\"seq\":%d,\"time_ms\":%s,\"node\":%s,\"dir\":%s,\"payload\":%s}"
         t.seq
-        (Json.number (t.clock ()))
+        (Json.number time_ms)
         (Json.quote node) (Json.quote dir) payload
     in
-    Buffer.add_string t.buf line;
-    Buffer.add_char t.buf '\n';
-    match t.oc with
+    Queue.push line t.lines;
+    t.buffered_bytes <- t.buffered_bytes + (String.length line + 1);
+    evict t;
+    (match t.oc with
     | None -> ()
     | Some oc ->
       output_string oc line;
-      output_char oc '\n'
+      output_char oc '\n');
+    match t.observer with
+    | None -> ()
+    | Some f -> f ~seq:t.seq ~time_ms ~node ~dir ~payload
   end
 
 let length t = t.seq
-let to_string t = Buffer.contents t.buf
+let dropped t = t.dropped
+
+let to_string t =
+  let buf = Buffer.create (t.buffered_bytes + String.length header + 1) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Queue.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    t.lines;
+  Buffer.contents buf
 
 let close t =
   match t.oc with

@@ -16,7 +16,12 @@
 
     The journal buffers every line in memory ({!to_string}) and, when
     opened with a [path], also writes each line through to the file as it
-    is recorded, so a crash loses at most the final partial line.
+    is recorded, so a crash loses at most the final partial line.  The
+    in-memory buffer is bounded by [max_buffer_bytes]: once exceeded, the
+    oldest buffered lines are evicted (drop-oldest) and counted in
+    {!dropped} — the resulting [seq] gap is exactly what the replay
+    auditor flags, so a truncated buffer is self-describing.  Eviction
+    never affects the write-through file or {!set_observer} delivery.
 
     Zero cost when disabled: {!noop} never records and every operation is
     a single branch.  Instrumentation that renders payloads must guard on
@@ -27,12 +32,32 @@ type t
 (** Shared disabled journal; all operations are no-ops. *)
 val noop : t
 
-(** [create ~clock ?path ()] builds a live journal; [clock] supplies
-    timestamps (milliseconds by convention).  With [path] every line is
-    also written through to that file (truncating it first). *)
-val create : clock:(unit -> float) -> ?path:string -> unit -> t
+(** [create ~clock ?max_buffer_bytes ?path ()] builds a live journal;
+    [clock] supplies timestamps (milliseconds by convention).
+    [max_buffer_bytes] caps the in-memory buffer (default: unbounded).
+    With [path] every line is also written through to that file
+    (truncating it first). *)
+val create :
+  clock:(unit -> float) -> ?max_buffer_bytes:int -> ?path:string -> unit -> t
 
 val enabled : t -> bool
+
+(** [set_observer t f] registers a streaming tap: [f] is called once per
+    record, after it is journaled, with the envelope fields and the raw
+    payload.  This is how the live health monitor ([run --monitor]) sees
+    the same stream a [watch <file>] replay does.  One observer; a second
+    call replaces the first.  No-op on {!noop}. *)
+val set_observer :
+  t ->
+  (seq:int -> time_ms:float -> node:string -> dir:string -> payload:string -> unit) ->
+  unit
+
+(** [set_on_drop t f] — [f n] is called whenever [n] buffered records are
+    evicted by the byte cap (for wiring a [journal.dropped] counter). *)
+val set_on_drop : t -> (int -> unit) -> unit
+
+(** Total records evicted from the in-memory buffer so far. *)
+val dropped : t -> int
 
 (** [record t ~node ~dir ~payload] appends one record; [payload] must be
     a valid, canonically-rendered JSON fragment. *)

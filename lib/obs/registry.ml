@@ -192,6 +192,10 @@ let prom_help = function
   | "policy_staleness" ->
     Some "Versions a server's policy replica trails the master, by domain."
   | "sim.pending_events" -> Some "Discrete-event engine queue depth."
+  | "alerts_total" -> Some "Health alerts fired, by rule and severity."
+  | "alerts_active" -> Some "Health alerts currently firing, by rule."
+  | "journal.dropped" ->
+    Some "Journal records evicted from the in-memory buffer by the byte cap."
   | _ -> None
 
 let to_prometheus t =

@@ -1,0 +1,73 @@
+type severity = Info | Warning | Critical
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Critical -> "critical"
+
+let format_version = 1
+
+type rules = {
+  stuck_ms : float;
+  staleness_versions : int;
+  staleness_ms : float;
+  abort_window : int;
+  abort_rate : float;
+  livelock_kills : int;
+}
+
+let default =
+  {
+    stuck_ms = 1000.;
+    staleness_versions = 3;
+    staleness_ms = infinity;
+    abort_window = 20;
+    abort_rate = 0.5;
+    livelock_kills = 3;
+  }
+
+type alert = {
+  id : int;
+  rule : string;
+  severity : severity;
+  subject : string;
+  node : string;
+  first_seq : int;
+  mutable last_seq : int;
+  fired_at : float;
+  mutable detail : string;
+  mutable resolved_at : float option;
+}
+
+let is_open a = a.resolved_at = None
+
+let transition_name = function `Fire -> "fire" | `Resolve -> "resolve"
+
+let transition_time transition a =
+  match (transition, a.resolved_at) with
+  | `Resolve, Some t -> t
+  | (`Fire | `Resolve), _ -> a.fired_at
+
+let console_line transition a =
+  Printf.sprintf "%s %s %s %s (%s) seq %d..%d at %.1fms: %s"
+    (match transition with `Fire -> "ALERT" | `Resolve -> "RESOLVED")
+    a.rule (severity_name a.severity) a.subject a.node a.first_seq a.last_seq
+    (transition_time transition a)
+    a.detail
+
+let log_line transition a =
+  Json.obj
+    [
+      ("event", Json.quote (transition_name transition));
+      ("rule", Json.quote a.rule);
+      ("severity", Json.quote (severity_name a.severity));
+      ("subject", Json.quote a.subject);
+      ("node", Json.quote a.node);
+      ("first_seq", string_of_int a.first_seq);
+      ("last_seq", string_of_int a.last_seq);
+      ("time_ms", Json.number (transition_time transition a));
+      ("detail", Json.quote a.detail);
+    ]
+
+let log_header =
+  Printf.sprintf "{\"alerts\":\"cloudtx\",\"version\":%d}" format_version

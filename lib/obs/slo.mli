@@ -1,0 +1,76 @@
+(** Declarative SLO rules and the alert vocabulary of the Watchtower
+    health monitor ({!Monitor}).
+
+    This module is pure data: the rule thresholds an operator declares,
+    the alert record the engine produces, and the two canonical renderings
+    of an alert transition — a human-readable console line and a
+    structured JSONL record (the [--alerts-out] sink).  The streaming
+    evaluation lives in {!Monitor}; the journal-to-event decoding lives
+    above this library (in [Cloudtx_core.Health]), keeping this module
+    free of protocol dependencies. *)
+
+type severity = Info | Warning | Critical
+
+val severity_name : severity -> string
+
+(** Alert-log format version; bump on any record-shape change. *)
+val format_version : int
+
+(** Thresholds for the built-in rules.  A rule whose threshold is
+    [infinity] / [max_int] never fires.
+
+    - [stuck_ms] — a transaction whose TM has taken no machine step for
+      more than this many simulated ms, while unfinished, is stuck.
+    - [staleness_versions] — a server's policy replica lagging the
+      observed master version by {e more than} this many versions fires.
+    - [staleness_ms] — any nonzero replica lag persisting longer than
+      this many simulated ms fires (the timed-consistency arm).
+    - [abort_window] / [abort_rate] — over the last [abort_window]
+      finished transactions (once the window is full), an abort fraction
+      at or above [abort_rate] fires.
+    - [livelock_kills] — the same logical transaction (restart suffixes
+      ["-r<N>"] stripped) dying as a wait-die victim this many consecutive
+      times fires. *)
+type rules = {
+  stuck_ms : float;
+  staleness_versions : int;
+  staleness_ms : float;
+  abort_window : int;
+  abort_rate : float;
+  livelock_kills : int;
+}
+
+(** [stuck_ms = 1000.]; [staleness_versions = 3]; [staleness_ms = infinity];
+    [abort_window = 20]; [abort_rate = 0.5]; [livelock_kills = 3]. *)
+val default : rules
+
+(** One alert through its firing/resolved lifecycle.  [subject] names
+    what is unhealthy (a transaction id, a ["server/domain"] pair, or
+    ["cluster"]); [first_seq]/[last_seq] delimit the journal evidence;
+    [detail] is the human-readable cause as of the latest transition. *)
+type alert = {
+  id : int;
+  rule : string;
+  severity : severity;
+  subject : string;
+  node : string;
+  first_seq : int;
+  mutable last_seq : int;
+  fired_at : float;
+  mutable detail : string;
+  mutable resolved_at : float option;
+}
+
+val is_open : alert -> bool
+
+(** [console_line transition alert] — e.g.
+    ["ALERT stuck_txn critical txn t1 (tm-t1) seq 12..80 at 5.0ms: ..."]. *)
+val console_line : [ `Fire | `Resolve ] -> alert -> string
+
+(** [log_line transition alert] — one JSONL alert record:
+    [{"event":"fire"|"resolve","rule":...,"severity":...,"subject":...,
+      "node":...,"first_seq":N,"last_seq":N,"time_ms":T,"detail":...}]. *)
+val log_line : [ `Fire | `Resolve ] -> alert -> string
+
+(** Header line for an alert log: [{"alerts":"cloudtx","version":V}]. *)
+val log_header : string

@@ -59,9 +59,20 @@ let enable_metrics t =
   end;
   t.registry
 
-let enable_journal ?path t =
-  if not (Obs.Journal.enabled t.journal) then
-    t.journal <- Obs.Journal.create ~clock:(fun () -> Engine.now t.engine) ?path ();
+let enable_journal ?max_buffer_bytes ?path t =
+  if not (Obs.Journal.enabled t.journal) then begin
+    let journal =
+      Obs.Journal.create
+        ~clock:(fun () -> Engine.now t.engine)
+        ?max_buffer_bytes ?path ()
+    in
+    (* The registry may be enabled after the journal: look it up at drop
+       time, not at wiring time. *)
+    Obs.Journal.set_on_drop journal (fun n ->
+        if Obs.Registry.enabled t.registry then
+          Obs.Registry.incr t.registry ~by:n "journal.dropped" []);
+    t.journal <- journal
+  end;
   t.journal
 
 let register t name handler =

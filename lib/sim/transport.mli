@@ -49,11 +49,14 @@ val enable_metrics : _ t -> Cloudtx_obs.Registry.t
     until {!enable_journal} is called. *)
 val journal : _ t -> Cloudtx_obs.Journal.t
 
-(** [enable_journal ?path t] installs (once) and returns a live journal
-    clocked by simulated time; with [path] records are also written
-    through to that JSONL file.  The protocol drivers record every
-    machine step from then on. *)
-val enable_journal : ?path:string -> _ t -> Cloudtx_obs.Journal.t
+(** [enable_journal ?max_buffer_bytes ?path t] installs (once) and
+    returns a live journal clocked by simulated time; with [path] records
+    are also written through to that JSONL file.  [max_buffer_bytes] caps
+    the in-memory buffer (drop-oldest); evictions feed the registry's
+    [journal.dropped] counter when metrics are enabled.  The protocol
+    drivers record every machine step from then on. *)
+val enable_journal :
+  ?max_buffer_bytes:int -> ?path:string -> _ t -> Cloudtx_obs.Journal.t
 
 (** Simulated now, for convenience. *)
 val now : _ t -> float

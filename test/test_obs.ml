@@ -503,6 +503,103 @@ let test_wait_die_kill_links_spans () =
       (List.sort compare starts = List.sort compare finishes)
 
 (* ------------------------------------------------------------------ *)
+(* Journal buffer cap                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Cloudtx_obs.Journal
+
+let test_journal_buffer_cap () =
+  let journal = Journal.create ~clock:(fun () -> 0.) ~max_buffer_bytes:512 () in
+  let observed = ref 0 and last_seq = ref 0 and drop_calls = ref 0 in
+  Journal.set_observer journal (fun ~seq ~time_ms:_ ~node:_ ~dir:_ ~payload:_ ->
+      incr observed;
+      last_seq := seq);
+  Journal.set_on_drop journal (fun n -> drop_calls := !drop_calls + n);
+  for i = 1 to 100 do
+    Journal.record journal ~node:"n" ~dir:"input"
+      ~payload:(Printf.sprintf {|{"i":%d}|} i)
+  done;
+  Alcotest.(check int) "every record was appended" 100 (Journal.length journal);
+  Alcotest.(check bool) "the cap evicted records" true (Journal.dropped journal > 0);
+  Alcotest.(check int) "on_drop accounts for every eviction"
+    (Journal.dropped journal) !drop_calls;
+  (* Eviction never touches the observer stream... *)
+  Alcotest.(check int) "observer saw every record" 100 !observed;
+  Alcotest.(check int) "in order" 100 !last_seq;
+  (* ...only the in-memory buffer: the oldest records are gone, the
+     newest and the header survive, and the seq gap is visible. *)
+  let dump = Journal.to_string journal in
+  let lines =
+    String.split_on_char '\n' dump |> List.filter (fun l -> l <> "")
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header survives" true
+    (contains (List.hd lines) {|"journal":"cloudtx"|});
+  Alcotest.(check bool) "oldest record evicted" false (contains dump {|"seq":1,|});
+  Alcotest.(check bool) "newest record kept" true (contains dump {|"seq":100,|});
+  Alcotest.(check int) "buffer holds what the cap allows"
+    (100 - Journal.dropped journal)
+    (List.length lines - 1)
+
+let test_journal_cap_never_affects_file () =
+  let path = Filename.temp_file "cloudtx_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let journal =
+        Journal.create ~clock:(fun () -> 0.) ~max_buffer_bytes:256 ~path ()
+      in
+      for i = 1 to 50 do
+        Journal.record journal ~node:"n" ~dir:"input"
+          ~payload:(Printf.sprintf {|{"i":%d}|} i)
+      done;
+      Journal.close journal;
+      Alcotest.(check bool) "records were evicted in memory" true
+        (Journal.dropped journal > 0);
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int) "write-through file keeps every line" 51 !n)
+
+let test_journal_dropped_counter_wired () =
+  (* Through the transport: evictions land on the registry's
+     journal.dropped counter. *)
+  let cluster =
+    Cluster.create
+      ~servers:[ Cluster.server_spec ~name:"s1" ~items:[ ("k", Value.Int 0) ] () ]
+      ~domains:[ ("d", []) ] ()
+  in
+  let transport = Cluster.transport cluster in
+  let reg = Transport.enable_metrics transport in
+  let journal = Transport.enable_journal ~max_buffer_bytes:512 transport in
+  let config =
+    Manager.config Cloudtx_core.Scheme.Deferred Cloudtx_core.Consistency.View
+  in
+  let txn =
+    Transaction.make ~id:"t1" ~subject:"s"
+      [
+        Query.make ~id:"q1" ~server:"s1"
+          ~writes:[ ("k", Value.Set (Value.Int 1)) ]
+          ();
+      ]
+  in
+  ignore (Manager.run_one cluster config txn);
+  Alcotest.(check bool) "the run overflowed the cap" true
+    (Journal.dropped journal > 0);
+  Alcotest.(check int) "journal.dropped counter tracks evictions"
+    (Journal.dropped journal)
+    (Registry.counter_total reg "journal.dropped")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -551,5 +648,14 @@ let () =
             test_policy_staleness_gauges;
           Alcotest.test_case "wait-die kill links spans" `Quick
             test_wait_die_kill_links_spans;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "buffer cap drops oldest" `Quick
+            test_journal_buffer_cap;
+          Alcotest.test_case "cap never affects the file" `Quick
+            test_journal_cap_never_affects_file;
+          Alcotest.test_case "dropped counter wired" `Quick
+            test_journal_dropped_counter_wired;
         ] );
     ]
