@@ -35,6 +35,9 @@ module Audit = Cloudtx_core.Audit
 module Monitor = Cloudtx_obs.Monitor
 module Slo = Cloudtx_obs.Slo
 module Health = Cloudtx_core.Health
+module Plan = Cloudtx_chaos.Plan
+module Campaign = Cloudtx_chaos.Campaign
+module Shrink = Cloudtx_chaos.Shrink
 
 open Cmdliner
 
@@ -966,6 +969,149 @@ let export_term =
     $ Arg.(value & opt string "policy.json" & info [ "out" ] ~doc:"Output file."))
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cell_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Campaign.cell_of_string s) in
+  let print fmt c = Format.pp_print_string fmt (Campaign.cell_name c) in
+  Arg.conv (parse, print)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let journal_file dir (cell : Campaign.cell) (plan : Plan.t) ~suffix =
+  Printf.sprintf "%s/%s-seed%Ld%s.jsonl" dir
+    (String.map (function ':' -> '-' | c -> c) (Campaign.cell_name cell))
+    plan.Plan.seed suffix
+
+let report_case dir shrink (case : Campaign.case) =
+  let cell = case.Campaign.cell and plan = case.Campaign.plan in
+  Format.printf "VIOLATION %s seed=%Ld@.  %s@.  plan: %s@."
+    (Campaign.cell_name cell) plan.Plan.seed case.Campaign.failure.Campaign.what
+    (Plan.to_string plan);
+  Option.iter
+    (fun dir ->
+      let path = journal_file dir cell plan ~suffix:"" in
+      write_lines path case.Campaign.failure.Campaign.journal;
+      Format.printf "  journal: %s@." path)
+    dir;
+  if shrink then begin
+    let dedup = false in
+    (* A violation under hardened delivery would also shrink, but in
+       practice failures come from the --no-dedup escape hatch; replaying
+       candidates must use the same delivery mode that failed. *)
+    let fails p =
+      match Campaign.run_plan ~dedup cell p with
+      | Ok () -> None
+      | Error f -> Some f.Campaign.what
+    in
+    match Shrink.minimize ~fails plan with
+    | None -> Format.printf "  shrink: plan no longer fails under replay@."
+    | Some (minimal, what) ->
+      Format.printf "  shrunk to %d op(s): %s@.  minimal failure: %s@."
+        (List.length minimal.Plan.ops)
+        (Plan.to_string minimal) what;
+      Option.iter
+        (fun dir ->
+          match Campaign.run_plan ~dedup cell minimal with
+          | Error f ->
+            let path = journal_file dir cell minimal ~suffix:"-min" in
+            write_lines path f.Campaign.journal;
+            Format.printf "  minimal journal: %s@." path
+          | Ok () -> ())
+        dir
+  end
+
+let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup =
+  let dedup = not no_dedup in
+  let cells = match cell with Some c -> [ c ] | None -> Campaign.all_cells in
+  Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    journal_dir;
+  let failures =
+    match plan_file with
+    | Some path -> (
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Plan.of_string data with
+      | Error why ->
+        Format.eprintf "%s: bad plan: %s@." path why;
+        exit 2
+      | Ok plan ->
+        List.filter_map
+          (fun cell ->
+            match Campaign.run_plan ~dedup cell plan with
+            | Ok () ->
+              Format.printf "ok %s seed=%Ld@." (Campaign.cell_name cell)
+                plan.Plan.seed;
+              None
+            | Error failure -> Some { Campaign.cell; plan; failure })
+          cells)
+    | None ->
+      let verdict = Campaign.run ~dedup ~cells ~base_seed ~plans:seeds () in
+      Format.printf "%d plan(s) x %d cell(s) = %d run(s), %d violation(s)@."
+        seeds (List.length cells) verdict.Campaign.plans_run
+        (List.length verdict.Campaign.failures);
+      verdict.Campaign.failures
+  in
+  List.iter (report_case journal_dir shrink) failures;
+  if failures <> [] then exit 1
+
+let chaos_term =
+  Term.(
+    const chaos_cmd
+    $ Arg.(
+        value & opt int 24
+        & info [ "seeds" ] ~docv:"N"
+            ~doc:"Number of seeded random fault plans to sweep.")
+    $ Arg.(
+        value & opt int64 1000L
+        & info [ "base-seed" ] ~docv:"SEED"
+            ~doc:
+              "First plan seed; plan $(i,i) uses SEED+$(i,i).  The seed \
+               drives both plan generation and the simulated run, so a \
+               campaign's verdict is a pure function of its arguments.")
+    $ Arg.(
+        value & opt (some cell_conv) None
+        & info [ "cell" ] ~docv:"SCHEME:LEVEL"
+            ~doc:
+              "Restrict the campaign to one scheme x level cell, e.g. \
+               $(b,continuous:global).  Default: all 8 cells.")
+    $ Arg.(
+        value & opt (some file) None
+        & info [ "plan" ] ~docv:"PLAN.json"
+            ~doc:
+              "Run this explicit fault plan (as printed on a violation) \
+               instead of generating random ones.")
+    $ Arg.(
+        value & flag
+        & info [ "shrink" ]
+            ~doc:
+              "Greedily minimize each failing plan and print the minimal \
+               counterexample.")
+    $ Arg.(
+        value & opt (some string) None
+        & info [ "journal-dir" ] ~docv:"DIR"
+            ~doc:
+              "Write each failing run's flight-recorder journal under DIR \
+               (replayable via $(b,cloudtx audit) and $(b,cloudtx watch)).")
+    $ Arg.(
+        value & flag
+        & info [ "no-dedup" ]
+            ~doc:
+              "Disable driver-side idempotent delivery (the wire-seq dedup \
+               layer).  Duplication faults then reach the protocol machines \
+               — the escape hatch used to demonstrate what hardened \
+               delivery prevents."))
+
+(* ------------------------------------------------------------------ *)
 
 let cmds =
   [
@@ -980,6 +1126,13 @@ let cmds =
     Cmd.v (Cmd.info "analyze" ~doc:"Semantic diff of two policy files (JSON or Datalog).") analyze_term;
     Cmd.v (Cmd.info "check" ~doc:"Parse and validate a Datalog policy file.") check_term;
     Cmd.v (Cmd.info "export" ~doc:"Export a scenario policy as JSON.") export_term;
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Deterministic fault campaign: seeded random fault plans across \
+            the scheme x level grid, asserting safety and liveness at every \
+            terminal state.")
+      chaos_term;
   ]
 
 let () =

@@ -1,0 +1,299 @@
+module Scheme = Cloudtx_core.Scheme
+module Consistency = Cloudtx_core.Consistency
+module Cluster = Cloudtx_core.Cluster
+module Manager = Cloudtx_core.Manager
+module Participant = Cloudtx_core.Participant
+module Master = Cloudtx_core.Master
+module Outcome = Cloudtx_core.Outcome
+module Audit = Cloudtx_core.Audit
+module Trusted = Cloudtx_core.Trusted
+module Scenario = Cloudtx_workload.Scenario
+module Transport = Cloudtx_sim.Transport
+module Network = Cloudtx_sim.Network
+module Latency = Cloudtx_sim.Latency
+module Journal = Cloudtx_obs.Journal
+module Server = Cloudtx_store.Server
+module Wal = Cloudtx_store.Wal
+module Tpc = Cloudtx_txn.Tpc
+
+type cell = { scheme : Scheme.t; level : Consistency.level }
+
+let cell_name c =
+  Printf.sprintf "%s:%s" (Scheme.name c.scheme) (Consistency.name c.level)
+
+let cell_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "cell %S: want SCHEME:LEVEL" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let level = String.sub s (i + 1) (String.length s - i - 1) in
+    match (Scheme.of_string scheme, Consistency.of_string level) with
+    | Some scheme, Some level -> Ok { scheme; level }
+    | None, _ -> Error (Printf.sprintf "unknown scheme %S" scheme)
+    | _, None -> Error (Printf.sprintf "unknown consistency level %S" level))
+
+let all_cells =
+  List.concat_map
+    (fun scheme ->
+      List.map (fun level -> { scheme; level }) [ Consistency.View; Consistency.Global ])
+    Scheme.all
+
+type failure = { what : string; journal : string list }
+
+(* Run shape: three spread transactions over three servers, staggered
+   starts, every query writing — the worst case for fault overlap.  The
+   termination protocol and decision retransmission are always armed;
+   crash-free runs at these knobs stay timer-quiet because every vote
+   round completes long before the timeouts fire. *)
+let n_servers = 3
+let n_txns = 3
+let inquiry_timeout = 30.
+let vote_timeout = 60.
+let decision_retry = 8.
+let quiesce_steps = 400_000
+
+exception Violation of string
+
+let run_plan ?(dedup = true) ?variant ?journal_path (cell : cell)
+    (plan : Plan.t) =
+  let sc =
+    Scenario.retail ~seed:plan.Plan.seed ?variant ~dedup ~inquiry_timeout
+      ~n_servers ~n_subjects:n_txns ()
+  in
+  let cluster = sc.Scenario.cluster in
+  let tr = Cluster.transport cluster in
+  let journal = Transport.enable_journal ?path:journal_path tr in
+  let net = Transport.network tr in
+  let cfg =
+    Manager.config ~vote_timeout ~decision_retry cell.scheme cell.level
+  in
+  let outcomes = Array.make n_txns None in
+  let handles = Array.make n_txns None in
+  let txn_ids = Array.init n_txns (fun i -> Printf.sprintf "t%d" (i + 1)) in
+  let submit i =
+    let subject = List.nth sc.Scenario.subjects (i mod List.length sc.Scenario.subjects) in
+    let txn =
+      Scenario.spread_transaction sc ~id:txn_ids.(i) ~subject
+        ~queries:n_servers ~start:i ()
+    in
+    handles.(i) <-
+      Some
+        (Manager.submit_handle ~dedup cluster cfg txn ~on_done:(fun o ->
+             outcomes.(i) <- Some o))
+  in
+  let server_of i = List.nth sc.Scenario.servers (i mod n_servers) in
+  let tm_name i = "tm-" ^ txn_ids.(i mod n_txns) in
+  let crash_tm i =
+    match handles.(i mod n_txns) with
+    | Some h when not (Transport.crashed tr (tm_name i)) -> Manager.crash h
+    | _ -> ()
+  in
+  let restart_tm i =
+    match handles.(i mod n_txns) with
+    | Some h when Transport.crashed tr (tm_name i) -> Manager.restart h
+    | _ -> ()
+  in
+  let inject (op : Plan.op) =
+    match op with
+    | Plan.Crash_server { server; at; restart_after } ->
+      let s = server_of server in
+      Transport.at tr ~delay:at (fun () ->
+          if not (Transport.crashed tr s) then
+            Participant.crash (Cluster.participant cluster s));
+      Transport.at tr ~delay:(at +. restart_after) (fun () ->
+          if Transport.crashed tr s then
+            Participant.recover (Cluster.participant cluster s))
+    | Plan.Crash_coordinator { txn; at; restart_after } ->
+      Transport.at tr ~delay:at (fun () -> crash_tm txn);
+      Transport.at tr ~delay:(at +. restart_after) (fun () -> restart_tm txn)
+    | Plan.Isolate_coordinator { txn; at; heal_after } ->
+      let tm = tm_name txn in
+      Transport.at tr ~delay:at (fun () ->
+          List.iter (fun s -> Network.partition net tm s) sc.Scenario.servers);
+      Transport.at tr ~delay:(at +. heal_after) (fun () ->
+          List.iter (fun s -> Network.heal net tm s) sc.Scenario.servers)
+    | Plan.Partition { a; b; at; heal_after } ->
+      let sa = server_of a and sb = server_of b in
+      if not (String.equal sa sb) then begin
+        Transport.at tr ~delay:at (fun () -> Network.partition net sa sb);
+        Transport.at tr ~delay:(at +. heal_after) (fun () ->
+            Network.heal net sa sb)
+      end
+    | Plan.Drop_burst { p; at; duration } ->
+      Transport.at tr ~delay:at (fun () -> Network.set_drop net p);
+      Transport.at tr ~delay:(at +. duration) (fun () -> Network.set_drop net 0.)
+    | Plan.Duplicate_burst { p; at; duration } ->
+      Transport.at tr ~delay:at (fun () -> Network.set_duplicate net p);
+      Transport.at tr ~delay:(at +. duration) (fun () ->
+          Network.set_duplicate net 0.)
+    | Plan.Reorder_burst { jitter; at; duration } ->
+      Transport.at tr ~delay:at (fun () ->
+          Network.set_reorder_jitter net
+            (Some (Latency.Uniform { lo = 0.; hi = jitter })));
+      Transport.at tr ~delay:(at +. duration) (fun () ->
+          Network.set_reorder_jitter net None)
+  in
+  let heal_everything () =
+    Network.heal_all net;
+    Network.set_drop net 0.;
+    Network.set_duplicate net 0.;
+    Network.set_reorder_jitter net None;
+    List.iter
+      (fun s ->
+        if Transport.crashed tr s then
+          Participant.recover (Cluster.participant cluster s))
+      sc.Scenario.servers;
+    for i = 0 to n_txns - 1 do
+      restart_tm i
+    done
+  in
+  let horizon =
+    List.fold_left
+      (fun acc op -> Float.max acc (Plan.op_end op))
+      Plan.fault_horizon plan.Plan.ops
+    +. 1.
+  in
+  let journal_lines () =
+    String.split_on_char '\n' (String.trim (Journal.to_string journal))
+  in
+  let fail what = Error { what; journal = journal_lines () } in
+  try
+    submit 0;
+    for i = 1 to n_txns - 1 do
+      Transport.at tr ~delay:(6. *. float_of_int i) (fun () -> submit i)
+    done;
+    List.iter inject plan.Plan.ops;
+    Transport.at tr ~delay:horizon heal_everything;
+    (match Transport.run tr ~until:(horizon +. 1.) ~max_steps:quiesce_steps with
+    | `Step_limit -> raise (Violation "liveness: step budget exhausted mid-faults")
+    | _ -> ());
+    (match Transport.run tr ~max_steps:quiesce_steps with
+    | `Step_limit ->
+      raise (Violation "liveness: simulation did not quiesce after heals")
+    | _ -> ());
+    (* Liveness: every transaction reached a terminal outcome. *)
+    Array.iteri
+      (fun i o ->
+        if o = None then
+          raise
+            (Violation
+               (Printf.sprintf "liveness: %s never reached an outcome"
+                  txn_ids.(i))))
+      outcomes;
+    (* Safety over terminal state. *)
+    let participants =
+      List.map (fun s -> (s, Cluster.participant cluster s)) sc.Scenario.servers
+    in
+    let decisions_for server txn =
+      let wal = Server.wal (Participant.server server) in
+      List.filter_map
+        (fun (e : Wal.entry) ->
+          match e.Wal.record with
+          | Wal.Decision { txn = t; commit } when String.equal t txn ->
+            Some commit
+          | _ -> None)
+        (Wal.entries wal)
+    in
+    let prepared_before_commit server txn =
+      let wal = Server.wal (Participant.server server) in
+      let prepared = ref false in
+      let ok = ref true in
+      List.iter
+        (fun (e : Wal.entry) ->
+          match e.Wal.record with
+          | Wal.Prepared { txn = t; _ } when String.equal t txn ->
+            prepared := true
+          | Wal.Decision { txn = t; commit = true } when String.equal t txn ->
+            if not !prepared then ok := false
+          | _ -> ())
+        (Wal.entries wal);
+      !ok
+    in
+    let master = Cluster.master cluster in
+    let latest domain = Master.latest master ~domain in
+    Array.iteri
+      (fun i o ->
+        let o = Option.get o in
+        let txn = txn_ids.(i) in
+        List.iter
+          (fun (name, p) ->
+            let ds = decisions_for p txn in
+            (* AC1: no participant may record a decision disagreeing with
+               the coordinator's outcome. *)
+            if List.exists (fun commit -> commit <> o.Outcome.committed) ds then
+              raise
+                (Violation
+                   (Printf.sprintf
+                      "AC1: %s logged %s for %s but the coordinator decided %s"
+                      name
+                      (if o.Outcome.committed then "abort" else "commit")
+                      txn
+                      (if o.Outcome.committed then "commit" else "abort")));
+            (* Commit must be preceded by this node's forced prepare. *)
+            if not (prepared_before_commit p txn) then
+              raise
+                (Violation
+                   (Printf.sprintf
+                      "AC2: %s committed %s without a prior prepare record"
+                      name txn));
+            (* Termination: nobody is left in doubt after all heals. *)
+            (match
+               Wal.recover_txn (Server.wal (Participant.server p)) ~txn
+             with
+            | `Prepared _ ->
+              raise
+                (Violation
+                   (Printf.sprintf "termination: %s still in doubt about %s"
+                      name txn))
+            | _ -> ()))
+          participants;
+        (* A committed transaction must be trusted per the cell's scheme
+           and consistency level (Definitions 5–9). *)
+        if o.Outcome.committed then
+          match
+            Trusted.check cell.scheme ~level:cell.level ~latest o.Outcome.view
+          with
+          | Ok () -> ()
+          | Error why ->
+            raise (Violation (Printf.sprintf "untrusted commit %s: %s" txn why)))
+      outcomes;
+    (* The journal itself must replay clean. *)
+    (match Audit.run ~lines:(journal_lines ()) with
+    | Ok _ -> ()
+    | Error why -> raise (Violation (Printf.sprintf "audit: %s" why)));
+    Ok ()
+  with
+  | Violation what -> fail what
+  | exn -> fail (Printf.sprintf "exception: %s" (Printexc.to_string exn))
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type case = { cell : cell; plan : Plan.t; failure : failure }
+
+type verdict = {
+  plans_run : int;
+  failures : case list;  (** First failure per (cell, plan) pair. *)
+}
+
+let run ?dedup ?variant ?(cells = all_cells) ?(base_seed = 1000L) ~plans ()
+    =
+  let failures = ref [] in
+  let count = ref 0 in
+  let ps =
+    List.init plans (fun i ->
+        Plan.random ~seed:(Int64.add base_seed (Int64.of_int i)))
+  in
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun plan ->
+          incr count;
+          match run_plan ?dedup ?variant cell plan with
+          | Ok () -> ()
+          | Error failure ->
+            failures := { cell; plan; failure } :: !failures)
+        ps)
+    cells;
+  { plans_run = !count; failures = List.rev !failures }

@@ -1,0 +1,66 @@
+(** Deterministic fault campaigns over the scheme × consistency grid.
+
+    A campaign sweeps seeded random {!Plan}s across cells of the
+    {!Cloudtx_core.Scheme} × {!Cloudtx_core.Consistency} grid.  Each plan
+    runs three staggered multi-server write transactions under the
+    simulator with the flight recorder enabled, injects the plan's
+    faults, heals everything after the fault horizon, runs to quiescence
+    and then asserts:
+
+    {b Liveness} — every transaction reached a terminal outcome once the
+    faults ended (timers, retransmission and the Inquiry termination
+    protocol must unwedge every crash/partition the plan produced).
+
+    {b Safety} — at every terminal state: participants' logged decisions
+    agree with the coordinator's outcome (AC1); a commit record is
+    preceded by that node's forced prepare (AC2); no participant is left
+    in doubt after heals; committed transactions pass
+    {!Cloudtx_core.Trusted.check} for the cell's scheme and level; and
+    the run's journal replays clean under {!Cloudtx_core.Audit}.
+
+    Determinism: a plan's seed drives both plan generation and the
+    simulated run, so identical seeds give identical verdicts. *)
+
+type cell = {
+  scheme : Cloudtx_core.Scheme.t;
+  level : Cloudtx_core.Consistency.level;
+}
+
+val cell_name : cell -> string
+
+(** Parses ["scheme:level"], e.g. ["deferred:view"]. *)
+val cell_of_string : string -> (cell, string) result
+
+(** All 8 scheme × level cells. *)
+val all_cells : cell list
+
+type failure = {
+  what : string;  (** The violated invariant, human-readable. *)
+  journal : string list;  (** The failing run's flight-recorder lines. *)
+}
+
+(** [run_plan cell plan] — one plan in one cell.  [dedup:false] disables
+    driver-side idempotent delivery (the chaos escape hatch);
+    [journal_path] additionally writes the journal through to a file;
+    [variant] selects the participants' decision-logging discipline. *)
+val run_plan :
+  ?dedup:bool ->
+  ?variant:Cloudtx_txn.Tpc.variant ->
+  ?journal_path:string ->
+  cell ->
+  Plan.t ->
+  (unit, failure) result
+
+type case = { cell : cell; plan : Plan.t; failure : failure }
+type verdict = { plans_run : int; failures : case list }
+
+(** [run ~plans ()] sweeps [plans] random plans (seeds [base_seed],
+    [base_seed+1], …) across [cells] (default: all 8). *)
+val run :
+  ?dedup:bool ->
+  ?variant:Cloudtx_txn.Tpc.variant ->
+  ?cells:cell list ->
+  ?base_seed:int64 ->
+  plans:int ->
+  unit ->
+  verdict

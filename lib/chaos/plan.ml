@@ -1,0 +1,190 @@
+module Splitmix = Cloudtx_sim.Splitmix
+module Json = Cloudtx_policy.Json
+open Json
+
+type op =
+  | Crash_server of { server : int; at : float; restart_after : float }
+  | Crash_coordinator of { txn : int; at : float; restart_after : float }
+  | Isolate_coordinator of { txn : int; at : float; heal_after : float }
+  | Partition of { a : int; b : int; at : float; heal_after : float }
+  | Drop_burst of { p : float; at : float; duration : float }
+  | Duplicate_burst of { p : float; at : float; duration : float }
+  | Reorder_burst of { jitter : float; at : float; duration : float }
+
+type t = { seed : int64; ops : op list }
+
+(* Fault windows live inside [0, fault_horizon); the campaign heals
+   everything at the horizon, so every plan's faults are finite. *)
+let fault_horizon = 100.
+
+let op_end = function
+  | Crash_server { at; restart_after; _ } -> at +. restart_after
+  | Crash_coordinator { at; restart_after; _ } -> at +. restart_after
+  | Isolate_coordinator { at; heal_after; _ } -> at +. heal_after
+  | Partition { at; heal_after; _ } -> at +. heal_after
+  | Drop_burst { at; duration; _ } -> at +. duration
+  | Duplicate_burst { at; duration; _ } -> at +. duration
+  | Reorder_burst { at; duration; _ } -> at +. duration
+
+let random ~seed =
+  let rng = Splitmix.create seed in
+  let n_ops = 1 + Splitmix.int rng 4 in
+  let at () = Splitmix.uniform rng ~lo:0. ~hi:60. in
+  let hold () = Splitmix.uniform rng ~lo:3. ~hi:25. in
+  let ops =
+    List.init n_ops (fun _ ->
+        match Splitmix.int rng 7 with
+        | 0 ->
+          Crash_server
+            { server = Splitmix.int rng 3; at = at (); restart_after = hold () }
+        | 1 ->
+          Crash_coordinator
+            { txn = Splitmix.int rng 3; at = at (); restart_after = hold () }
+        | 2 ->
+          Isolate_coordinator
+            { txn = Splitmix.int rng 3; at = at (); heal_after = hold () }
+        | 3 ->
+          let a = Splitmix.int rng 3 in
+          Partition
+            { a; b = (a + 1 + Splitmix.int rng 2) mod 3; at = at ();
+              heal_after = hold () }
+        | 4 ->
+          Drop_burst
+            { p = Splitmix.uniform rng ~lo:0.1 ~hi:0.6; at = at ();
+              duration = hold () }
+        | 5 ->
+          Duplicate_burst
+            { p = Splitmix.uniform rng ~lo:0.2 ~hi:0.7; at = at ();
+              duration = hold () }
+        | _ ->
+          Reorder_burst
+            { jitter = Splitmix.uniform rng ~lo:1. ~hi:8.; at = at ();
+              duration = hold () })
+  in
+  { seed; ops }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let op_to_json op =
+  let tag t fields = Obj (("op", String t) :: fields) in
+  match op with
+  | Crash_server { server; at; restart_after } ->
+    tag "crash-server"
+      [ ("server", Int server); ("at", Float at);
+        ("restart_after", Float restart_after) ]
+  | Crash_coordinator { txn; at; restart_after } ->
+    tag "crash-coordinator"
+      [ ("txn", Int txn); ("at", Float at);
+        ("restart_after", Float restart_after) ]
+  | Isolate_coordinator { txn; at; heal_after } ->
+    tag "isolate-coordinator"
+      [ ("txn", Int txn); ("at", Float at); ("heal_after", Float heal_after) ]
+  | Partition { a; b; at; heal_after } ->
+    tag "partition"
+      [ ("a", Int a); ("b", Int b); ("at", Float at);
+        ("heal_after", Float heal_after) ]
+  | Drop_burst { p; at; duration } ->
+    tag "drop-burst"
+      [ ("p", Float p); ("at", Float at); ("duration", Float duration) ]
+  | Duplicate_burst { p; at; duration } ->
+    tag "duplicate-burst"
+      [ ("p", Float p); ("at", Float at); ("duration", Float duration) ]
+  | Reorder_burst { jitter; at; duration } ->
+    tag "reorder-burst"
+      [ ("jitter", Float jitter); ("at", Float at);
+        ("duration", Float duration) ]
+
+let op_of_json j =
+  let* tag = Result.bind (member "op" j) to_str in
+  let int_f k = Result.bind (member k j) to_int in
+  let float_f k = Result.bind (member k j) to_float in
+  match tag with
+  | "crash-server" ->
+    let* server = int_f "server" in
+    let* at = float_f "at" in
+    let* restart_after = float_f "restart_after" in
+    Ok (Crash_server { server; at; restart_after })
+  | "crash-coordinator" ->
+    let* txn = int_f "txn" in
+    let* at = float_f "at" in
+    let* restart_after = float_f "restart_after" in
+    Ok (Crash_coordinator { txn; at; restart_after })
+  | "isolate-coordinator" ->
+    let* txn = int_f "txn" in
+    let* at = float_f "at" in
+    let* heal_after = float_f "heal_after" in
+    Ok (Isolate_coordinator { txn; at; heal_after })
+  | "partition" ->
+    let* a = int_f "a" in
+    let* b = int_f "b" in
+    let* at = float_f "at" in
+    let* heal_after = float_f "heal_after" in
+    Ok (Partition { a; b; at; heal_after })
+  | "drop-burst" ->
+    let* p = float_f "p" in
+    let* at = float_f "at" in
+    let* duration = float_f "duration" in
+    Ok (Drop_burst { p; at; duration })
+  | "duplicate-burst" ->
+    let* p = float_f "p" in
+    let* at = float_f "at" in
+    let* duration = float_f "duration" in
+    Ok (Duplicate_burst { p; at; duration })
+  | "reorder-burst" ->
+    let* jitter = float_f "jitter" in
+    let* at = float_f "at" in
+    let* duration = float_f "duration" in
+    Ok (Reorder_burst { jitter; at; duration })
+  | other -> Error (Printf.sprintf "unknown chaos op %S" other)
+
+let to_json t =
+  Obj
+    [
+      ("seed", String (Int64.to_string t.seed));
+      ("ops", List (List.map op_to_json t.ops));
+    ]
+
+let of_json j =
+  let* seed = Result.bind (member "seed" j) to_str in
+  let* seed =
+    match Int64.of_string_opt seed with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "bad plan seed %S" seed)
+  in
+  let* ops = Result.bind (member "ops" j) to_list in
+  let* ops =
+    List.fold_left
+      (fun acc o ->
+        let* acc = acc in
+        let* op = op_of_json o in
+        Ok (op :: acc))
+      (Ok []) ops
+    |> Result.map List.rev
+  in
+  Ok { seed; ops }
+
+let to_string t = Json.to_string (to_json t)
+let of_string s = Result.bind (Json.parse s) of_json
+
+let pp_op ppf op =
+  match op with
+  | Crash_server { server; at; restart_after } ->
+    Format.fprintf ppf "crash server#%d @%.1f for %.1f" server at restart_after
+  | Crash_coordinator { txn; at; restart_after } ->
+    Format.fprintf ppf "crash tm#%d @%.1f for %.1f" txn at restart_after
+  | Isolate_coordinator { txn; at; heal_after } ->
+    Format.fprintf ppf "isolate tm#%d @%.1f for %.1f" txn at heal_after
+  | Partition { a; b; at; heal_after } ->
+    Format.fprintf ppf "partition %d|%d @%.1f for %.1f" a b at heal_after
+  | Drop_burst { p; at; duration } ->
+    Format.fprintf ppf "drop p=%.2f @%.1f for %.1f" p at duration
+  | Duplicate_burst { p; at; duration } ->
+    Format.fprintf ppf "duplicate p=%.2f @%.1f for %.1f" p at duration
+  | Reorder_burst { jitter; at; duration } ->
+    Format.fprintf ppf "reorder j=%.1f @%.1f for %.1f" jitter at duration
+
+let pp ppf t =
+  Format.fprintf ppf "plan(seed=%Ld)" t.seed;
+  List.iter (fun op -> Format.fprintf ppf "@ %a;" pp_op op) t.ops

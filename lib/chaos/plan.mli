@@ -1,0 +1,47 @@
+(** Declarative, seeded fault plans.
+
+    A plan is a finite schedule of fault operations injected into one
+    simulated run: crash/restart a data server or a transaction's
+    coordinator, partition server pairs or isolate a coordinator, and
+    time-bounded network misbehaviour bursts (loss, duplication, reorder
+    jitter).  Every fault is paired with its own end (restart, heal,
+    burst expiry) and all windows fall inside [{!fault_horizon}], so a
+    campaign can assert terminal safety and liveness after the horizon.
+
+    Node references are small integers resolved modulo the cluster size
+    at injection time, which keeps plans valid under shrinking and
+    independent of concrete node names. *)
+
+type op =
+  | Crash_server of { server : int; at : float; restart_after : float }
+  | Crash_coordinator of { txn : int; at : float; restart_after : float }
+      (** Fail-stop transaction [txn]'s TM; its restart re-drives the
+          decision phase from the forced log (or presumes abort). *)
+  | Isolate_coordinator of { txn : int; at : float; heal_after : float }
+      (** Partition the TM from every data server — the termination
+          protocol's trigger without losing coordinator state. *)
+  | Partition of { a : int; b : int; at : float; heal_after : float }
+  | Drop_burst of { p : float; at : float; duration : float }
+  | Duplicate_burst of { p : float; at : float; duration : float }
+  | Reorder_burst of { jitter : float; at : float; duration : float }
+
+type t = { seed : int64; ops : op list }
+(** [seed] drives both the plan's own generation and the simulated run
+    it is injected into, so a plan reproduces its run bit-for-bit. *)
+
+(** All fault start times and windows fall before this simulated
+    millisecond; campaigns heal everything at the horizon. *)
+val fault_horizon : float
+
+(** When this fault's own end (restart / heal / expiry) fires. *)
+val op_end : op -> float
+
+(** [random ~seed] draws 1–4 ops deterministically from [seed]. *)
+val random : seed:int64 -> t
+
+val to_json : t -> Cloudtx_policy.Json.t
+val of_json : Cloudtx_policy.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+(* Greedy counterexample shrinking: repeatedly delete fault ops, then
+   weaken the survivors, re-running the (deterministic) failing predicate
+   on every candidate.  The result is 1-minimal under deletion: removing
+   any single remaining op makes the failure disappear. *)
+
+let drop_nth ops i = List.filteri (fun j _ -> j <> i) ops
+
+(* Candidate simplifications of one op, most aggressive first.  Each must
+   strictly shrink some component so weakening terminates. *)
+let weaken (op : Plan.op) =
+  let halve x = Float.round (x /. 2. *. 10.) /. 10. in
+  match op with
+  | Plan.Crash_server { server; at; restart_after } when restart_after > 2. ->
+    [ Plan.Crash_server { server; at; restart_after = halve restart_after } ]
+  | Plan.Crash_coordinator { txn; at; restart_after } when restart_after > 2. ->
+    [ Plan.Crash_coordinator { txn; at; restart_after = halve restart_after } ]
+  | Plan.Isolate_coordinator { txn; at; heal_after } when heal_after > 2. ->
+    [ Plan.Isolate_coordinator { txn; at; heal_after = halve heal_after } ]
+  | Plan.Partition { a; b; at; heal_after } when heal_after > 2. ->
+    [ Plan.Partition { a; b; at; heal_after = halve heal_after } ]
+  | Plan.Drop_burst { p; at; duration } when duration > 2. || p > 0.15 ->
+    [
+      Plan.Drop_burst { p; at; duration = halve duration };
+      Plan.Drop_burst { p = halve p; at; duration };
+    ]
+  | Plan.Duplicate_burst { p; at; duration } when duration > 2. || p > 0.15 ->
+    [
+      Plan.Duplicate_burst { p; at; duration = halve duration };
+      Plan.Duplicate_burst { p = halve p; at; duration };
+    ]
+  | Plan.Reorder_burst { jitter; at; duration } when duration > 2. || jitter > 1.
+    ->
+    [
+      Plan.Reorder_burst { jitter; at; duration = halve duration };
+      Plan.Reorder_burst { jitter = halve jitter; at; duration };
+    ]
+  | _ -> []
+
+let replace_nth ops i op = List.mapi (fun j o -> if j = i then op else o) ops
+
+let minimize ~fails (plan : Plan.t) =
+  match fails plan with
+  | None -> None
+  | Some what ->
+    let best = ref plan in
+    let best_what = ref what in
+    (* Deletion to a fixpoint: restart the scan after every success so
+       the result is 1-minimal. *)
+    let rec delete () =
+      let ops = !best.Plan.ops in
+      let n = List.length ops in
+      let rec scan i =
+        if i >= n then ()
+        else
+          let candidate = { !best with Plan.ops = drop_nth ops i } in
+          match fails candidate with
+          | Some w ->
+            best := candidate;
+            best_what := w;
+            delete ()
+          | None -> scan (i + 1)
+      in
+      scan 0
+    in
+    delete ();
+    (* Weakening passes over the surviving ops, bounded because every
+       accepted weakening strictly shrinks a component. *)
+    let progress = ref true in
+    let rounds = ref 0 in
+    while !progress && !rounds < 16 do
+      progress := false;
+      incr rounds;
+      List.iteri
+        (fun i op ->
+          List.iter
+            (fun weaker ->
+              if not !progress then
+                let candidate =
+                  { !best with Plan.ops = replace_nth !best.Plan.ops i weaker }
+                in
+                match fails candidate with
+                | Some w ->
+                  best := candidate;
+                  best_what := w;
+                  progress := true
+                | None -> ())
+            (weaken op))
+        !best.Plan.ops
+    done;
+    Some (!best, !best_what)

@@ -1,0 +1,13 @@
+(** Greedy counterexample shrinking for fault plans.
+
+    [minimize ~fails plan] returns [None] when [fails plan] is [None]
+    (nothing to shrink), otherwise the smallest failing plan found and
+    its failure description.  [fails] must be deterministic — plans carry
+    their run seed, so re-running a candidate is exact replay.
+
+    The search first deletes ops to a fixpoint (the result is 1-minimal:
+    removing any single remaining op loses the failure), then weakens the
+    survivors (shorter windows, lower probabilities, smaller jitter)
+    while the failure persists. *)
+val minimize :
+  fails:(Plan.t -> string option) -> Plan.t -> (Plan.t * string) option

@@ -154,7 +154,8 @@ let check_ps_action st ~seq ~node = function
         node txn;
     s.applies <- (node, seq, commit) :: s.applies
   | Ps.Begin_work _ | Ps.Exec _ | Ps.Eval _ | Ps.Check_read_only _ | Ps.Forget _
-  | Ps.Install _ | Ps.Wait_open _ | Ps.Wait_close _ | Ps.Mark _ -> ()
+  | Ps.Install _ | Ps.Wait_open _ | Ps.Wait_close _ | Ps.Arm_inquiry _
+  | Ps.Mark _ -> ()
 
 let note_tm_input st ~seq ~node (t : tm_state) = function
   | Tm.Deliver { src; msg } ->
@@ -191,7 +192,8 @@ let note_ps_input st ~seq = function
       let s = txn_stats st txn in
       if s.first_no_vote = None then s.first_no_vote <- Some seq
     end
-  | Ps.Exec_result _ | Ps.Read_only_result _ | Ps.Release _ -> ()
+  | Ps.Exec_result _ | Ps.Read_only_result _ | Ps.Release _
+  | Ps.Inquiry_fired _ | Ps.Recovered _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Record replay                                                       *)
@@ -224,7 +226,13 @@ let handle_create st ~seq ~node_name payload =
       or_fail ~seq "2PC variant"
         (Result.bind (Json.member "variant" payload) Codec.variant_of_json)
     in
-    let fresh () = Ps.create ~name:node_name ~variant () in
+    let inquiry_timeout =
+      (* Optional: journals from before the termination protocol lack it. *)
+      match Json.member "inquiry_timeout" payload with
+      | Ok j -> ( match Json.to_float j with Ok f -> f | Error _ -> 0.)
+      | Error _ -> 0.
+    in
+    let fresh () = Ps.create ~name:node_name ~variant ~inquiry_timeout () in
     (match Hashtbl.find_opt st.nodes node_name with
     | None ->
       Hashtbl.add st.nodes node_name

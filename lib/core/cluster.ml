@@ -30,7 +30,8 @@ type t = {
 let master_name = "master"
 
 let create ?(seed = 1L) ?(latency = Latency.lan) ?ocsp_latency ?(cas = [])
-    ?(context_facts = []) ?domain_of ?variant ?proof_cache ~servers ~domains () =
+    ?(context_facts = []) ?domain_of ?variant ?proof_cache ?dedup
+    ?inquiry_timeout ~servers ~domains () =
   if servers = [] then invalid_arg "Cluster.create: no servers";
   if domains = [] then invalid_arg "Cluster.create: no domains";
   let domain_of =
@@ -84,7 +85,7 @@ let create ?(seed = 1L) ?(latency = Latency.lan) ?ocsp_latency ?(cas = [])
           admins;
         let participant =
           Participant.create ~transport ~server ~env ~domain_of ?variant
-            ?ocsp_delay ?proof_cache ()
+            ?ocsp_delay ?proof_cache ?dedup ?inquiry_timeout ()
         in
         (spec.s_name, participant))
       servers

@@ -35,7 +35,10 @@ type t
       messaging).
     - [context_facts]: session/environment facts visible to every proof
       (mutable via {!set_context}).
-    - [seed]/[latency]: simulation determinism and network regime. *)
+    - [seed]/[latency]: simulation determinism and network regime.
+    - [dedup]/[inquiry_timeout]: forwarded to every
+      {!Participant.create} — idempotent delivery (default on) and the
+      termination-protocol timer (default disabled). *)
 val create :
   ?seed:int64 ->
   ?latency:Cloudtx_sim.Latency.t ->
@@ -45,6 +48,8 @@ val create :
   ?domain_of:(string -> string) ->
   ?variant:Cloudtx_txn.Tpc.variant ->
   ?proof_cache:bool ->
+  ?dedup:bool ->
+  ?inquiry_timeout:float ->
   servers:server_spec list ->
   domains:(string * Cloudtx_policy.Rule.t list) list ->
   unit ->

@@ -33,9 +33,20 @@ let config = Tm.config
 type driver = {
   cluster : Cluster.t;
   machine : Tm.t;
+  cfg : Tm.config;
   name : string;
   txn_id : string;
   on_done : Outcome.t -> unit;
+  dedup : bool;
+  seen : (int, unit) Hashtbl.t; (* delivered wire seqs, for idempotence *)
+  mutable machine_dead : bool;
+      (* set by [crash]: volatile machine state is gone; pre-crash timers
+         that fire later must not touch it *)
+  mutable durable : (bool * Outcome.reason * string list) option;
+      (* the force-logged decision record: (commit, reason, undelivered
+         participants).  Survives a crash — [restart] re-drives the
+         decision phase from it; [None] means presumed abort. *)
+  mutable finished : bool; (* outcome delivered to [on_done]? *)
   (* Observability registers: span ids are immediate ints (Tracer.no_span
      when tracing is off); the float timestamps are only written when the
      registry is live, keeping the disabled path allocation-free. *)
@@ -126,6 +137,9 @@ let perform_obs d (o : Tm.obs) =
     end
 
 let finish d (cfg : config) ~committed ~reason ~commit_rounds =
+  if d.finished then ()
+  else begin
+  d.finished <- true;
   let txn_id = d.txn_id in
   let counters = Transport.counters (transport d) in
   let reg = registry d in
@@ -164,6 +178,7 @@ let finish d (cfg : config) ~committed ~reason ~commit_rounds =
     }
   in
   d.on_done outcome
+  end
 
 let rec perform d (cfg : config) (a : Tm.action) =
   match a with
@@ -171,10 +186,18 @@ let rec perform d (cfg : config) (a : Tm.action) =
     Transport.send (transport d) ~src:d.name ~dst msg
   | Tm.Arm_watchdog { epoch; delay } ->
     Transport.at (transport d) ~delay (fun () ->
-        dispatch d cfg (Tm.Watchdog_fired { epoch }))
+        if not d.machine_dead then dispatch d cfg (Tm.Watchdog_fired { epoch }))
   | Tm.Arm_retry { delay } ->
-    Transport.at (transport d) ~delay (fun () -> dispatch d cfg Tm.Retry_fired)
+    Transport.at (transport d) ~delay (fun () ->
+        if not d.machine_dead then dispatch d cfg Tm.Retry_fired)
   | Tm.Force_log ->
+    (* The decision record is now durable: remember it driver-side so a
+       crashed coordinator's [restart] can re-drive the decision phase. *)
+    (match Tm.decision d.machine with
+    | Some commit ->
+      d.durable <-
+        Some (commit, Tm.reason d.machine, Tm.decision_targets d.machine)
+    | None -> ());
     Counter.incr (Transport.counters (transport d)) "log_force:tm";
     if Registry.enabled (registry d) then
       Registry.incr (registry d) "log_force_total" [ ("site", "tm") ]
@@ -198,7 +221,11 @@ and dispatch d cfg input =
   end
   else List.iter (perform d cfg) (Tm.handle d.machine input)
 
-let submit ?ts cluster (cfg : config) txn ~on_done =
+type handle = driver
+
+let txn_id d = d.txn_id
+
+let submit_handle ?ts ?(dedup = true) cluster (cfg : config) txn ~on_done =
   if txn.Transaction.queries = [] then
     invalid_arg "Manager.submit: transaction has no queries";
   let name = "tm-" ^ txn.Transaction.id in
@@ -209,9 +236,15 @@ let submit ?ts cluster (cfg : config) txn ~on_done =
     {
       cluster;
       machine;
+      cfg;
       name;
       txn_id = txn.Transaction.id;
       on_done;
+      dedup;
+      seen = Hashtbl.create 32;
+      machine_dead = false;
+      durable = None;
+      finished = false;
       txn_span = Tracer.no_span;
       query_span = Tracer.no_span;
       round_span = Tracer.no_span;
@@ -220,8 +253,14 @@ let submit ?ts cluster (cfg : config) txn ~on_done =
       decided_at = Float.nan;
     }
   in
-  Transport.register transport name (fun ~src msg ->
-      dispatch d cfg (Tm.Deliver { src; msg }));
+  Transport.register_seq transport name (fun ~src ~seq msg ->
+      if d.machine_dead then ()
+      else if d.dedup && Hashtbl.mem d.seen seq then
+        Transport.mark transport ~node:name ("dedup:" ^ Message.label msg)
+      else begin
+        if d.dedup then Hashtbl.replace d.seen seq ();
+        dispatch d cfg (Tm.Deliver { src; msg })
+      end);
   Transport.mark transport ~node:name "txn_start";
   let tr = Transport.tracer transport in
   if Tracer.enabled tr then begin
@@ -245,7 +284,77 @@ let submit ?ts cluster (cfg : config) txn ~on_done =
               ]));
     journal_actions j ~node:name actions
   end;
-  List.iter (perform d cfg) actions
+  List.iter (perform d cfg) actions;
+  d
+
+let submit ?ts cluster cfg txn ~on_done =
+  ignore (submit_handle ?ts cluster cfg txn ~on_done : handle)
+
+let crash d =
+  d.machine_dead <- true;
+  Transport.crash (transport d) d.name;
+  Transport.mark (transport d) ~node:d.name "crash"
+
+(* Retransmission attempts before the coordinator stops pushing and relies
+   on participant [Inquiry] pulls (their timers re-trigger independently),
+   keeping a simulation with a permanently dead participant finite. *)
+let max_decision_retries = 25
+
+let restart d =
+  let transport = transport d in
+  Transport.recover transport d.name;
+  Transport.unregister transport d.name;
+  Transport.mark transport ~node:d.name "recover";
+  match d.durable with
+  | Some (commit, reason, targets) ->
+    (* Decision survived in the forced log: re-drive the decision phase
+       at-least-once, answering Inquiry pulls, until every participant
+       still owed the decision has acknowledged it. *)
+    let pending = Hashtbl.create 8 in
+    List.iter (fun p -> Hashtbl.replace pending p ()) targets;
+    let decision = Message.Decision { txn = d.txn_id; commit } in
+    let deliver_outcome () =
+      finish d d.cfg ~committed:commit ~reason
+        ~commit_rounds:(Tm.commit_rounds d.machine)
+    in
+    Transport.register transport d.name (fun ~src msg ->
+        match msg with
+        | Message.Decision_ack { txn } when String.equal txn d.txn_id ->
+          Hashtbl.remove pending src;
+          if Hashtbl.length pending = 0 then deliver_outcome ()
+        | Message.Inquiry { txn } when String.equal txn d.txn_id ->
+          Transport.send transport ~src:d.name ~dst:src decision
+        | _ -> ());
+    let resend () =
+      Hashtbl.iter
+        (fun p () -> Transport.send transport ~src:d.name ~dst:p decision)
+        pending
+    in
+    let retry = if d.cfg.decision_retry > 0. then d.cfg.decision_retry else 1. in
+    let rec rearm attempts =
+      Transport.at transport ~delay:retry (fun () ->
+          if Hashtbl.length pending > 0 then begin
+            resend ();
+            if attempts < max_decision_retries then rearm (attempts + 1)
+          end)
+    in
+    if Hashtbl.length pending = 0 then deliver_outcome ()
+    else begin
+      resend ();
+      rearm 1
+    end
+  | None ->
+    (* No durable decision record: Section V's presumed abort.  Answer
+       any in-doubt participant's Inquiry with ABORT; the outcome is
+       known now. *)
+    Transport.register transport d.name (fun ~src msg ->
+        match msg with
+        | Message.Inquiry { txn } when String.equal txn d.txn_id ->
+          Transport.send transport ~src:d.name ~dst:src
+            (Message.Decision { txn = d.txn_id; commit = false })
+        | _ -> ());
+    finish d d.cfg ~committed:false ~reason:Outcome.Coordinator_crash
+      ~commit_rounds:0
 
 let run_one cluster cfg txn =
   let result = ref None in

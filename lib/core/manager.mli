@@ -78,6 +78,38 @@ val submit :
   on_done:(Outcome.t -> unit) ->
   unit
 
+(** A submitted transaction's coordinator, for fault injection. *)
+type handle
+
+(** Like {!submit}, returning the coordinator handle.
+
+    [dedup] (default true) drops re-delivered wire messages on their
+    transport sequence number — the coordinator-side half of idempotent
+    delivery under duplication.  [false] is an escape hatch for chaos
+    tests demonstrating the failure mode. *)
+val submit_handle :
+  ?ts:float ->
+  ?dedup:bool ->
+  Cluster.t ->
+  config ->
+  Cloudtx_txn.Transaction.t ->
+  on_done:(Outcome.t -> unit) ->
+  handle
+
+val txn_id : handle -> string
+
+(** Fail-stop the coordinator: volatile machine state is lost and it stops
+    receiving; only the force-logged decision record (if any) survives. *)
+val crash : handle -> unit
+
+(** Restart a crashed coordinator.  With a durable decision record it
+    re-drives the decision phase: retransmits the decision at-least-once
+    until every owed participant acks, and answers [Inquiry] pulls.
+    Without one it presumes abort (Section V), answering inquiries with
+    ABORT and delivering an [on_done] outcome with reason
+    {!Outcome.Coordinator_crash}. *)
+val restart : handle -> unit
+
 (** [run_one cluster config txn] — submit, run to quiescence, return the
     outcome. Raises [Failure] if the simulation quiesced undecided (e.g. a
     participant is crashed). *)

@@ -41,6 +41,13 @@ type t = {
          first journaled step (and again after a crash reset). *)
   ocsp_delay : (unit -> float) option;
   proof_cache : (string, string list) Hashtbl.t option;
+  dedup : bool;
+  seen : (int, unit) Hashtbl.t;
+      (* wire seqs already delivered; duplicated or retransmitted copies
+         are dropped here, before journaling, so journals stay replayable.
+         Kept across crashes: the machine's [expected]-count NACK covers
+         the state actually lost. *)
+  inquiry_timeout : float;
   waits : (string, wait) Hashtbl.t; (* txn -> open lock.wait *)
   mutable releases : (string option * Lock_manager.release) list;
       (* lock releases queued during action interpretation, FIFO; drained
@@ -206,6 +213,7 @@ let rec dispatch t input =
                 [
                   ("kind", Cloudtx_policy.Json.String "ps");
                   ("variant", Codec.variant_to_json t.variant);
+                  ("inquiry_timeout", Cloudtx_policy.Json.Float t.inquiry_timeout);
                 ]))
     end;
     Journal.record j ~node:(name t) ~dir:"input"
@@ -300,11 +308,17 @@ and perform t (a : Ps.action) =
     Hashtbl.replace t.waits txn { w_span = span; w_blocked_at = now t }
   | Ps.Wait_close { txn; outcome; killed_by } ->
     settle_wait t ~txn ~outcome ~killed_by
+  | Ps.Arm_inquiry { txn; epoch; delay } ->
+    Transport.at t.transport ~delay (fun () ->
+        if not (Transport.crashed t.transport (name t)) then begin
+          dispatch t (Ps.Inquiry_fired { txn; epoch });
+          drain_releases t
+        end)
   | Ps.Mark label -> mark t label
 
 (* Feed queued lock releases back as machine inputs.  A retried execute
    cannot release locks, but draining in a loop keeps this robust. *)
-let drain_releases t =
+and drain_releases t =
   let rec loop () =
     match t.releases with
     | [] -> ()
@@ -321,24 +335,35 @@ let handle t ~src msg =
   drain_releases t
 
 let create ~transport ~server ~env ~domain_of ?(variant = Tpc.Basic) ?ocsp_delay
-    ?(proof_cache = false) () =
+    ?(proof_cache = false) ?(dedup = true) ?(inquiry_timeout = 0.) () =
   let t =
     {
       transport;
       server;
       env;
       domain_of;
-      machine = Ps.create ~name:(Server.name server) ~variant ();
+      machine =
+        Ps.create ~name:(Server.name server) ~variant ~inquiry_timeout ();
       variant;
       journaled = false;
       ocsp_delay;
       proof_cache = (if proof_cache then Some (Hashtbl.create 64) else None);
+      dedup;
+      seen = Hashtbl.create 64;
+      inquiry_timeout;
       waits = Hashtbl.create 8;
       releases = [];
     }
   in
-  Transport.register transport (Server.name server) (fun ~src msg ->
-      handle t ~src msg);
+  Transport.register_seq transport (Server.name server) (fun ~src ~seq msg ->
+      if t.dedup && Hashtbl.mem t.seen seq then begin
+        Counter.incr (Transport.counters transport) "dedup_dropped";
+        mark t ("dedup:" ^ Message.label msg)
+      end
+      else begin
+        if t.dedup then Hashtbl.replace t.seen seq ();
+        handle t ~src msg
+      end);
   (* Store-layer hooks read the transport's tracer/registry dynamically:
      the CLI enables observability after the cluster is built, and the
      enabled checks keep the default path allocation-free. *)
@@ -400,6 +425,34 @@ let recover t =
   Transport.recover t.transport (name t);
   let in_doubt = Server.recover t.server ~time:(now t) in
   mark t "recover";
-  List.iter
-    (fun txn -> send t ~dst:("tm-" ^ txn) (Message.Inquiry { txn }))
-    in_doubt
+  (* Re-seed the fresh machine's protocol memory from the recovered log:
+     decided transactions (so a retransmitted [Decision] is re-acked, not
+     re-applied) and the in-doubt ones with the integrity vote their
+     force-logged [Prepared] record carries. *)
+  let entries = Wal.entries (Server.wal t.server) in
+  let vote_of txn =
+    List.fold_left
+      (fun acc (e : Wal.entry) ->
+        match e.Wal.record with
+        | Wal.Prepared { txn = p; integrity_vote; _ } when String.equal p txn
+          ->
+          integrity_vote
+        | _ -> acc)
+      false entries
+  in
+  let decided =
+    List.fold_left
+      (fun acc (e : Wal.entry) ->
+        match e.Wal.record with
+        | Wal.Decision { txn; _ } when not (List.mem txn acc) -> txn :: acc
+        | _ -> acc)
+      [] entries
+    |> List.rev
+  in
+  dispatch t
+    (Ps.Recovered
+       {
+         decided;
+         in_doubt = List.map (fun txn -> (txn, vote_of txn)) in_doubt;
+       });
+  drain_releases t

@@ -29,7 +29,18 @@ type t
     checking credential status: each proof evaluation defers the
     participant's reply by one sampled delay per CA-issued credential it
     had to check (the responses still arrive in order per sender pair).
-    Default: status checks are free, which is what Table I prices. *)
+    Default: status checks are free, which is what Table I prices.
+
+    [dedup] (default true) drops re-delivered wire messages on their
+    transport sequence number, making delivery idempotent under message
+    duplication and at-least-once decision retransmission.  The [false]
+    escape hatch exists for chaos tests that need to demonstrate the
+    failure mode dedup prevents.
+
+    [inquiry_timeout] > 0 arms the termination protocol: a transaction
+    silent for that long makes a prepared participant send [Inquiry] to
+    its coordinator, and an unprepared one abort unilaterally.  Default 0
+    (disabled — the paper's reliable-coordinator assumption). *)
 val create :
   transport:Message.t Transport.t ->
   server:Cloudtx_store.Server.t ->
@@ -38,6 +49,8 @@ val create :
   ?variant:Cloudtx_txn.Tpc.variant ->
   ?ocsp_delay:(unit -> float) ->
   ?proof_cache:bool ->
+  ?dedup:bool ->
+  ?inquiry_timeout:float ->
   unit ->
   t
 
@@ -52,5 +65,6 @@ val queries_of : t -> txn:string -> Cloudtx_txn.Query.t list
 val crash : t -> unit
 
 (** Restart after a crash: replays the WAL, re-locks in-doubt
-    transactions' writes and sends an [Inquiry] to each of their TMs. *)
+    transactions' writes, re-seeds the protocol machine's decided-set and
+    in-doubt votes, and sends an [Inquiry] to each in-doubt TM. *)
 val recover : t -> unit

@@ -1,4 +1,4 @@
-let format_version = 1
+let format_version = 2
 
 type t = {
   live : bool;

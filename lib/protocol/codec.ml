@@ -14,7 +14,7 @@ module Value = Cloudtx_store.Value
 module Lock_manager = Cloudtx_store.Lock_manager
 open Json
 
-let version = 1
+let version = 2
 let to_string = Json.to_string
 let map_result = Pcodec.map_result
 
@@ -293,13 +293,15 @@ let message_to_json = function
         ("proofs", proofs_to_json proofs);
         ("policies", policies_to_json policies);
       ]
-  | Message.Commit_request { txn; round; validate; allow_read_only } ->
+  | Message.Commit_request { txn; round; validate; allow_read_only; expected }
+    ->
     tag "commit-request"
       [
         ("txn", String txn);
         ("round", Int round);
         ("validate", Bool validate);
         ("allow_read_only", Bool allow_read_only);
+        ("expected", Int expected);
       ]
   | Message.Commit_reply { txn; round; integrity; read_only; proofs; policies } ->
     tag "commit-reply"
@@ -367,7 +369,8 @@ let message_of_json j =
     let* round = round () in
     let* validate = Result.bind (member "validate" j) to_bool in
     let* allow_read_only = Result.bind (member "allow_read_only" j) to_bool in
-    Ok (Message.Commit_request { txn; round; validate; allow_read_only })
+    let* expected = Result.bind (member "expected" j) to_int in
+    Ok (Message.Commit_request { txn; round; validate; allow_read_only; expected })
   | "commit-reply" ->
     let* txn = txn () in
     let* round = round () in
@@ -492,6 +495,7 @@ let reason_of_json j =
   | "wait-die" -> Ok Outcome.Wait_die
   | "rounds-exhausted" -> Ok Outcome.Rounds_exhausted
   | "timed-out" -> Ok Outcome.Timed_out
+  | "coordinator-crash" -> Ok Outcome.Coordinator_crash
   | other -> Error (Printf.sprintf "outcome reason %S unknown" other)
 
 (* ------------------------------------------------------------------ *)
@@ -797,6 +801,19 @@ let ps_input_to_json = function
         ("by", opt_to_json (fun s -> String s) by);
         ("release", release_to_json release);
       ]
+  | Ps_machine.Inquiry_fired { txn; epoch } ->
+    tag "inquiry-fired" [ ("txn", String txn); ("epoch", Int epoch) ]
+  | Ps_machine.Recovered { decided; in_doubt } ->
+    tag "recovered"
+      [
+        ("decided", str_list_to_json decided);
+        ( "in_doubt",
+          List
+            (List.map
+               (fun (txn, vote) ->
+                 Obj [ ("txn", String txn); ("vote", Bool vote) ])
+               in_doubt) );
+      ]
 
 let ps_input_of_json j =
   let* t = tag_of j in
@@ -833,6 +850,22 @@ let ps_input_of_json j =
     let* by = opt_field j "by" to_str in
     let* release = Result.bind (member "release" j) release_of_json in
     Ok (Ps_machine.Release { by; release })
+  | "inquiry-fired" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* epoch = Result.bind (member "epoch" j) to_int in
+    Ok (Ps_machine.Inquiry_fired { txn; epoch })
+  | "recovered" ->
+    let* decided = Result.bind (member "decided" j) str_list_of_json in
+    let* in_doubt = Result.bind (member "in_doubt" j) to_list in
+    let* in_doubt =
+      map_result
+        (fun entry ->
+          let* txn = Result.bind (member "txn" entry) to_str in
+          let* vote = Result.bind (member "vote" entry) to_bool in
+          Ok (txn, vote))
+        in_doubt
+    in
+    Ok (Ps_machine.Recovered { decided; in_doubt })
   | other -> Error (Printf.sprintf "PS input tag %S unknown" other)
 
 let ps_action_to_json = function
@@ -894,6 +927,9 @@ let ps_action_to_json = function
         ("outcome", String outcome);
         ("killed_by", opt_to_json (fun s -> String s) killed_by);
       ]
+  | Ps_machine.Arm_inquiry { txn; epoch; delay } ->
+    tag "arm-inquiry"
+      [ ("txn", String txn); ("epoch", Int epoch); ("delay", Float delay) ]
   | Ps_machine.Mark label -> tag "mark" [ ("label", String label) ]
 
 let ps_action_of_json j =
@@ -962,6 +998,11 @@ let ps_action_of_json j =
     let* outcome = Result.bind (member "outcome" j) to_str in
     let* killed_by = opt_field j "killed_by" to_str in
     Ok (Ps_machine.Wait_close { txn; outcome; killed_by })
+  | "arm-inquiry" ->
+    let* txn = Result.bind (member "txn" j) to_str in
+    let* epoch = Result.bind (member "epoch" j) to_int in
+    let* delay = Result.bind (member "delay" j) to_float in
+    Ok (Ps_machine.Arm_inquiry { txn; epoch; delay })
   | "mark" ->
     let* label = Result.bind (member "label" j) to_str in
     Ok (Ps_machine.Mark label)

@@ -34,6 +34,11 @@ type t =
       round : int;
       validate : bool;
       allow_read_only : bool;
+      expected : int;
+          (** Queries the TM sent to this participant: a participant whose
+              workspace holds fewer (it crashed mid-transaction and lost
+              the rest) must vote NO rather than prepare a partial write
+              set. *)
     }
   | Commit_reply of {
       txn : string;

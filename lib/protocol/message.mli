@@ -50,6 +50,11 @@ type t =
           (** Offer the read-only fast path (only meaningful when
               [validate = false]; a validating 2PVC may need to re-poll
               the participant in update rounds). *)
+      expected : int;
+          (** Queries the TM sent to this participant: a participant whose
+              workspace holds fewer (it crashed mid-transaction and lost
+              the rest) must vote NO rather than prepare a partial write
+              set. *)
     }
       (** 2PVC "Prepare-to-Commit"; [validate = false] degenerates to
           plain 2PC preparation. *)

@@ -6,6 +6,7 @@ type reason =
   | Wait_die
   | Rounds_exhausted
   | Timed_out
+  | Coordinator_crash
 
 let reason_name = function
   | Committed -> "committed"
@@ -15,6 +16,7 @@ let reason_name = function
   | Wait_die -> "wait-die"
   | Rounds_exhausted -> "rounds-exhausted"
   | Timed_out -> "timed-out"
+  | Coordinator_crash -> "coordinator-crash"
 
 let pp_reason ppf r = Format.fprintf ppf "%s" (reason_name r)
 

@@ -9,6 +9,9 @@ type reason =
   | Wait_die  (** Lock-manager victim; would be restarted in production. *)
   | Rounds_exhausted  (** Validation never converged within the bound. *)
   | Timed_out  (** A voting round went unanswered (participant failure). *)
+  | Coordinator_crash
+      (** The coordinator crashed before logging a decision; its restart
+          presumes abort (Section V's Presumed Abort discipline). *)
 
 val reason_name : reason -> string
 val pp_reason : Format.formatter -> reason -> unit

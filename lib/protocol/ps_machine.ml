@@ -62,6 +62,10 @@ type action =
   | Install of { policies : Policy.t list; announce : bool }
   | Wait_open of { txn : string; query_id : string }
   | Wait_close of { txn : string; outcome : string; killed_by : string option }
+  | Arm_inquiry of { txn : string; epoch : int; delay : float }
+      (** Start a timer; deliver {!input.Inquiry_fired} with this epoch when
+          it fires.  Any later activity on the transaction re-arms with a
+          higher epoch, so only a quiet period triggers the inquiry. *)
   | Mark of string
 
 type input =
@@ -88,6 +92,15 @@ type input =
       integrity_ok : bool;
     }
   | Release of { by : string option; release : Lock_manager.release }
+  | Inquiry_fired of { txn : string; epoch : int }
+  | Recovered of {
+      decided : string list;
+          (** Transactions whose decision record survived in the WAL. *)
+      in_doubt : (string * bool) list;
+          (** Prepared-but-undecided transactions with their recorded
+              integrity vote; the machine re-seeds a minimal state and
+              runs the paper's Inquiry termination protocol. *)
+    }
 
 type pending = { p_query : Query.t; p_evaluate : bool; p_reply_to : string }
 
@@ -106,17 +119,30 @@ type txn_state = {
   mutable integrity : bool option; (* the vote, once prepared *)
   mutable pending : pending option;
   mutable after_prepare : after_prepare option;
+  mutable inq_epoch : int; (* guards stale inquiry timers *)
 }
 
 type t = {
   name : string;
   variant : Tpc.variant;
+  inquiry_timeout : float;
   txns : (string, txn_state) Hashtbl.t;
+  decided : (string, unit) Hashtbl.t;
+      (* volatile memory of settled transactions, so re-delivered decisions
+         are re-acked without re-applying; wiped by [Crashed], re-seeded
+         from the WAL by [Recovered] *)
   mutable out : action list; (* reversed accumulator for the current step *)
 }
 
-let create ~name ?(variant = Tpc.Basic) () =
-  { name; variant; txns = Hashtbl.create 16; out = [] }
+let create ~name ?(variant = Tpc.Basic) ?(inquiry_timeout = 0.) () =
+  {
+    name;
+    variant;
+    inquiry_timeout;
+    txns = Hashtbl.create 16;
+    decided = Hashtbl.create 16;
+    out = [];
+  }
 
 let name t = t.name
 
@@ -125,10 +151,20 @@ let queries_of t ~txn =
   | Some st -> st.queries
   | None -> []
 
-let reset t = Hashtbl.reset t.txns
+let reset t =
+  Hashtbl.reset t.txns;
+  Hashtbl.reset t.decided
 
 let emit t a = t.out <- a :: t.out
 let mark t label = emit t (Mark label)
+
+(* Any activity on a live transaction pushes its inquiry deadline out; the
+   timer only fires after [inquiry_timeout] of silence. *)
+let touch t st ~txn =
+  if t.inquiry_timeout > 0. then begin
+    st.inq_epoch <- st.inq_epoch + 1;
+    emit t (Arm_inquiry { txn; epoch = st.inq_epoch; delay = t.inquiry_timeout })
+  end
 
 let send t ~st ~after_proofs ~dst msg =
   emit t
@@ -153,6 +189,7 @@ let state t ~txn ~ts ~subject ~credentials =
         integrity = None;
         pending = None;
         after_prepare = None;
+        inq_epoch = 0;
       }
     in
     Hashtbl.add t.txns txn st;
@@ -323,24 +360,69 @@ let dispatch t ~src msg =
   match msg with
   | Message.Execute { txn; ts; query; subject; credentials; evaluate_proof; snapshot }
     ->
-    mark t (Printf.sprintf "query_start:%s:%s" txn query.Query.id);
-    let st = state t ~txn ~ts ~subject ~credentials in
-    (* The MVCC fast path never blocks; lock-based execution reports its
-       outcome back as an {!input.Exec_result}. *)
-    let snapshot = snapshot && query.Query.writes = [] in
-    emit t
-      (Exec { txn; ts = st.ts; query; evaluate = evaluate_proof; reply_to = src; snapshot })
+    if Hashtbl.mem t.decided txn then
+      (* Re-delivered query for a transaction this node already settled
+         (e.g. unilaterally aborted): don't resurrect a workspace. *)
+      mark t (Printf.sprintf "stale:execute:%s" txn)
+    else begin
+      mark t (Printf.sprintf "query_start:%s:%s" txn query.Query.id);
+      let st = state t ~txn ~ts ~subject ~credentials in
+      touch t st ~txn;
+      (* The MVCC fast path never blocks; lock-based execution reports its
+         outcome back as an {!input.Exec_result}. *)
+      let snapshot = snapshot && query.Query.writes = [] in
+      emit t
+        (Exec { txn; ts = st.ts; query; evaluate = evaluate_proof; reply_to = src; snapshot })
+    end
   | Message.Validate_request { txn; round } -> (
     match Hashtbl.find_opt t.txns txn with
-    | None -> invalid_arg (Printf.sprintf "%s: validate for unknown %s" t.name txn)
+    | None ->
+      (* Unknown (crashed away, or settled): stay silent, the TM's vote
+         timeout owns this round. *)
+      mark t (Printf.sprintf "stale:validate-request:%s" txn)
     | Some st ->
+      touch t st ~txn;
       eval t ~txn st ~queries:st.queries ~with_proofs:true ~with_policies:true
         (To_validate_reply { reply_to = src; round }))
-  | Message.Commit_request { txn; round; validate; allow_read_only } -> (
+  | Message.Commit_request { txn; round; validate; allow_read_only; expected }
+    -> (
     match Hashtbl.find_opt t.txns txn with
-    | None -> invalid_arg (Printf.sprintf "%s: commit for unknown %s" t.name txn)
+    | None ->
+      (* No workspace here: this node cannot prepare, so vote NO rather
+         than stay silent — the coordinator decides without waiting for
+         its timeout. *)
+      mark t (Printf.sprintf "no_workspace:%s" txn);
+      send t ~st:None ~after_proofs:0 ~dst:src
+        (Message.Commit_reply
+           {
+             txn;
+             round;
+             integrity = false;
+             read_only = false;
+             proofs = [];
+             policies = [];
+           })
     | Some st ->
-      if allow_read_only && not validate then
+      touch t st ~txn;
+      if st.integrity = None && List.length st.queries <> expected then begin
+        (* Partial workspace: a crash wiped some of this transaction's
+           queries and later re-deliveries rebuilt only a subset.
+           Preparing would silently commit a partial write set. *)
+        mark t
+          (Printf.sprintf "partial_workspace:%s:%d/%d" txn
+             (List.length st.queries) expected);
+        send t ~st:(Some st) ~after_proofs:0 ~dst:src
+          (Message.Commit_reply
+             {
+               txn;
+               round;
+               integrity = false;
+               read_only = false;
+               proofs = [];
+               policies = [];
+             })
+      end
+      else if allow_read_only && not validate then
         emit t (Check_read_only { txn; reply_to = src; round })
       else
         (* Without validation: no re-evaluation, but still report the
@@ -351,21 +433,37 @@ let dispatch t ~src msg =
   | Message.Policy_update { txn; round; policies; reply_with } -> (
     emit t (Install { policies; announce = false });
     match Hashtbl.find_opt t.txns txn with
-    | None -> invalid_arg (Printf.sprintf "%s: update for unknown %s" t.name txn)
+    | None -> mark t (Printf.sprintf "stale:policy-update:%s" txn)
     | Some st ->
+      touch t st ~txn;
       eval t ~txn st ~queries:st.queries ~with_proofs:true ~with_policies:true
         (To_update_reply { reply_to = src; round; reply_with }))
   | Message.Decision { txn; commit } ->
-    let forced =
-      match (t.variant, commit) with
-      | Tpc.Basic, _ -> true
-      | Tpc.Presumed_abort, commit -> commit
-      | Tpc.Presumed_commit, commit -> not commit
-    in
-    if forced then mark t (Printf.sprintf "log_force:decision:%s" txn);
-    emit t (Apply { txn; commit; forced });
-    Hashtbl.remove t.txns txn;
-    send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn })
+    if Hashtbl.mem t.txns txn then begin
+      let forced =
+        match (t.variant, commit) with
+        | Tpc.Basic, _ -> true
+        | Tpc.Presumed_abort, commit -> commit
+        | Tpc.Presumed_commit, commit -> not commit
+      in
+      if forced then mark t (Printf.sprintf "log_force:decision:%s" txn);
+      emit t (Apply { txn; commit; forced });
+      Hashtbl.remove t.txns txn;
+      Hashtbl.replace t.decided txn ();
+      send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn })
+    end
+    else begin
+      (* Already applied (retransmission or duplicate), or no trace at all
+         (an abort for a transaction the crash already erased).  Either
+         way the ack — not a second apply — is what at-least-once delivery
+         needs. *)
+      mark t
+        (Printf.sprintf "%s:%s"
+           (if Hashtbl.mem t.decided txn then "dup:decision" else
+              "decision:no-trace")
+           txn);
+      send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn })
+    end
   | Message.Propagate_policy { policy } ->
     emit t (Install { policies = [ policy ]; announce = true })
   | Message.Execute_reply _ | Message.Validate_reply _ | Message.Commit_reply _
@@ -380,6 +478,62 @@ let step t f =
   t.out <- [];
   actions
 
+(* Fire only if the transaction is still live and nothing touched it since
+   the timer was armed.  A prepared (in-doubt) participant probes the
+   coordinator; one that never voted may abort unilaterally — it has made
+   no promise, and a later [Commit_request] will find no workspace and
+   vote NO. *)
+let on_inquiry_fired t ~txn ~epoch =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st ->
+    if st.inq_epoch = epoch then begin
+      match st.integrity with
+      | Some _ ->
+        mark t (Printf.sprintf "inquiry:%s" txn);
+        send t ~st:(Some st) ~after_proofs:0 ~dst:("tm-" ^ txn)
+          (Message.Inquiry { txn });
+        touch t st ~txn
+      | None ->
+        (match st.pending with
+        | Some _ ->
+          st.pending <- None;
+          emit t (Wait_close { txn; outcome = "abort"; killed_by = None })
+        | None -> ());
+        mark t (Printf.sprintf "unilateral_abort:%s" txn);
+        emit t (Apply { txn; commit = false; forced = false });
+        Hashtbl.remove t.txns txn;
+        Hashtbl.replace t.decided txn ()
+    end
+
+let on_recovered t ~decided ~in_doubt =
+  List.iter (fun txn -> Hashtbl.replace t.decided txn ()) decided;
+  List.iter
+    (fun (txn, vote) ->
+      if not (Hashtbl.mem t.txns txn) then begin
+        (* Minimal re-seeded state: the driver rebuilt the workspace from
+           the WAL's prepared record; subject/credentials are gone but no
+           further proof evaluation happens past prepare. *)
+        let st =
+          {
+            ts = 0.;
+            subject = "";
+            credentials = [];
+            queries = [];
+            integrity = Some vote;
+            pending = None;
+            after_prepare = None;
+            inq_epoch = 0;
+          }
+        in
+        Hashtbl.add t.txns txn st;
+        mark t (Printf.sprintf "in_doubt:%s" txn);
+        send t ~st:(Some st) ~after_proofs:0 ~dst:("tm-" ^ txn)
+          (Message.Inquiry { txn });
+        touch t st ~txn
+      end)
+    in_doubt
+
 let handle t input =
   step t (fun t ->
       match input with
@@ -387,17 +541,29 @@ let handle t input =
       | Exec_result { txn; query; evaluate; reply_to; result } -> (
         match Hashtbl.find_opt t.txns txn with
         | None ->
-          invalid_arg (Printf.sprintf "%s: exec result for unknown %s" t.name txn)
-        | Some st -> on_exec_result t ~txn ~query ~evaluate ~reply_to st result)
-      | Evaluated { txn; proofs; policies; cont } ->
-        on_evaluated t ~txn ~proofs ~policies cont
-      | Prepared { txn; vote } -> on_prepared t ~txn ~vote
+          (* The transaction settled (unilateral abort, decision) while
+             this execution was in flight. *)
+          mark t (Printf.sprintf "stale:exec-result:%s" txn)
+        | Some st ->
+          touch t st ~txn;
+          on_exec_result t ~txn ~query ~evaluate ~reply_to st result)
+      | Evaluated { txn; proofs; policies; cont } -> (
+        match Hashtbl.find_opt t.txns txn with
+        | None -> mark t (Printf.sprintf "stale:evaluated:%s" txn)
+        | Some st ->
+          touch t st ~txn;
+          on_evaluated t ~txn ~proofs ~policies cont)
+      | Prepared { txn; vote } -> (
+        match Hashtbl.find_opt t.txns txn with
+        | None -> mark t (Printf.sprintf "stale:prepared:%s" txn)
+        | Some st ->
+          touch t st ~txn;
+          on_prepared t ~txn ~vote)
       | Read_only_result { txn; reply_to; round; read_only; integrity_ok } -> (
         match Hashtbl.find_opt t.txns txn with
-        | None ->
-          invalid_arg
-            (Printf.sprintf "%s: read-only result for unknown %s" t.name txn)
+        | None -> mark t (Printf.sprintf "stale:read-only-result:%s" txn)
         | Some st ->
+          touch t st ~txn;
           if read_only then
             eval t ~txn st ~queries:st.queries ~with_proofs:false
               ~with_policies:true
@@ -406,4 +572,6 @@ let handle t input =
             eval t ~txn st ~queries:st.queries ~with_proofs:false
               ~with_policies:true
               (To_commit_reply { reply_to; round }))
-      | Release { by; release } -> on_release t ~by release)
+      | Release { by; release } -> on_release t ~by release
+      | Inquiry_fired { txn; epoch } -> on_inquiry_fired t ~txn ~epoch
+      | Recovered { decided; in_doubt } -> on_recovered t ~decided ~in_doubt)

@@ -90,10 +90,15 @@ type action =
   | Wait_open of { txn : string; query_id : string }
       (** The transaction parked on a lock: open its [lock.wait] span. *)
   | Wait_close of { txn : string; outcome : string; killed_by : string option }
-      (** The park resolved ([outcome] = ["granted"] | ["die"];
+      (** The park resolved ([outcome] = ["granted"] | ["die"] | ["abort"];
           [killed_by] is the transaction whose release triggered a
           wait-die kill — drivers link the victim's [lock.wait] span to
           the killer's [txn] span with it). *)
+  | Arm_inquiry of { txn : string; epoch : int; delay : float }
+      (** Start a timer; deliver {!input.Inquiry_fired} with this epoch
+          when it fires.  Any later activity on the transaction re-arms
+          with a higher epoch (stale epochs are ignored), so the inquiry
+          only triggers after [delay] of coordinator silence. *)
   | Mark of string
 
 type input =
@@ -123,13 +128,30 @@ type input =
       by : string option;
       release : Cloudtx_store.Lock_manager.release;
     }
+  | Inquiry_fired of { txn : string; epoch : int }
+      (** An {!action.Arm_inquiry} timer fired.  If the transaction is
+          still live and untouched since: a prepared participant sends the
+          paper's [Inquiry] to its coordinator (and re-arms); one that
+          never voted aborts unilaterally — it made no promise, and a
+          later [Commit_request] will find no workspace and vote NO. *)
+  | Recovered of { decided : string list; in_doubt : (string * bool) list }
+      (** Restart: re-seed the decided-transaction memory and the in-doubt
+          transactions (with their WAL-recorded integrity votes) from the
+          recovered log; sends an [Inquiry] per in-doubt transaction. *)
 
 type t
 
 (** [create ~name ()] — [name] is the server's node name; [variant]
     selects the decision-logging discipline (default
-    {!Cloudtx_txn.Tpc.Basic}). *)
-val create : name:string -> ?variant:Cloudtx_txn.Tpc.variant -> unit -> t
+    {!Cloudtx_txn.Tpc.Basic}); [inquiry_timeout] > 0 arms a per-transaction
+    inactivity timer driving the termination protocol (default 0:
+    disabled, the paper's reliable-coordinator assumption). *)
+val create :
+  name:string ->
+  ?variant:Cloudtx_txn.Tpc.variant ->
+  ?inquiry_timeout:float ->
+  unit ->
+  t
 
 (** Advance the machine by one input.  Raises [Invalid_argument] on
     messages a correct peer could not have sent. *)

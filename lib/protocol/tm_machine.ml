@@ -127,6 +127,9 @@ let view s = s.view
 let decision s = s.decision
 let phase s = s.phase
 let submitted_at s = s.submitted_at
+let reason s = s.reason
+let commit_rounds s = s.commit_rounds
+let decision_targets s = s.decision_targets
 
 let emit s a = s.out <- a :: s.out
 let send s ~dst msg = emit s (Send { dst; msg })
@@ -280,6 +283,12 @@ let start_commit s =
   in
   s.validation <- Some v;
   let allow_read_only = s.cfg.read_only_optimization && not validate in
+  let queries_on dst =
+    Array.fold_left
+      (fun acc (q : Query.t) ->
+        if String.equal q.Query.server dst then acc + 1 else acc)
+      0 s.queries
+  in
   List.iter
     (fun dst ->
       send s ~dst
@@ -289,6 +298,7 @@ let start_commit s =
              round = Validation.round v;
              validate;
              allow_read_only;
+             expected = queries_on dst;
            }))
     (all_servers s);
   arm_watchdog s
@@ -480,7 +490,11 @@ let on_master_reply s (policies : Policy.t list) =
   let what = s.awaiting_master in
   s.awaiting_master <- No_fetch;
   match what with
-  | No_fetch -> invalid_arg "Tm_machine: unsolicited master reply"
+  | No_fetch ->
+    (* A duplicated master reply (each copy is a distinct wire send, so
+       driver dedup cannot catch it): the fetch it answered is already
+       resolved. *)
+    mark s "dup:master-reply"
   | Exec_check proof ->
     let master_version =
       List.find_map
@@ -513,7 +527,12 @@ let on_ack s ~from =
 
 let dispatch s ~src msg =
   match (s.phase, msg) with
-  | Executing, Message.Execute_reply { outcome; _ } -> on_execute_reply s outcome
+  | Executing, Message.Execute_reply { query_id; outcome; _ } ->
+    (* A re-delivered reply for an already-answered query must not be
+       mistaken for the current query's answer. *)
+    if String.equal query_id s.queries.(s.qidx).Query.id then
+      on_execute_reply s outcome
+    else mark s ("stale:execute-reply:" ^ query_id)
   | Query_validating, Message.Validate_reply { round; proofs; policies; _ } ->
     let v = validation s in
     if round <> Validation.round v then () (* stale; drop *)
@@ -553,9 +572,17 @@ let dispatch s ~src msg =
   | Finished, Message.Decision_ack _ -> () (* late ack after inquiry resend *)
   | ( (Deciding | Finished),
       ( Message.Validate_reply _ | Message.Commit_reply _
-      | Message.Master_version_reply _ ) ) ->
+      | Message.Master_version_reply _ | Message.Execute_reply _ ) ) ->
     (* Stragglers from a round the vote timeout already aborted. *)
     ()
+  | (Executing | Committing), Message.Validate_reply _ ->
+    (* Re-delivered reply from a per-query 2PV round that already
+       resolved (the round moved on, so the round check can't filter). *)
+    mark s "stale:validate-reply"
+  | (Executing | Query_validating | Committing), Message.Inquiry _ ->
+    (* In-doubt probe before any decision exists: stay silent, the
+       participant's inquiry timer re-probes. *)
+    mark s "inquiry:undecided"
   | _, msg ->
     invalid_arg
       (Printf.sprintf "TM %s: unexpected %s in this phase" s.name

@@ -117,3 +117,12 @@ val view : t -> View.t
 val decision : t -> bool option
 val phase : t -> phase
 val submitted_at : t -> float
+
+(** Decision metadata, final once the machine has emitted {!action.Force_log}
+    (or {!action.Finish}); drivers persist it as the coordinator's durable
+    decision record so a restart can re-drive the decision phase without the
+    machine. *)
+
+val reason : t -> Outcome.reason
+val commit_rounds : t -> int
+val decision_targets : t -> string list

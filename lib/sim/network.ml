@@ -8,14 +8,26 @@ type t = {
   latency : Latency.t;
   rng : Splitmix.t;
   mutable drop : float;
+  mutable duplicate : float;
+  mutable reorder_jitter : Latency.t option;
   mutable partitions : Pair_set.t;
   links : (string * string, Latency.t) Hashtbl.t;
 }
 
-let create ?(drop = 0.) ~latency ~rng () =
-  { latency; rng; drop; partitions = Pair_set.empty; links = Hashtbl.create 8 }
+let create ?(drop = 0.) ?(duplicate = 0.) ?reorder_jitter ~latency ~rng () =
+  {
+    latency;
+    rng;
+    drop;
+    duplicate;
+    reorder_jitter;
+    partitions = Pair_set.empty;
+    links = Hashtbl.create 8;
+  }
 
 let set_drop t p = t.drop <- p
+let set_duplicate t p = t.duplicate <- p
+let set_reorder_jitter t model = t.reorder_jitter <- model
 
 let canonical a b = if String.compare a b <= 0 then (a, b) else (b, a)
 
@@ -28,7 +40,7 @@ let heal_all t = t.partitions <- Pair_set.empty
 let partitioned t a b = Pair_set.mem (canonical a b) t.partitions
 
 let fate t ~src ~dst =
-  if String.equal src dst then `Deliver_after 0.
+  if String.equal src dst then `Deliver_each [ 0. ]
   else if partitioned t src dst then `Lost
   else if t.drop > 0. && Splitmix.bool t.rng ~p:t.drop then `Lost
   else begin
@@ -37,5 +49,19 @@ let fate t ~src ~dst =
       | Some link -> link
       | None -> t.latency
     in
-    `Deliver_after (Latency.sample model t.rng)
+    (* With both knobs at their defaults this draws exactly one latency
+       sample, so pre-existing runs consume the RNG identically. *)
+    let sample () =
+      let d = Latency.sample model t.rng in
+      match t.reorder_jitter with
+      | None -> d
+      | Some j -> d +. Latency.sample j t.rng
+    in
+    let first = sample () in
+    let rec dups acc =
+      if t.duplicate > 0. && Splitmix.bool t.rng ~p:t.duplicate then
+        dups (sample () :: acc)
+      else List.rev acc
+    in
+    `Deliver_each (first :: dups [])
   end

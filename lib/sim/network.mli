@@ -1,4 +1,5 @@
-(** Network model: per-message latency, loss and partitions.
+(** Network model: per-message latency, loss, duplication, reordering and
+    partitions.
 
     Deciding a message's fate is separated from delivering it so the model
     can be unit-tested without an engine; {!Transport} combines the two. *)
@@ -7,8 +8,20 @@ type t
 
 (** [create ~latency ~rng ()] builds a model. [drop] is an independent loss
     probability per message (default 0: the commit protocols in the paper
-    assume reliable channels; loss is injected only in the failure tests). *)
-val create : ?drop:float -> latency:Latency.t -> rng:Splitmix.t -> unit -> t
+    assume reliable channels; loss is injected only in the failure tests).
+    [duplicate] is an independent per-message duplication probability —
+    each extra copy gets its own latency draw, and another duplication coin
+    flip, so bursts of copies are possible (default 0).  [reorder_jitter]
+    adds an extra randomized delay per delivery that can invert FIFO order
+    on a link (default none). *)
+val create :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder_jitter:Latency.t ->
+  latency:Latency.t ->
+  rng:Splitmix.t ->
+  unit ->
+  t
 
 (** [set_link t a b model] overrides the latency of the (undirected) link
     between [a] and [b] — e.g. a WAN hop between regions while everything
@@ -20,6 +33,13 @@ val clear_link : t -> string -> string -> unit
 
 (** [set_drop t p] changes the loss probability. *)
 val set_drop : t -> float -> unit
+
+(** [set_duplicate t p] changes the duplication probability. *)
+val set_duplicate : t -> float -> unit
+
+(** [set_reorder_jitter t model] changes the reorder jitter ([None]
+    disables it). *)
+val set_reorder_jitter : t -> Latency.t option -> unit
 
 (** [partition t a b] blocks traffic in both directions between [a] and
     [b]. *)
@@ -33,7 +53,9 @@ val heal_all : t -> unit
 
 val partitioned : t -> string -> string -> bool
 
-(** [fate t ~src ~dst] decides what happens to one message: delivered after
-    the returned delay, or lost. Messages from a node to itself are
-    delivered with zero delay and never lost. *)
-val fate : t -> src:string -> dst:string -> [ `Deliver_after of float | `Lost ]
+(** [fate t ~src ~dst] decides what happens to one message: each element of
+    the returned list is one delivery of the message after that delay (the
+    head is the "original", the rest are duplicates), or the message is
+    lost entirely.  Messages from a node to itself are delivered once with
+    zero delay and never lost or duplicated. *)
+val fate : t -> src:string -> dst:string -> [ `Deliver_each of float list | `Lost ]

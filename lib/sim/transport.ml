@@ -7,9 +7,10 @@ type 'msg t = {
   trace : Trace.t;
   counters : Counter.t;
   label_of : 'msg -> string;
-  handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
+  handlers : (string, src:string -> seq:int -> 'msg -> unit) Hashtbl.t;
   crashed : (string, unit) Hashtbl.t;
   rng : Splitmix.t;
+  mutable next_seq : int;
   mutable tracer : Obs.Tracer.t;
   mutable registry : Obs.Registry.t;
   mutable journal : Obs.Journal.t;
@@ -27,6 +28,7 @@ let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
     handlers = Hashtbl.create 16;
     crashed = Hashtbl.create 4;
     rng;
+    next_seq = 0;
     tracer = Obs.Tracer.noop;
     registry = Obs.Registry.noop;
     journal = Obs.Journal.noop;
@@ -75,11 +77,15 @@ let enable_journal ?max_buffer_bytes ?path t =
   end;
   t.journal
 
-let register t name handler =
+let register_seq t name handler =
   if Hashtbl.mem t.handlers name then
     invalid_arg (Printf.sprintf "Transport.register: duplicate node %s" name);
   Hashtbl.add t.handlers name handler
 
+let register t name handler =
+  register_seq t name (fun ~src ~seq:_ msg -> handler ~src msg)
+
+let unregister t name = Hashtbl.remove t.handlers name
 let registered t name = Hashtbl.mem t.handlers name
 let crash t name = Hashtbl.replace t.crashed name ()
 let recover t name = Hashtbl.remove t.crashed name
@@ -106,22 +112,31 @@ let send t ~src ~dst msg =
   | None ->
     Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label });
     span_net t ~event:"drop" ~src ~dst label
-  | Some handler -> (
+  | Some _ -> (
     match Network.fate t.network ~src ~dst with
     | `Lost ->
       Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label });
       span_net t ~event:"drop" ~src ~dst label
-    | `Deliver_after delay ->
-      Engine.schedule t.engine ~delay (fun () ->
-          if Hashtbl.mem t.crashed dst then begin
-            Trace.record t.trace ~time:(now t) (Trace.Drop { src; dst; label });
-            span_net t ~event:"drop" ~src ~dst label
-          end
-          else begin
-            Trace.record t.trace ~time:(now t) (Trace.Recv { src; dst; label });
-            span_net t ~event:"recv" ~src:dst ~dst:src label;
-            handler ~src msg
-          end))
+    | `Deliver_each delays ->
+      (* Every copy of this logical send shares one wire seq, so receivers
+         can recognise duplicates. Handlers are looked up at delivery time:
+         a node that re-registered after a restart sees the traffic. *)
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      List.iter
+        (fun delay ->
+          Engine.schedule t.engine ~delay (fun () ->
+              match Hashtbl.find_opt t.handlers dst with
+              | Some handler when not (Hashtbl.mem t.crashed dst) ->
+                Trace.record t.trace ~time:(now t)
+                  (Trace.Recv { src; dst; label });
+                span_net t ~event:"recv" ~src:dst ~dst:src label;
+                handler ~src ~seq msg
+              | _ ->
+                Trace.record t.trace ~time:(now t)
+                  (Trace.Drop { src; dst; label });
+                span_net t ~event:"drop" ~src ~dst label))
+        delays)
 
 let at t ~delay f = Engine.schedule t.engine ~delay f
 

@@ -68,6 +68,19 @@ val fork_rng : _ t -> Splitmix.t
     on duplicate names. Handler receives [(src, msg)]. *)
 val register : 'msg t -> string -> (src:string -> 'msg -> unit) -> unit
 
+(** [register_seq t name handler] is {!register} but the handler also
+    receives the message's wire sequence number.  Every copy of one
+    logical [send] (the original and any network-level duplicates) carries
+    the same [seq], so receivers can deduplicate re-deliveries. *)
+val register_seq :
+  'msg t -> string -> (src:string -> seq:int -> 'msg -> unit) -> unit
+
+(** [unregister t name] removes the node's handler (e.g. to swap in a
+    recovery handler after a restart). In-flight messages to [name] are
+    delivered to whichever handler is registered at delivery time, or
+    dropped if none is. *)
+val unregister : _ t -> string -> unit
+
 val registered : _ t -> string -> bool
 
 (** [crash t name] makes the node drop all incoming traffic (fail-stop). *)

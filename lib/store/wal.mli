@@ -66,6 +66,17 @@ val checkpoint : t -> time:float -> active:string list -> int
     reclaimed. *)
 val truncate_to_checkpoint : t -> int
 
+(** Durable representation: one checksummed line per entry, LSN order.
+    Append-only, so a crash can only damage the tail. *)
+val serialize : t -> string
+
+(** [load data] rebuilds a log from {!serialize} output, tolerating a torn
+    tail: the first line whose checksum, JSON or schema fails to validate
+    — a record cut mid-write by a crash — ends the log, and the longest
+    valid prefix is recovered.  Returns the log and the number of
+    lines dropped (0 = clean). *)
+val load : string -> t * int
+
 (** Analysis pass over the log, as a recovering participant would run it:
     for [txn], the last relevant state. *)
 val recover_txn :

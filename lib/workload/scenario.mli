@@ -48,12 +48,18 @@ val suspend_rules : subject:string -> Rule.t list
       [items_per_server] integer items ["s<i>-k<j>"] initialised to 100,
       guarded by non-negativity constraints.
     - [n_subjects] clerks ["clerk-1"..] with 1-year role credentials.
-    - single domain ["retail"]. *)
+    - single domain ["retail"].
+    - [variant]/[dedup]/[inquiry_timeout] are forwarded to
+      {!Cluster.create} (decision-logging discipline, idempotent
+      delivery, termination-protocol timer). *)
 val retail :
   ?seed:int64 ->
   ?latency:Cloudtx_sim.Latency.t ->
   ?ocsp_latency:Cloudtx_sim.Latency.t ->
   ?proof_cache:bool ->
+  ?variant:Cloudtx_txn.Tpc.variant ->
+  ?dedup:bool ->
+  ?inquiry_timeout:float ->
   ?n_servers:int ->
   ?items_per_server:int ->
   ?n_subjects:int ->

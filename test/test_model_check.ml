@@ -357,7 +357,7 @@ let run_full w ~scheme ~level ~master_mode ~choose =
           if String.equal p.Policy.domain "d" then
             versions.(i) <- max versions.(i) p.Policy.version)
         policies
-    | Ps.Wait_open _ | Ps.Wait_close _ | Ps.Mark _ -> ()
+    | Ps.Wait_open _ | Ps.Wait_close _ | Ps.Arm_inquiry _ | Ps.Mark _ -> ()
   and ps_dispatch i input = List.iter (ps_perform i) (Ps.handle parts.(i) input) in
   let tm_perform a =
     match a with

@@ -155,9 +155,9 @@ let messages =
       { txn = "t7"; round = 2; proofs; policies = [ policy_v1; policy_v2 ] };
     Message.Validate_reply { txn = "t8"; round = 1; proofs = []; policies = [] };
     Message.Commit_request
-      { txn = "t7"; round = 3; validate = true; allow_read_only = false };
+      { txn = "t7"; round = 3; validate = true; allow_read_only = false; expected = 2 };
     Message.Commit_request
-      { txn = "t8"; round = 1; validate = false; allow_read_only = true };
+      { txn = "t8"; round = 1; validate = false; allow_read_only = true; expected = 0 };
     Message.Commit_reply
       {
         txn = "t7";

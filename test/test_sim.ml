@@ -208,7 +208,7 @@ let test_network_partition () =
   let net = Network.create ~latency:(Latency.Constant 1.) ~rng () in
   Alcotest.(check bool) "initially connected" true
     (match Network.fate net ~src:"a" ~dst:"b" with
-    | `Deliver_after _ -> true
+    | `Deliver_each _ -> true
     | `Lost -> false);
   Network.partition net "a" "b";
   Alcotest.(check bool) "partitioned symmetric" true
@@ -223,24 +223,79 @@ let test_network_self_delivery () =
   let net = Network.create ~drop:1.0 ~latency:(Latency.Constant 9.) ~rng () in
   (* Even with 100% drop, self-messages are instant and reliable. *)
   Alcotest.(check bool) "self" true
-    (Network.fate net ~src:"a" ~dst:"a" = `Deliver_after 0.)
+    (Network.fate net ~src:"a" ~dst:"a" = `Deliver_each [ 0. ])
 
 let test_network_link_override () =
   let rng = Splitmix.create 3L in
   let net = Network.create ~latency:(Latency.Constant 1.) ~rng () in
   Network.set_link net "east" "west" (Latency.Constant 25.);
   Alcotest.(check bool) "overridden link" true
-    (Network.fate net ~src:"west" ~dst:"east" = `Deliver_after 25.);
+    (Network.fate net ~src:"west" ~dst:"east" = `Deliver_each [ 25. ]);
   Alcotest.(check bool) "other links unchanged" true
-    (Network.fate net ~src:"east" ~dst:"east2" = `Deliver_after 1.);
+    (Network.fate net ~src:"east" ~dst:"east2" = `Deliver_each [ 1. ]);
   Network.clear_link net "east" "west";
   Alcotest.(check bool) "cleared" true
-    (Network.fate net ~src:"east" ~dst:"west" = `Deliver_after 1.)
+    (Network.fate net ~src:"east" ~dst:"west" = `Deliver_each [ 1. ])
 
 let test_network_drop_all () =
   let rng = Splitmix.create 3L in
   let net = Network.create ~drop:1.0 ~latency:(Latency.Constant 1.) ~rng () in
   Alcotest.(check bool) "dropped" true (Network.fate net ~src:"a" ~dst:"b" = `Lost)
+
+let test_network_duplicate_all () =
+  let rng = Splitmix.create 3L in
+  let net =
+    Network.create ~duplicate:0.5 ~latency:(Latency.Constant 1.) ~rng ()
+  in
+  let max_copies = ref 0 in
+  for _ = 1 to 50 do
+    match Network.fate net ~src:"a" ~dst:"b" with
+    | `Deliver_each delays ->
+      max_copies := max !max_copies (List.length delays);
+      List.iter
+        (fun d -> Alcotest.(check (float 0.)) "constant latency" 1. d)
+        delays
+    | `Lost -> Alcotest.fail "no drop configured"
+  done;
+  Alcotest.(check bool) "some message was duplicated" true (!max_copies >= 2);
+  Network.set_duplicate net 0.;
+  Alcotest.(check bool) "default restored: single copy" true
+    (Network.fate net ~src:"a" ~dst:"b" = `Deliver_each [ 1. ])
+
+let test_network_reorder_jitter () =
+  let rng = Splitmix.create 3L in
+  let net = Network.create ~latency:(Latency.Constant 1.) ~rng () in
+  Network.set_reorder_jitter net (Some (Latency.Uniform { lo = 0.; hi = 10. }));
+  let saw_jitter = ref false in
+  for _ = 1 to 20 do
+    match Network.fate net ~src:"a" ~dst:"b" with
+    | `Deliver_each [ d ] ->
+      Alcotest.(check bool) "at least base latency" true (d >= 1.);
+      if d > 1. then saw_jitter := true
+    | _ -> Alcotest.fail "expected one copy"
+  done;
+  Alcotest.(check bool) "jitter applied" true !saw_jitter;
+  Network.set_reorder_jitter net None;
+  Alcotest.(check bool) "jitter cleared" true
+    (Network.fate net ~src:"a" ~dst:"b" = `Deliver_each [ 1. ])
+
+let test_network_defaults_identical_draws () =
+  (* Same seed, with and without the (disabled) fault knobs: identical
+     RNG draw order, so existing runs stay bit-identical. *)
+  let draws seed knobs =
+    let rng = Splitmix.create seed in
+    let net =
+      if knobs then
+        Network.create ~drop:0. ~duplicate:0. ~latency:Latency.lan ~rng ()
+      else Network.create ~latency:Latency.lan ~rng ()
+    in
+    List.init 40 (fun _ ->
+        match Network.fate net ~src:"a" ~dst:"b" with
+        | `Deliver_each delays -> delays
+        | `Lost -> [])
+  in
+  Alcotest.(check bool) "identical delivery schedule" true
+    (draws 7L false = draws 7L true)
 
 (* ------------------------------------------------------------------ *)
 (* Transport                                                           *)
@@ -403,6 +458,10 @@ let () =
           Alcotest.test_case "self delivery" `Quick test_network_self_delivery;
           Alcotest.test_case "link override" `Quick test_network_link_override;
           Alcotest.test_case "drop all" `Quick test_network_drop_all;
+          Alcotest.test_case "duplicate copies" `Quick test_network_duplicate_all;
+          Alcotest.test_case "reorder jitter" `Quick test_network_reorder_jitter;
+          Alcotest.test_case "defaults keep draws identical" `Quick
+            test_network_defaults_identical_draws;
         ] );
       ( "transport",
         [
