@@ -48,6 +48,7 @@ module Registry = Cloudtx_obs.Registry
 module Obs_export = Cloudtx_obs.Export
 module Obs_json = Cloudtx_obs.Json
 module Journal = Cloudtx_obs.Journal
+module Certify = Cloudtx_core.Certify
 
 (* Optional artifact destinations, set by command-line flags (parsed at
    the bottom of this file). *)
@@ -85,7 +86,11 @@ let write_json_file ~what objs =
 
 (* Latency is machine-independent here (simulated ms) but remains the
    tracked trajectory, not a gate. *)
-let check_skip_fields = [ "latency_ms"; "latency_ms_mean"; "latency_ms_p95" ]
+let check_skip_fields =
+  [
+    "latency_ms"; "latency_ms_mean"; "latency_ms_p95"; "journals_per_sec";
+    "edges_per_sec";
+  ]
 
 module Pjson = Cloudtx_policy.Json
 
@@ -1149,6 +1154,140 @@ let section_micro () =
   print_endline "  deployment."
 
 (* ------------------------------------------------------------------ *)
+(* Certify: serializability checking throughput over the 8-cell grid   *)
+(* ------------------------------------------------------------------ *)
+
+let section_certify () =
+  print_newline ();
+  print_endline "== Certify -- journal-driven serializability checking ==";
+  (* One deterministic journal per scheme x level cell: the same seeded
+     retail workload the health snapshot runs, recorded in memory. *)
+  let corpus =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun level ->
+            let scenario =
+              Scenario.retail ~seed:23L ~n_servers:4 ~n_subjects:4 ()
+            in
+            let transport = Cluster.transport scenario.Scenario.cluster in
+            let journal = Transport.enable_journal transport in
+            let rng = Splitmix.create 29L in
+            let params =
+              { Generator.default with queries_per_txn = 4; write_ratio = 0.4 }
+            in
+            ignore
+              (Experiment.run_sequential scenario (Manager.config scheme level)
+                 ~n:12 (fun ~i ->
+                   Generator.generate scenario rng params
+                     ~id:(Printf.sprintf "t%d" i)));
+            let lines =
+              String.split_on_char '\n'
+                (String.trim (Journal.to_string journal))
+            in
+            (scheme, level, lines))
+          [ Consistency.View; Consistency.Global ])
+      Scheme.all
+  in
+  let certified =
+    List.map
+      (fun (scheme, level, lines) ->
+        match Certify.run ~lines with
+        | Ok report -> (scheme, level, lines, report)
+        | Error why ->
+          Printf.eprintf "certify bench: %s/%s journal unreadable: %s\n"
+            (Scheme.name scheme) (Consistency.name level) why;
+          exit 2)
+      corpus
+  in
+  (* Throughput: repeated full check + DSG construction, CPU-timed.
+     The rates land in the JSON as trajectory fields (not gated). *)
+  let reps = 10 in
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    List.iter
+      (fun (_, _, lines, _) ->
+        match Certify.run ~lines with
+        | Ok r -> ignore (Certify.to_dsg r)
+        | Error _ -> ())
+      certified
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let total_edges =
+    List.fold_left
+      (fun acc (_, _, _, r) -> acc + List.length r.Certify.edges)
+      0 certified
+  in
+  let total_records =
+    List.fold_left
+      (fun acc (_, _, _, r) -> acc + r.Certify.records)
+      0 certified
+  in
+  let safe_div a b = if b <= 0. then 0. else a /. b in
+  let journals_per_sec =
+    safe_div (float_of_int (reps * List.length certified)) elapsed
+  in
+  let edges_per_sec = safe_div (float_of_int (reps * total_edges)) elapsed in
+  Table.print
+    ~title:"per-cell certification (12 txns/cell, u=4, n=4)"
+    ~headers:
+      [ "scheme"; "level"; "records"; "committed"; "versions"; "edges"; "verdict" ]
+    (List.map
+       (fun (scheme, level, _, r) ->
+         [
+           Scheme.name scheme;
+           Consistency.name level;
+           string_of_int r.Certify.records;
+           string_of_int (List.length r.Certify.committed);
+           string_of_int r.Certify.versions;
+           string_of_int (List.length r.Certify.edges);
+           (match r.Certify.verdict with
+           | Certify.Serializable { si; _ } ->
+             if si then "serializable (si ok)" else "serializable"
+           | Certify.Anomalous a -> "ANOMALY " ^ Certify.anomaly_name a.Certify.anomaly);
+         ])
+       certified);
+  Printf.printf
+    "  throughput: %.0f journals/sec, %.0f DSG edges/sec (%d reps, %.2fs CPU)\n"
+    journals_per_sec edges_per_sec reps elapsed;
+  write_json_file ~what:"certify"
+    (List.map
+       (fun (scheme, level, _, r) ->
+         Obs_json.obj
+           [
+             ("workload", Obs_json.quote "certify");
+             ("scheme", Obs_json.quote (Scheme.name scheme));
+             ("level", Obs_json.quote (Consistency.name level));
+             ("records", string_of_int r.Certify.records);
+             ("decode_errors", string_of_int r.Certify.decode_errors);
+             ("committed", string_of_int (List.length r.Certify.committed));
+             ("aborted", string_of_int (List.length r.Certify.aborted));
+             ("versions", string_of_int r.Certify.versions);
+             ("reads_mapped", string_of_int r.Certify.reads_mapped);
+             ("edges", string_of_int (List.length r.Certify.edges));
+             ( "serializable",
+               match r.Certify.verdict with
+               | Certify.Serializable _ -> "true"
+               | Certify.Anomalous _ -> "false" );
+             ( "si",
+               match r.Certify.verdict with
+               | Certify.Serializable { si; _ } -> if si then "true" else "false"
+               | Certify.Anomalous _ -> "false" );
+           ])
+       certified
+    @ [
+        Obs_json.obj
+          [
+            ("workload", Obs_json.quote "certify-throughput");
+            ("journals", string_of_int (List.length certified));
+            ("records_total", string_of_int total_records);
+            ("edges_total", string_of_int total_edges);
+            ("journals_per_sec", Obs_json.number journals_per_sec);
+            ("edges_per_sec", Obs_json.number edges_per_sec);
+          ];
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Observability: spans + metrics over a full workload                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1222,6 +1361,7 @@ let sections =
     ("throughput", section_throughput);
     ("ablations", section_ablations);
     ("obs", section_obs);
+    ("certify", section_certify);
     ("micro", section_micro);
   ]
 

@@ -32,6 +32,8 @@ module Registry = Cloudtx_obs.Registry
 module Export = Cloudtx_obs.Export
 module Journal = Cloudtx_obs.Journal
 module Audit = Cloudtx_core.Audit
+module Certify = Cloudtx_core.Certify
+module Dsg = Cloudtx_obs.Dsg
 module Monitor = Cloudtx_obs.Monitor
 module Slo = Cloudtx_obs.Slo
 module Health = Cloudtx_core.Health
@@ -560,6 +562,65 @@ let audit_term =
                trusted-transaction soundness."))
 
 (* ------------------------------------------------------------------ *)
+(* certify: journal-driven serializability certification               *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd path dot_out json_out =
+  match Certify.of_file path with
+  | Error why ->
+    Format.eprintf "%s: CERTIFY UNREADABLE@.  %s@." path why;
+    exit 2
+  | Ok report ->
+    let export () =
+      let dsg = Certify.to_dsg report in
+      Option.iter
+        (fun p ->
+          write_file p (Dsg.to_dot ~name:"history" dsg);
+          Format.printf "  wrote %s (DSG, Graphviz DOT)@." p)
+        dot_out;
+      Option.iter
+        (fun p ->
+          write_file p (Dsg.to_json dsg);
+          Format.printf "  wrote %s (DSG, JSON)@." p)
+        json_out
+    in
+    (match report.Certify.verdict with
+    | Certify.Serializable _ ->
+      Format.printf "%s: history certified@.  %s@." path
+        (Certify.summary report);
+      export ()
+    | Certify.Anomalous a ->
+      Format.printf "%s: NOT SERIALIZABLE@.  %s@.  %s@." path
+        (Certify.summary report)
+        (Certify.describe_anomaly a);
+      export ();
+      exit 1)
+
+let certify_term =
+  Term.(
+    const certify_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL.jsonl"
+            ~doc:
+              "Flight-recorder journal written by $(b,--journal-out); the \
+               committed transactions' read/write history is extracted and \
+               checked for serializability.  Exit 0: certified, with a \
+               witness serial order; exit 1: a named anomaly with journal \
+               seq evidence; exit 2: unreadable journal.")
+    $ Arg.(
+        value & opt (some string) None
+        & info [ "dot" ] ~docv:"FILE"
+            ~doc:
+              "Write the direct serialization graph as Graphviz DOT \
+               (anomaly cycles highlighted in red).")
+    $ Arg.(
+        value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the direct serialization graph as JSON."))
+
+(* ------------------------------------------------------------------ *)
 (* watch                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -690,6 +751,14 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
           versions domain
       | None -> Format.printf "  %-12s worst staleness 0 versions@." server)
     (List.map Cloudtx_core.Participant.name (Cluster.participants cluster));
+  (* Certify the whole grid's history off the capped in-memory journal:
+     the snapshot's fourth line of defence after metrics/staleness/alerts. *)
+  (let lines =
+     String.split_on_char '\n' (String.trim (Journal.to_string journal))
+   in
+   match Certify.run ~lines with
+   | Ok report -> Format.printf "certify   : %s@." (Certify.summary report)
+   | Error why -> Format.printf "certify   : unreadable (%s)@." why);
   let open_alerts = Monitor.open_alerts monitor in
   Format.printf "alerts    : %d fired, %d open@."
     (Monitor.fired_total monitor)
@@ -991,7 +1060,7 @@ let journal_file dir (cell : Campaign.cell) (plan : Plan.t) ~suffix =
     (String.map (function ':' -> '-' | c -> c) (Campaign.cell_name cell))
     plan.Plan.seed suffix
 
-let report_case dir shrink (case : Campaign.case) =
+let report_case dir shrink certify (case : Campaign.case) =
   let cell = case.Campaign.cell and plan = case.Campaign.plan in
   Format.printf "VIOLATION %s seed=%Ld@.  %s@.  plan: %s@."
     (Campaign.cell_name cell) plan.Plan.seed case.Campaign.failure.Campaign.what
@@ -1008,7 +1077,7 @@ let report_case dir shrink (case : Campaign.case) =
        practice failures come from the --no-dedup escape hatch; replaying
        candidates must use the same delivery mode that failed. *)
     let fails p =
-      match Campaign.run_plan ~dedup cell p with
+      match Campaign.run_plan ~dedup ~certify cell p with
       | Ok () -> None
       | Error f -> Some f.Campaign.what
     in
@@ -1020,7 +1089,7 @@ let report_case dir shrink (case : Campaign.case) =
         (Plan.to_string minimal) what;
       Option.iter
         (fun dir ->
-          match Campaign.run_plan ~dedup cell minimal with
+          match Campaign.run_plan ~dedup ~certify cell minimal with
           | Error f ->
             let path = journal_file dir cell minimal ~suffix:"-min" in
             write_lines path f.Campaign.journal;
@@ -1029,7 +1098,8 @@ let report_case dir shrink (case : Campaign.case) =
         dir
   end
 
-let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup =
+let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
+    certify =
   let dedup = not no_dedup in
   let cells = match cell with Some c -> [ c ] | None -> Campaign.all_cells in
   Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
@@ -1047,7 +1117,7 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup =
       | Ok plan ->
         List.filter_map
           (fun cell ->
-            match Campaign.run_plan ~dedup cell plan with
+            match Campaign.run_plan ~dedup ~certify cell plan with
             | Ok () ->
               Format.printf "ok %s seed=%Ld@." (Campaign.cell_name cell)
                 plan.Plan.seed;
@@ -1055,13 +1125,13 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup =
             | Error failure -> Some { Campaign.cell; plan; failure })
           cells)
     | None ->
-      let verdict = Campaign.run ~dedup ~cells ~base_seed ~plans:seeds () in
+      let verdict = Campaign.run ~dedup ~certify ~cells ~base_seed ~plans:seeds () in
       Format.printf "%d plan(s) x %d cell(s) = %d run(s), %d violation(s)@."
         seeds (List.length cells) verdict.Campaign.plans_run
         (List.length verdict.Campaign.failures);
       verdict.Campaign.failures
   in
-  List.iter (report_case journal_dir shrink) failures;
+  List.iter (report_case journal_dir shrink certify) failures;
   if failures <> [] then exit 1
 
 let chaos_term =
@@ -1109,7 +1179,16 @@ let chaos_term =
               "Disable driver-side idempotent delivery (the wire-seq dedup \
                layer).  Duplication faults then reach the protocol machines \
                — the escape hatch used to demonstrate what hardened \
-               delivery prevents."))
+               delivery prevents.")
+    $ Arg.(
+        value & flag
+        & info [ "certify" ]
+            ~doc:
+              "Add a fourth assertion layer after liveness, safety and \
+               audit: every run's journal must certify serializable \
+               ($(b,cloudtx certify) over the same history).  Verdicts \
+               stay bit-reproducible — the check is a pure function of the \
+               journal."))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1119,6 +1198,13 @@ let cmds =
     Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I: analytic vs measured complexity.") table1_term;
     Cmd.v (Cmd.info "trace" ~doc:"Run one transaction and dump the full message trace.") trace_term;
     Cmd.v (Cmd.info "audit" ~doc:"Replay a flight-recorder journal and verify it offline.") audit_term;
+    Cmd.v
+      (Cmd.info "certify"
+         ~doc:
+           "Check a flight-recorder journal's committed history for \
+            serializability: emit a witness serial order or a named anomaly \
+            cycle with journal seq evidence.")
+      certify_term;
     Cmd.v (Cmd.info "watch" ~doc:"Replay a flight-recorder journal through the Watchtower health monitor.") watch_term;
     Cmd.v (Cmd.info "health" ~doc:"Run the full scheme x level grid and print a health snapshot.") health_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;

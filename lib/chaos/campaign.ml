@@ -6,6 +6,7 @@ module Participant = Cloudtx_core.Participant
 module Master = Cloudtx_core.Master
 module Outcome = Cloudtx_core.Outcome
 module Audit = Cloudtx_core.Audit
+module Certify = Cloudtx_core.Certify
 module Trusted = Cloudtx_core.Trusted
 module Scenario = Cloudtx_workload.Scenario
 module Transport = Cloudtx_sim.Transport
@@ -54,8 +55,8 @@ let quiesce_steps = 400_000
 
 exception Violation of string
 
-let run_plan ?(dedup = true) ?variant ?journal_path (cell : cell)
-    (plan : Plan.t) =
+let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_path
+    (cell : cell) (plan : Plan.t) =
   let sc =
     Scenario.retail ~seed:plan.Plan.seed ?variant ~dedup ~inquiry_timeout
       ~n_servers ~n_subjects:n_txns ()
@@ -261,6 +262,15 @@ let run_plan ?(dedup = true) ?variant ?journal_path (cell : cell)
     (match Audit.run ~lines:(journal_lines ()) with
     | Ok _ -> ()
     | Error why -> raise (Violation (Printf.sprintf "audit: %s" why)));
+    (* Fourth assertion layer: the committed history must certify
+       serializable — the safety half of the paper's "safe transactions"
+       guarantee, decided from the same journal the audit replayed. *)
+    (if certify then
+       match Certify.run ~lines:(journal_lines ()) with
+       | Ok { Certify.verdict = Certify.Serializable _; _ } -> ()
+       | Ok { Certify.verdict = Certify.Anomalous a; _ } ->
+         raise (Violation ("certify: " ^ Certify.describe_anomaly a))
+       | Error why -> raise (Violation (Printf.sprintf "certify: %s" why)));
     Ok ()
   with
   | Violation what -> fail what
@@ -277,8 +287,8 @@ type verdict = {
   failures : case list;  (** First failure per (cell, plan) pair. *)
 }
 
-let run ?dedup ?variant ?(cells = all_cells) ?(base_seed = 1000L) ~plans ()
-    =
+let run ?dedup ?certify ?variant ?(cells = all_cells) ?(base_seed = 1000L)
+    ~plans () =
   let failures = ref [] in
   let count = ref 0 in
   let ps =
@@ -290,7 +300,7 @@ let run ?dedup ?variant ?(cells = all_cells) ?(base_seed = 1000L) ~plans ()
       List.iter
         (fun plan ->
           incr count;
-          match run_plan ?dedup ?variant cell plan with
+          match run_plan ?dedup ?certify ?variant cell plan with
           | Ok () -> ()
           | Error failure ->
             failures := { cell; plan; failure } :: !failures)

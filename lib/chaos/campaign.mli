@@ -41,10 +41,14 @@ type failure = {
 
 (** [run_plan cell plan] — one plan in one cell.  [dedup:false] disables
     driver-side idempotent delivery (the chaos escape hatch);
+    [certify:true] adds a fourth assertion layer after
+    liveness/safety/audit: the run's journal must certify serializable
+    ({!Cloudtx_core.Certify});
     [journal_path] additionally writes the journal through to a file;
     [variant] selects the participants' decision-logging discipline. *)
 val run_plan :
   ?dedup:bool ->
+  ?certify:bool ->
   ?variant:Cloudtx_txn.Tpc.variant ->
   ?journal_path:string ->
   cell ->
@@ -58,6 +62,7 @@ type verdict = { plans_run : int; failures : case list }
     [base_seed+1], …) across [cells] (default: all 8). *)
 val run :
   ?dedup:bool ->
+  ?certify:bool ->
   ?variant:Cloudtx_txn.Tpc.variant ->
   ?cells:cell list ->
   ?base_seed:int64 ->

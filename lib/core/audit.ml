@@ -71,6 +71,9 @@ type state = {
   mutable protocol_messages : int;
   mutable proofs : int;
   mutable forced_logs : int;
+  mutable journal_version : int;
+      (* from the header; replayed PS actions are rendered as that format
+         version encoded them, so pre-v3 journals still byte-compare *)
 }
 
 let txn_stats st txn =
@@ -93,7 +96,7 @@ let txn_stats st txn =
 let is_protocol msg = List.mem (Message.label msg) Message.protocol_labels
 
 let render_tm a = Codec.to_string (Codec.tm_action_to_json a)
-let render_ps a = Codec.to_string (Codec.ps_action_to_json a)
+let render_ps ~version a = Codec.to_string (Codec.ps_action_to_json_at ~version a)
 
 (* ------------------------------------------------------------------ *)
 (* Per-record protocol checks (run when the action record is matched,   *)
@@ -144,7 +147,7 @@ let check_ps_action st ~seq ~node = function
     st.forced_logs <- st.forced_logs + 1;
     let s = txn_stats st txn in
     s.prepared_nodes <- node :: s.prepared_nodes
-  | Ps.Apply { txn; commit; forced } ->
+  | Ps.Apply { txn; commit; forced; writes = _ } ->
     if forced then st.forced_logs <- st.forced_logs + 1;
     let s = txn_stats st txn in
     if List.exists (fun (n, _, _) -> String.equal n node) s.applies then
@@ -278,7 +281,10 @@ let handle_input st ~seq ~node_name payload =
       with Invalid_argument m ->
         failf "seq %d (%s): replayed machine rejected input: %s" seq node_name m
     in
-    n.pending <- List.map (fun a -> (render_ps a, Rps a)) actions
+    n.pending <-
+      List.map
+        (fun a -> (render_ps ~version:st.journal_version a, Rps a))
+        actions
 
 let handle_action st ~seq ~node_name payload =
   let n = node_of st ~seq node_name in
@@ -350,8 +356,10 @@ let check_header line =
     | Ok other -> failf "line 1: journal kind %S unknown" other
     | Error m -> failf "line 1: bad journal header: %s" m);
     match Result.bind (Json.member "version" j) Json.to_int with
-    | Ok v when v = Codec.version -> ()
-    | Ok v -> failf "line 1: journal version %d unsupported (want %d)" v Codec.version
+    | Ok v when v >= 2 && v <= Codec.version -> v
+    | Ok v ->
+      failf "line 1: journal version %d unsupported (want 2..%d)" v
+        Codec.version
     | Error m -> failf "line 1: bad journal header: %s" m)
 
 let handle_line st ~lineno line =
@@ -394,13 +402,14 @@ let run ~lines =
       protocol_messages = 0;
       proofs = 0;
       forced_logs = 0;
+      journal_version = Codec.version;
     }
   in
   try
     (match lines with
     | [] -> failf "empty journal"
     | header :: records ->
-      check_header header;
+      st.journal_version <- check_header header;
       List.iteri (fun i line -> handle_line st ~lineno:(i + 2) line) records);
     check_final st;
     Ok

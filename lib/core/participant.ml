@@ -272,7 +272,9 @@ and perform t (a : Ps.action) =
       Server.prepare t.server ~txn ~time:(now t) ~proof_truth ~policy_versions
     in
     dispatch t (Ps.Prepared { txn; vote })
-  | Ps.Apply { txn; commit; forced } ->
+  | Ps.Apply { txn; commit; forced; writes = _ } ->
+    (* [writes] is the machine's version stamp for the journal; the store
+       derives the same installs from the workspace it already holds. *)
     let release =
       if commit then Server.commit ~forced t.server ~txn ~time:(now t)
       else Server.abort ~forced t.server ~txn ~time:(now t)
@@ -440,6 +442,15 @@ let recover t =
         | _ -> acc)
       false entries
   in
+  let writes_of txn =
+    List.fold_left
+      (fun acc (e : Wal.entry) ->
+        match e.Wal.record with
+        | Wal.Prepared { txn = p; writes; _ } when String.equal p txn ->
+          List.map fst writes
+        | _ -> acc)
+      [] entries
+  in
   let decided =
     List.fold_left
       (fun acc (e : Wal.entry) ->
@@ -453,6 +464,7 @@ let recover t =
     (Ps.Recovered
        {
          decided;
-         in_doubt = List.map (fun txn -> (txn, vote_of txn)) in_doubt;
+         in_doubt =
+           List.map (fun txn -> (txn, vote_of txn, writes_of txn)) in_doubt;
        });
   drain_releases t

@@ -1,0 +1,76 @@
+type node = { id : string; attrs : (string * string) list }
+
+type edge = {
+  src : string;
+  dst : string;
+  label : string;
+  attrs : (string * string) list;
+}
+
+type t = { nodes : node list; edges : edge list }
+
+let create ~nodes ~edges = { nodes; edges }
+
+(* DOT string literal: double-quoted with backslash escaping for the two
+   characters DOT treats specially inside quotes. *)
+let dot_quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let dot_attrs attrs =
+  match attrs with
+  | [] -> ""
+  | attrs ->
+    Printf.sprintf " [%s]"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (dot_quote v)) attrs))
+
+let to_dot ?(name = "dsg") t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s%s;\n" (dot_quote n.id) (dot_attrs n.attrs)))
+    t.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s -> %s%s;\n" (dot_quote e.src) (dot_quote e.dst)
+           (dot_attrs (("label", e.label) :: e.attrs))))
+    t.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let json_fields fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Json.quote k ^ ":" ^ v) fields)
+  ^ "}"
+
+let to_json t =
+  let node n =
+    json_fields
+      (("id", Json.quote n.id)
+      :: List.map (fun (k, v) -> (k, Json.quote v)) n.attrs)
+  in
+  let edge e =
+    json_fields
+      (("src", Json.quote e.src)
+      :: ("dst", Json.quote e.dst)
+      :: ("label", Json.quote e.label)
+      :: List.map (fun (k, v) -> (k, Json.quote v)) e.attrs)
+  in
+  json_fields
+    [
+      ("nodes", "[" ^ String.concat "," (List.map node t.nodes) ^ "]");
+      ("edges", "[" ^ String.concat "," (List.map edge t.edges) ^ "]");
+    ]

@@ -1,0 +1,33 @@
+(** Labelled digraph with DOT/JSON export.
+
+    Protocol-blind: nodes and edges carry opaque string attributes, so
+    this stays in the observability layer (no protocol dependencies).
+    The serializability certifier ({!Cloudtx_core.Certify}) renders its
+    direct serialization graph through it; anything else that wants a
+    graph artifact can too.
+
+    Both exports are deterministic: elements render in the order given,
+    attributes in the order given, no timestamps. *)
+
+type node = { id : string; attrs : (string * string) list }
+
+type edge = {
+  src : string;
+  dst : string;
+  label : string;
+  attrs : (string * string) list;
+}
+
+type t = { nodes : node list; edges : edge list }
+
+val create : nodes:node list -> edges:edge list -> t
+
+(** Graphviz DOT rendering ([digraph name { ... }]; default name
+    ["dsg"]).  Node/edge attributes become DOT attributes verbatim;
+    the edge [label] becomes its [label] attribute. *)
+val to_dot : ?name:string -> t -> string
+
+(** JSON rendering: [{"nodes":[{"id":...,attrs...}],
+    "edges":[{"src":...,"dst":...,"label":...,attrs...}]}].
+    Attribute keys must not collide with the fixed field names. *)
+val to_json : t -> string

@@ -1,4 +1,4 @@
-let format_version = 2
+let format_version = 3
 
 type t = {
   live : bool;

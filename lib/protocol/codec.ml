@@ -14,7 +14,7 @@ module Value = Cloudtx_store.Value
 module Lock_manager = Cloudtx_store.Lock_manager
 open Json
 
-let version = 2
+let version = 3
 let to_string = Json.to_string
 let map_result = Pcodec.map_result
 
@@ -810,8 +810,13 @@ let ps_input_to_json = function
         ( "in_doubt",
           List
             (List.map
-               (fun (txn, vote) ->
-                 Obj [ ("txn", String txn); ("vote", Bool vote) ])
+               (fun (txn, vote, writes) ->
+                 Obj
+                   [
+                     ("txn", String txn);
+                     ("vote", Bool vote);
+                     ("writes", str_list_to_json writes);
+                   ])
                in_doubt) );
       ]
 
@@ -862,7 +867,9 @@ let ps_input_of_json j =
         (fun entry ->
           let* txn = Result.bind (member "txn" entry) to_str in
           let* vote = Result.bind (member "vote" entry) to_bool in
-          Ok (txn, vote))
+          (* Absent before codec v3: WAL prepared-record write keys. *)
+          let* writes = opt_field entry "writes" str_list_of_json in
+          Ok (txn, vote, Option.value ~default:[] writes))
         in_doubt
     in
     Ok (Ps_machine.Recovered { decided; in_doubt })
@@ -911,9 +918,19 @@ let ps_action_to_json = function
         ("proof_truth", Bool proof_truth);
         ("policy_versions", policy_versions_to_json policy_versions);
       ]
-  | Ps_machine.Apply { txn; commit; forced } ->
+  | Ps_machine.Apply { txn; commit; forced; writes } ->
     tag "apply"
-      [ ("txn", String txn); ("commit", Bool commit); ("forced", Bool forced) ]
+      [
+        ("txn", String txn);
+        ("commit", Bool commit);
+        ("forced", Bool forced);
+        ( "writes",
+          List
+            (List.map
+               (fun (key, v) ->
+                 Obj [ ("key", String key); ("version", Int v) ])
+               writes) );
+      ]
   | Ps_machine.Forget { txn } -> tag "forget" [ ("txn", String txn) ]
   | Ps_machine.Install { policies; announce } ->
     tag "install"
@@ -981,7 +998,18 @@ let ps_action_of_json j =
     let* txn = Result.bind (member "txn" j) to_str in
     let* commit = Result.bind (member "commit" j) to_bool in
     let* forced = Result.bind (member "forced" j) to_bool in
-    Ok (Ps_machine.Apply { txn; commit; forced })
+    (* Absent before codec v3: per-key committed write versions. *)
+    let* writes =
+      opt_field j "writes" (fun entries ->
+          Result.bind (to_list entries)
+            (map_result (fun entry ->
+                 let* key = Result.bind (member "key" entry) to_str in
+                 let* v = Result.bind (member "version" entry) to_int in
+                 Ok (key, v))))
+    in
+    Ok
+      (Ps_machine.Apply
+         { txn; commit; forced; writes = Option.value ~default:[] writes })
   | "forget" ->
     let* txn = Result.bind (member "txn" j) to_str in
     Ok (Ps_machine.Forget { txn })
@@ -1007,3 +1035,14 @@ let ps_action_of_json j =
     let* label = Result.bind (member "label" j) to_str in
     Ok (Ps_machine.Mark label)
   | other -> Error (Printf.sprintf "PS action tag %S unknown" other)
+
+(* Render as journal format [version] encoded it, so the replay auditor
+   can byte-compare against journals recorded by older codecs.  The only
+   action whose encoding changed since v2 is [Apply] (v3 added the
+   committed write versions). *)
+let ps_action_to_json_at ~version:v a =
+  match a with
+  | Ps_machine.Apply { txn; commit; forced; writes = _ } when v <= 2 ->
+    tag "apply"
+      [ ("txn", String txn); ("commit", Bool commit); ("forced", Bool forced) ]
+  | a -> ps_action_to_json a

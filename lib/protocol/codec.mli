@@ -56,3 +56,10 @@ val ps_input_to_json : Ps_machine.input -> Json.t
 val ps_input_of_json : Json.t -> (Ps_machine.input, string) result
 val ps_action_to_json : Ps_machine.action -> Json.t
 val ps_action_of_json : Json.t -> (Ps_machine.action, string) result
+
+(** [ps_action_to_json_at ~version a] renders [a] as journal format
+    [version] encoded it (version 2 lacked the [Apply] committed write
+    versions), so the replay auditor can byte-compare replayed actions
+    against journals recorded by older codecs.  For [version >= 3] this
+    is {!ps_action_to_json}. *)
+val ps_action_to_json_at : version:int -> Ps_machine.action -> Json.t

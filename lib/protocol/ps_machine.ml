@@ -57,7 +57,12 @@ type action =
       proof_truth : bool;
       policy_versions : (string * int) list;
     }
-  | Apply of { txn : string; commit : bool; forced : bool }
+  | Apply of {
+      txn : string;
+      commit : bool;
+      forced : bool;
+      writes : (string * int) list;
+    }
   | Forget of { txn : string }
   | Install of { policies : Policy.t list; announce : bool }
   | Wait_open of { txn : string; query_id : string }
@@ -96,10 +101,11 @@ type input =
   | Recovered of {
       decided : string list;
           (** Transactions whose decision record survived in the WAL. *)
-      in_doubt : (string * bool) list;
+      in_doubt : (string * bool * string list) list;
           (** Prepared-but-undecided transactions with their recorded
-              integrity vote; the machine re-seeds a minimal state and
-              runs the paper's Inquiry termination protocol. *)
+              integrity vote and the keys their WAL prepared record
+              writes; the machine re-seeds a minimal state and runs the
+              paper's Inquiry termination protocol. *)
     }
 
 type pending = { p_query : Query.t; p_evaluate : bool; p_reply_to : string }
@@ -120,6 +126,9 @@ type txn_state = {
   mutable pending : pending option;
   mutable after_prepare : after_prepare option;
   mutable inq_epoch : int; (* guards stale inquiry timers *)
+  mutable rec_writes : string list;
+      (* write keys recovered from the WAL prepared record; the executed
+         queries themselves did not survive the crash *)
 }
 
 type t = {
@@ -131,6 +140,11 @@ type t = {
       (* volatile memory of settled transactions, so re-delivered decisions
          are re-acked without re-applying; wiped by [Crashed], re-seeded
          from the WAL by [Recovered] *)
+  commit_versions : (string, int) Hashtbl.t;
+      (* per-key count of commits applied here; stamps each committed
+         write with its position in this store's version order.  Wiped by
+         [Crashed] like all volatile state, so versions restart per crash
+         epoch — the journal's repeated create record marks the epoch. *)
   mutable out : action list; (* reversed accumulator for the current step *)
 }
 
@@ -141,6 +155,7 @@ let create ~name ?(variant = Tpc.Basic) ?(inquiry_timeout = 0.) () =
     inquiry_timeout;
     txns = Hashtbl.create 16;
     decided = Hashtbl.create 16;
+    commit_versions = Hashtbl.create 16;
     out = [];
   }
 
@@ -153,7 +168,8 @@ let queries_of t ~txn =
 
 let reset t =
   Hashtbl.reset t.txns;
-  Hashtbl.reset t.decided
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.commit_versions
 
 let emit t a = t.out <- a :: t.out
 let mark t label = emit t (Mark label)
@@ -190,11 +206,30 @@ let state t ~txn ~ts ~subject ~credentials =
         pending = None;
         after_prepare = None;
         inq_epoch = 0;
+        rec_writes = [];
       }
     in
     Hashtbl.add t.txns txn st;
     emit t (Begin_work { txn; ts });
     st
+
+(* Distinct keys [st]'s workspace wrote here: the executed queries' write
+   sets plus any WAL-recovered keys (the queries are lost on crash). *)
+let write_keys st =
+  List.sort_uniq String.compare
+    (st.rec_writes @ List.concat_map Query.write_set st.queries)
+
+(* Stamp each key this commit installs with its position in the store's
+   per-key version order (1, 2, ... per crash epoch). *)
+let commit_writes t st =
+  List.map
+    (fun key ->
+      let v =
+        1 + Option.value ~default:0 (Hashtbl.find_opt t.commit_versions key)
+      in
+      Hashtbl.replace t.commit_versions key v;
+      (key, v))
+    (write_keys st)
 
 let eval t ~txn st ~queries ~with_proofs ~with_policies cont =
   emit t
@@ -438,8 +473,9 @@ let dispatch t ~src msg =
       touch t st ~txn;
       eval t ~txn st ~queries:st.queries ~with_proofs:true ~with_policies:true
         (To_update_reply { reply_to = src; round; reply_with }))
-  | Message.Decision { txn; commit } ->
-    if Hashtbl.mem t.txns txn then begin
+  | Message.Decision { txn; commit } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | Some st ->
       let forced =
         match (t.variant, commit) with
         | Tpc.Basic, _ -> true
@@ -447,12 +483,12 @@ let dispatch t ~src msg =
         | Tpc.Presumed_commit, commit -> not commit
       in
       if forced then mark t (Printf.sprintf "log_force:decision:%s" txn);
-      emit t (Apply { txn; commit; forced });
+      let writes = if commit then commit_writes t st else [] in
+      emit t (Apply { txn; commit; forced; writes });
       Hashtbl.remove t.txns txn;
       Hashtbl.replace t.decided txn ();
       send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn })
-    end
-    else begin
+    | None ->
       (* Already applied (retransmission or duplicate), or no trace at all
          (an abort for a transaction the crash already erased).  Either
          way the ack — not a second apply — is what at-least-once delivery
@@ -462,8 +498,7 @@ let dispatch t ~src msg =
            (if Hashtbl.mem t.decided txn then "dup:decision" else
               "decision:no-trace")
            txn);
-      send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn })
-    end
+      send t ~st:None ~after_proofs:0 ~dst:src (Message.Decision_ack { txn }))
   | Message.Propagate_policy { policy } ->
     emit t (Install { policies = [ policy ]; announce = true })
   | Message.Execute_reply _ | Message.Validate_reply _ | Message.Commit_reply _
@@ -501,7 +536,7 @@ let on_inquiry_fired t ~txn ~epoch =
           emit t (Wait_close { txn; outcome = "abort"; killed_by = None })
         | None -> ());
         mark t (Printf.sprintf "unilateral_abort:%s" txn);
-        emit t (Apply { txn; commit = false; forced = false });
+        emit t (Apply { txn; commit = false; forced = false; writes = [] });
         Hashtbl.remove t.txns txn;
         Hashtbl.replace t.decided txn ()
     end
@@ -509,7 +544,7 @@ let on_inquiry_fired t ~txn ~epoch =
 let on_recovered t ~decided ~in_doubt =
   List.iter (fun txn -> Hashtbl.replace t.decided txn ()) decided;
   List.iter
-    (fun (txn, vote) ->
+    (fun (txn, vote, writes) ->
       if not (Hashtbl.mem t.txns txn) then begin
         (* Minimal re-seeded state: the driver rebuilt the workspace from
            the WAL's prepared record; subject/credentials are gone but no
@@ -524,6 +559,7 @@ let on_recovered t ~decided ~in_doubt =
             pending = None;
             after_prepare = None;
             inq_epoch = 0;
+            rec_writes = List.sort_uniq String.compare writes;
           }
         in
         Hashtbl.add t.txns txn st;

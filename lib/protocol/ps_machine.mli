@@ -79,9 +79,18 @@ type action =
       policy_versions : (string * int) list;
     }
       (** Force-log the prepared record; answer with {!input.Prepared}. *)
-  | Apply of { txn : string; commit : bool; forced : bool }
+  | Apply of {
+      txn : string;
+      commit : bool;
+      forced : bool;
+      writes : (string * int) list;
+    }
       (** Commit/abort the workspace, finish the transaction, release its
-          locks. *)
+          locks.  On commit, [writes] stamps each distinct key the
+          transaction wrote here with its position in this store's
+          per-key version order (1, 2, ... — machine-computed, so replay
+          reproduces it byte-for-byte; counters restart with each crash
+          epoch).  Aborts carry [[]]. *)
   | Forget of { txn : string }
       (** Read-only release: drop the workspace without a decision. *)
   | Install of { policies : Cloudtx_policy.Policy.t list; announce : bool }
@@ -134,10 +143,15 @@ type input =
           paper's [Inquiry] to its coordinator (and re-arms); one that
           never voted aborts unilaterally — it made no promise, and a
           later [Commit_request] will find no workspace and vote NO. *)
-  | Recovered of { decided : string list; in_doubt : (string * bool) list }
+  | Recovered of {
+      decided : string list;
+      in_doubt : (string * bool * string list) list;
+    }
       (** Restart: re-seed the decided-transaction memory and the in-doubt
-          transactions (with their WAL-recorded integrity votes) from the
-          recovered log; sends an [Inquiry] per in-doubt transaction. *)
+          transactions (with their WAL-recorded integrity votes and the
+          keys their WAL prepared records write — the executed queries are
+          gone) from the recovered log; sends an [Inquiry] per in-doubt
+          transaction. *)
 
 type t
 

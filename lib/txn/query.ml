@@ -9,8 +9,12 @@ type t = {
 let make ~id ~server ?(reads = []) ?(writes = []) ?action () =
   { id; server; reads; writes; action_override = action }
 
-let items t =
+let touches t =
   List.sort_uniq String.compare (t.reads @ List.map fst t.writes)
+
+let items = touches
+let read_set t = List.sort_uniq String.compare t.reads
+let write_set t = List.sort_uniq String.compare (List.map fst t.writes)
 
 let action t =
   match t.action_override with

@@ -24,8 +24,19 @@ val make :
   t
 
 (** m(q): every data item the query touches (reads and write keys),
-    deduplicated, sorted. *)
+    deduplicated, sorted.  A key appearing in both [reads] and [writes]
+    (a read-modify-write) counts once, so Table I item counts and
+    read/write-set extraction agree. *)
+val touches : t -> string list
+
+(** Alias for {!touches} (historical name). *)
 val items : t -> string list
+
+(** The distinct keys the query reads, sorted. *)
+val read_set : t -> string list
+
+(** The distinct keys the query writes, sorted. *)
+val write_set : t -> string list
 
 (** The action named in the query's proof of authorization: the override
     if given, else ["write"] when the query writes anything and ["read"]

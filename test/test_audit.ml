@@ -266,6 +266,61 @@ let test_truncated_journal () =
   let tampered = List.filteri (fun i _ -> i < last_action) lines in
   expect_rejected "truncated journal" tampered
 
+(* --- format compatibility --------------------------------------------- *)
+
+(* Journals recorded before codec v3 lack the Apply write stamps; the
+   auditor must render replayed actions as that version encoded them and
+   still byte-match.  Downgrade a fresh journal: v2 header, Apply action
+   payloads re-encoded without the writes field. *)
+let test_v2_journal_still_audits () =
+  let module Json = Cloudtx_policy.Json in
+  let module Codec = Cloudtx_protocol.Codec in
+  let module Ps = Cloudtx_protocol.Ps_machine in
+  let lines, _, _, _ =
+    run_cell Scheme.Deferred Consistency.Global Table1.Global_worst
+  in
+  let v3_report = audit_ok "v3 original" lines in
+  let downgraded =
+    match lines with
+    | [] -> []
+    | _header :: records ->
+      {|{"journal":"cloudtx","version":2}|}
+      :: List.map
+           (fun line ->
+             match Json.parse line with
+             | Error _ -> line
+             | Ok j -> (
+               let get name =
+                 match Json.member name j with Ok v -> v | Error _ -> Json.Null
+               in
+               match (Json.to_str (get "dir"), Json.member "payload" j) with
+               | Ok "action", Ok payload -> (
+                 match Codec.ps_action_of_json payload with
+                 | Ok (Ps.Apply _ as a) ->
+                   Json.to_string
+                     (Json.Obj
+                        [
+                          ("seq", get "seq");
+                          ("time_ms", get "time_ms");
+                          ("node", get "node");
+                          ("dir", get "dir");
+                          ("payload", Codec.ps_action_to_json_at ~version:2 a);
+                        ])
+                 | _ -> line)
+               | _ -> line))
+           records
+  in
+  let stamped l = contains l "\"t\":\"apply\"" && contains l "\"writes\"" in
+  Alcotest.(check bool) "journal carried write stamps" true
+    (List.exists stamped lines);
+  Alcotest.(check bool) "downgrade removed them" true
+    (not (List.exists stamped downgraded));
+  let v2_report = audit_ok "v2 downgraded" downgraded in
+  Alcotest.(check int) "same record count" v3_report.Audit.records
+    v2_report.Audit.records;
+  Alcotest.(check int) "same commits" v3_report.Audit.commits
+    v2_report.Audit.commits
+
 let () =
   Alcotest.run "audit"
     [
@@ -283,5 +338,10 @@ let () =
           Alcotest.test_case "flipped vote" `Quick test_flipped_vote;
           Alcotest.test_case "stale version" `Quick test_stale_version;
           Alcotest.test_case "truncated journal" `Quick test_truncated_journal;
+        ] );
+      ( "compat",
+        [
+          Alcotest.test_case "v2 journal still audits" `Quick
+            test_v2_journal_still_audits;
         ] );
     ]

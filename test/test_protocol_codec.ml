@@ -281,6 +281,12 @@ let ps_inputs =
       conts
   @ [
       Ps.Evaluated { txn = "t8"; proofs = []; policies = []; cont = List.hd conts };
+      Ps.Recovered { decided = []; in_doubt = [] };
+      Ps.Recovered
+        {
+          decided = [ "t5"; "t6" ];
+          in_doubt = [ ("t7", true, [ "a"; "b" ]); ("t8", false, []) ];
+        };
       Ps.Prepared { txn = "t7"; vote = true };
       Ps.Prepared { txn = "t7"; vote = false };
       Ps.Read_only_result
@@ -352,8 +358,15 @@ let ps_actions =
           policy_versions = [ ("accounts", 2); ("inventory", 7); ("hr", 1) ];
         };
       Ps.Prepare { txn = "t8"; proof_truth = false; policy_versions = [] };
-      Ps.Apply { txn = "t7"; commit = true; forced = true };
-      Ps.Apply { txn = "t7"; commit = false; forced = false };
+      Ps.Apply
+        {
+          txn = "t7";
+          commit = true;
+          forced = true;
+          writes = [ ("a", 1); ("b", 3) ];
+        };
+      Ps.Apply { txn = "t7"; commit = true; forced = false; writes = [] };
+      Ps.Apply { txn = "t7"; commit = false; forced = false; writes = [] };
       Ps.Forget { txn = "t8" };
       Ps.Install { policies = [ policy_v1; policy_v2 ]; announce = true };
       Ps.Install { policies = []; announce = false };

@@ -22,6 +22,22 @@ let test_query_items_and_action () =
   let r = Query.make ~id:"q" ~server:"s" ~reads:[ "a" ] () in
   Alcotest.(check string) "read action" "read" (Query.action r)
 
+(* A read-modify-write query touches each key once: m(q) (Table I item
+   counts) and read/write-set extraction must agree. *)
+let test_query_touches_rmw () =
+  let q =
+    Query.make ~id:"q" ~server:"s" ~reads:[ "x"; "y" ]
+      ~writes:[ ("x", Value.Set (Value.Int 1)) ]
+      ()
+  in
+  Alcotest.(check (list string)) "touches dedups rmw" [ "x"; "y" ]
+    (Query.touches q);
+  Alcotest.(check (list string)) "items = touches" (Query.touches q)
+    (Query.items q);
+  Alcotest.(check (list string)) "read_set" [ "x"; "y" ] (Query.read_set q);
+  Alcotest.(check (list string)) "write_set" [ "x" ] (Query.write_set q);
+  Alcotest.(check int) "Table I item count" 2 (List.length (Query.touches q))
+
 let test_transaction_participants () =
   let q server i = Query.make ~id:(Printf.sprintf "q%d" i) ~server ~reads:[ "k" ] () in
   let t =
@@ -168,6 +184,8 @@ let () =
       ( "model",
         [
           Alcotest.test_case "query items/action" `Quick test_query_items_and_action;
+          Alcotest.test_case "query touches rmw dedup" `Quick
+            test_query_touches_rmw;
           Alcotest.test_case "participants" `Quick test_transaction_participants;
         ] );
       ( "tpc",
