@@ -31,6 +31,7 @@ module Tracer = Cloudtx_obs.Tracer
 module Registry = Cloudtx_obs.Registry
 module Export = Cloudtx_obs.Export
 module Journal = Cloudtx_obs.Journal
+module Journal_io = Cloudtx_core.Journal_io
 module Audit = Cloudtx_core.Audit
 module Certify = Cloudtx_core.Certify
 module Dsg = Cloudtx_obs.Dsg
@@ -135,9 +136,31 @@ let journal_out_arg =
     & opt (some string) None
     & info [ "journal-out" ]
         ~doc:
-          "Record every protocol machine step (flight recorder) as JSONL to \
-           $(docv); replay and verify offline with $(b,cloudtx audit)."
+          "Record every protocol machine step (flight recorder) to $(docv) \
+           in the $(b,--journal-format) encoding; replay and verify offline \
+           with $(b,cloudtx audit)."
         ~docv:"FILE")
+
+let journal_format_conv =
+  let parse s =
+    match Journal.format_of_string s with
+    | Some f -> Ok f
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown journal format %s (jsonl|bin)" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%s" (Journal.format_name f))
+
+let journal_format_arg =
+  Arg.(
+    value
+    & opt journal_format_conv Journal.Jsonl
+    & info [ "journal-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Flight-recorder journal encoding: $(b,jsonl) (self-describing \
+           text, one JSON record per line) or $(b,bin) (length-prefixed \
+           checksummed binary frames; smaller and faster to record).  \
+           $(b,cloudtx audit), $(b,certify) and $(b,watch) auto-detect \
+           either; convert between them with $(b,cloudtx journal convert).")
 
 let monitor_arg =
   Arg.(
@@ -235,13 +258,15 @@ let write_file path contents =
 
 (* Turn the sinks on before any transaction runs; spans and metrics only
    exist for what happens afterwards. *)
-let enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
+let enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out
+    ~journal_format =
   let transport = Cluster.transport cluster in
   if trace_out <> None then ignore (Transport.enable_tracing transport);
   if metrics_json <> None || metrics_prom <> None then
     ignore (Transport.enable_metrics transport);
   Option.iter
-    (fun path -> ignore (Transport.enable_journal ~path transport))
+    (fun path ->
+      ignore (Transport.enable_journal ~format:journal_format ~path transport))
     journal_out
 
 (* A monitor without --journal-out still needs the event stream, so it
@@ -269,12 +294,13 @@ let alerts_sink = function
 
 (* Call after {!enable_obs} (the monitor snapshots the transport's
    registry, and reuses a --journal-out journal when one exists). *)
-let enable_monitor cluster ~monitor ~alerts_out ~rules =
+let enable_monitor cluster ~monitor ~alerts_out ~rules ~journal_format =
   if (not monitor) && alerts_out = None then None
   else begin
     let transport = Cluster.transport cluster in
     let journal =
-      Transport.enable_journal ~max_buffer_bytes:monitor_buffer_cap transport
+      Transport.enable_journal ~format:journal_format
+        ~max_buffer_bytes:monitor_buffer_cap transport
     in
     let log, close_log = alerts_sink alerts_out in
     let m =
@@ -331,7 +357,8 @@ let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
     (fun path ->
       let journal = Transport.journal transport in
       Journal.close journal;
-      Format.printf "wrote %s (flight-recorder journal, %d records)@." path
+      Format.printf "wrote %s (flight-recorder journal, %s, %d records)@." path
+        (Journal.format_name (Journal.format journal))
         (Journal.length journal))
     journal_out
 
@@ -410,15 +437,18 @@ let obs_summary reg ~scheme ~level ~servers ~queries ~txns =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd verbose scheme level servers queries txns seed update_period
-    write_ratio zipf trace_out metrics_json metrics_prom journal_out monitor
-    alerts_out rules =
+    write_ratio zipf trace_out metrics_json metrics_prom journal_out
+    journal_format monitor alerts_out rules =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
   in
   enable_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
-    ~journal_out;
-  let mon = enable_monitor scenario.Scenario.cluster ~monitor ~alerts_out ~rules in
+    ~journal_out ~journal_format;
+  let mon =
+    enable_monitor scenario.Scenario.cluster ~monitor ~alerts_out ~rules
+      ~journal_format
+  in
   (match update_period with
   | Some period when period > 0. ->
     Churn.policy_refresh scenario ~period ~propagation:(0.5, 8.) ~count:5000
@@ -468,7 +498,8 @@ let run_term =
     const run_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
     $ zipf_arg $ trace_out_arg $ metrics_json_arg $ metrics_prom_arg
-    $ journal_out_arg $ monitor_arg $ alerts_out_arg $ rules_term)
+    $ journal_out_arg $ journal_format_arg $ monitor_arg $ alerts_out_arg
+    $ rules_term)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -495,15 +526,16 @@ let table1_term =
 (* ------------------------------------------------------------------ *)
 
 let trace_cmd verbose scheme level servers queries format trace_out metrics_json
-    metrics_prom journal_out monitor alerts_out rules =
+    metrics_prom journal_out journal_format monitor alerts_out rules =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
       ~n_subjects:1 ()
   in
   let cluster = scenario.Scenario.cluster in
-  enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out;
-  let mon = enable_monitor cluster ~monitor ~alerts_out ~rules in
+  enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out
+    ~journal_format;
+  let mon = enable_monitor cluster ~monitor ~alerts_out ~rules ~journal_format in
   let txn =
     Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
   in
@@ -532,8 +564,8 @@ let trace_term =
   Term.(
     const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg
-    $ metrics_prom_arg $ journal_out_arg $ monitor_arg $ alerts_out_arg
-    $ rules_term)
+    $ metrics_prom_arg $ journal_out_arg $ journal_format_arg $ monitor_arg
+    $ alerts_out_arg $ rules_term)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -554,12 +586,13 @@ let audit_term =
     $ Arg.(
         required
         & pos 0 (some file) None
-        & info [] ~docv:"JOURNAL.jsonl"
+        & info [] ~docv:"JOURNAL"
             ~doc:
-              "Flight-recorder journal written by $(b,--journal-out); replayed \
-               through fresh protocol machines and checked for conformance, \
-               atomic commitment (AC1-AC3), prepare-before-commit and \
-               trusted-transaction soundness."))
+              "Flight-recorder journal written by $(b,--journal-out) (JSONL \
+               or binary, auto-detected); replayed through fresh protocol \
+               machines and checked for conformance, atomic commitment \
+               (AC1-AC3), prepare-before-commit and trusted-transaction \
+               soundness."))
 
 (* ------------------------------------------------------------------ *)
 (* certify: journal-driven serializability certification               *)
@@ -602,13 +635,14 @@ let certify_term =
     $ Arg.(
         required
         & pos 0 (some file) None
-        & info [] ~docv:"JOURNAL.jsonl"
+        & info [] ~docv:"JOURNAL"
             ~doc:
-              "Flight-recorder journal written by $(b,--journal-out); the \
-               committed transactions' read/write history is extracted and \
-               checked for serializability.  Exit 0: certified, with a \
-               witness serial order; exit 1: a named anomaly with journal \
-               seq evidence; exit 2: unreadable journal.")
+              "Flight-recorder journal written by $(b,--journal-out) (JSONL \
+               or binary, auto-detected); the committed transactions' \
+               read/write history is extracted and checked for \
+               serializability.  Exit 0: certified, with a witness serial \
+               order; exit 1: a named anomaly with journal seq evidence; \
+               exit 2: unreadable journal.")
     $ Arg.(
         value & opt (some string) None
         & info [ "dot" ] ~docv:"FILE"
@@ -647,13 +681,13 @@ let watch_term =
     $ Arg.(
         required
         & pos 0 (some file) None
-        & info [] ~docv:"JOURNAL.jsonl"
+        & info [] ~docv:"JOURNAL"
             ~doc:
-              "Flight-recorder journal written by $(b,--journal-out); \
-               replayed through the Watchtower health monitor in journal \
-               order, streaming alert transitions as they fire.  Exits \
-               non-zero when critical alerts remain unresolved at the end \
-               of the journal.")
+              "Flight-recorder journal written by $(b,--journal-out) (JSONL \
+               or binary, auto-detected); replayed through the Watchtower \
+               health monitor in journal order, streaming alert transitions \
+               as they fire.  Exits non-zero when critical alerts remain \
+               unresolved at the end of the journal.")
     $ rules_term $ alerts_out_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -753,12 +787,13 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
     (List.map Cloudtx_core.Participant.name (Cluster.participants cluster));
   (* Certify the whole grid's history off the capped in-memory journal:
      the snapshot's fourth line of defence after metrics/staleness/alerts. *)
-  (let lines =
-     String.split_on_char '\n' (String.trim (Journal.to_string journal))
-   in
-   match Certify.run ~lines with
-   | Ok report -> Format.printf "certify   : %s@." (Certify.summary report)
-   | Error why -> Format.printf "certify   : unreadable (%s)@." why);
+  (match
+     Result.bind
+       (Journal_io.of_contents (Journal.to_string journal))
+       (fun loaded -> Certify.run ~lines:loaded.Journal_io.lines)
+   with
+  | Ok report -> Format.printf "certify   : %s@." (Certify.summary report)
+  | Error why -> Format.printf "certify   : unreadable (%s)@." why);
   let open_alerts = Monitor.open_alerts monitor in
   Format.printf "alerts    : %d fired, %d open@."
     (Monitor.fired_total monitor)
@@ -1060,7 +1095,7 @@ let journal_file dir (cell : Campaign.cell) (plan : Plan.t) ~suffix =
     (String.map (function ':' -> '-' | c -> c) (Campaign.cell_name cell))
     plan.Plan.seed suffix
 
-let report_case dir shrink certify (case : Campaign.case) =
+let report_case dir shrink certify journal_format (case : Campaign.case) =
   let cell = case.Campaign.cell and plan = case.Campaign.plan in
   Format.printf "VIOLATION %s seed=%Ld@.  %s@.  plan: %s@."
     (Campaign.cell_name cell) plan.Plan.seed case.Campaign.failure.Campaign.what
@@ -1077,7 +1112,7 @@ let report_case dir shrink certify (case : Campaign.case) =
        practice failures come from the --no-dedup escape hatch; replaying
        candidates must use the same delivery mode that failed. *)
     let fails p =
-      match Campaign.run_plan ~dedup ~certify cell p with
+      match Campaign.run_plan ~dedup ~certify ~journal_format cell p with
       | Ok () -> None
       | Error f -> Some f.Campaign.what
     in
@@ -1089,7 +1124,7 @@ let report_case dir shrink certify (case : Campaign.case) =
         (Plan.to_string minimal) what;
       Option.iter
         (fun dir ->
-          match Campaign.run_plan ~dedup ~certify cell minimal with
+          match Campaign.run_plan ~dedup ~certify ~journal_format cell minimal with
           | Error f ->
             let path = journal_file dir cell minimal ~suffix:"-min" in
             write_lines path f.Campaign.journal;
@@ -1099,7 +1134,7 @@ let report_case dir shrink certify (case : Campaign.case) =
   end
 
 let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
-    certify =
+    certify journal_format =
   let dedup = not no_dedup in
   let cells = match cell with Some c -> [ c ] | None -> Campaign.all_cells in
   Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
@@ -1117,7 +1152,7 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
       | Ok plan ->
         List.filter_map
           (fun cell ->
-            match Campaign.run_plan ~dedup ~certify cell plan with
+            match Campaign.run_plan ~dedup ~certify ~journal_format cell plan with
             | Ok () ->
               Format.printf "ok %s seed=%Ld@." (Campaign.cell_name cell)
                 plan.Plan.seed;
@@ -1125,13 +1160,16 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
             | Error failure -> Some { Campaign.cell; plan; failure })
           cells)
     | None ->
-      let verdict = Campaign.run ~dedup ~certify ~cells ~base_seed ~plans:seeds () in
+      let verdict =
+        Campaign.run ~dedup ~certify ~journal_format ~cells ~base_seed
+          ~plans:seeds ()
+      in
       Format.printf "%d plan(s) x %d cell(s) = %d run(s), %d violation(s)@."
         seeds (List.length cells) verdict.Campaign.plans_run
         (List.length verdict.Campaign.failures);
       verdict.Campaign.failures
   in
-  List.iter (report_case journal_dir shrink certify) failures;
+  List.iter (report_case journal_dir shrink certify journal_format) failures;
   if failures <> [] then exit 1
 
 let chaos_term =
@@ -1188,7 +1226,119 @@ let chaos_term =
                audit: every run's journal must certify serializable \
                ($(b,cloudtx certify) over the same history).  Verdicts \
                stay bit-reproducible — the check is a pure function of the \
-               journal."))
+               journal.")
+    $ journal_format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* journal: format tooling (cat / convert)                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_raw path =
+  try
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    contents
+  with Sys_error msg ->
+    Format.eprintf "cloudtx: cannot read %s: %s@." path msg;
+    exit 2
+
+(* write_file appends a trailing newline when missing — fine for text,
+   corrupting for binary frames, so raw journal output bypasses it. *)
+let write_raw path contents =
+  let oc =
+    try open_out_bin path
+    with Sys_error msg ->
+      Format.eprintf "cloudtx: cannot write %s: %s@." path msg;
+      exit 2
+  in
+  output_string oc contents;
+  close_out oc
+
+let journal_cat_cmd path =
+  match Journal_io.of_file path with
+  | Error why ->
+    Format.eprintf "%s: unreadable journal@.  %s@." path why;
+    exit 2
+  | Ok loaded ->
+    List.iter print_endline loaded.Journal_io.lines;
+    if loaded.Journal_io.torn_bytes > 0 then
+      Format.eprintf "%s: ignored %d byte(s) of torn trailing frame@." path
+        loaded.Journal_io.torn_bytes
+
+let journal_cat_term =
+  Term.(
+    const journal_cat_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL"
+            ~doc:
+              "Journal in either format; its canonical JSONL lines are \
+               printed to stdout.  Exit 2 on an unreadable journal, naming \
+               the first bad frame."))
+
+let journal_convert_cmd in_path out_path to_ =
+  let contents = read_raw in_path in
+  let detected =
+    if Journal.is_binary contents then Journal.Binary else Journal.Jsonl
+  in
+  let to_ =
+    (* Default target: the other format. *)
+    match to_ with
+    | Some f -> f
+    | None -> ( match detected with Journal.Jsonl -> Journal.Binary | Journal.Binary -> Journal.Jsonl)
+  in
+  match Journal_io.convert ~to_ contents with
+  | Error why ->
+    Format.eprintf "%s: cannot convert@.  %s@." in_path why;
+    exit 2
+  | Ok converted ->
+    write_raw out_path converted;
+    Format.printf "wrote %s (%s -> %s, %d bytes)@." out_path
+      (Journal.format_name detected) (Journal.format_name to_)
+      (String.length converted)
+
+let journal_convert_term =
+  Term.(
+    const journal_convert_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"IN" ~doc:"Input journal (format auto-detected).")
+    $ Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"OUT" ~doc:"Output journal path.")
+    $ Arg.(
+        value
+        & opt (some journal_format_conv) None
+        & info [ "to" ] ~docv:"FORMAT"
+            ~doc:
+              "Target encoding, $(b,jsonl) or $(b,bin).  Default: the \
+               opposite of the input's detected format.  Conversion \
+               round-trips byte-exactly on current-version journals; \
+               audit/certify verdicts are identical on either encoding."))
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:
+         "Flight-recorder journal tooling: decode either encoding to \
+          canonical JSONL ($(b,cat)) or re-encode between JSONL and binary \
+          ($(b,convert)).")
+    [
+      Cmd.v
+        (Cmd.info "cat"
+           ~doc:
+             "Decode a journal (JSONL or binary, auto-detected) to \
+              human-readable canonical JSONL on stdout.")
+        journal_cat_term;
+      Cmd.v
+        (Cmd.info "convert"
+           ~doc:"Re-encode a journal between the JSONL and binary formats.")
+        journal_convert_term;
+    ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -1206,6 +1356,7 @@ let cmds =
             cycle with journal seq evidence.")
       certify_term;
     Cmd.v (Cmd.info "watch" ~doc:"Replay a flight-recorder journal through the Watchtower health monitor.") watch_term;
+    journal_cmd;
     Cmd.v (Cmd.info "health" ~doc:"Run the full scheme x level grid and print a health snapshot.") health_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;
     Cmd.v (Cmd.info "bank" ~doc:"Random funds transfers over the banking scenario.") bank_term;

@@ -8,6 +8,7 @@ module Outcome = Cloudtx_core.Outcome
 module Audit = Cloudtx_core.Audit
 module Certify = Cloudtx_core.Certify
 module Trusted = Cloudtx_core.Trusted
+module Journal_io = Cloudtx_core.Journal_io
 module Scenario = Cloudtx_workload.Scenario
 module Transport = Cloudtx_sim.Transport
 module Network = Cloudtx_sim.Network
@@ -55,15 +56,17 @@ let quiesce_steps = 400_000
 
 exception Violation of string
 
-let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_path
-    (cell : cell) (plan : Plan.t) =
+let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
+    ?journal_path (cell : cell) (plan : Plan.t) =
   let sc =
     Scenario.retail ~seed:plan.Plan.seed ?variant ~dedup ~inquiry_timeout
       ~n_servers ~n_subjects:n_txns ()
   in
   let cluster = sc.Scenario.cluster in
   let tr = Cluster.transport cluster in
-  let journal = Transport.enable_journal ?path:journal_path tr in
+  let journal =
+    Transport.enable_journal ?format:journal_format ?path:journal_path tr
+  in
   let net = Transport.network tr in
   let cfg =
     Manager.config ~vote_timeout ~decision_retry cell.scheme cell.level
@@ -154,8 +157,13 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_path
       Plan.fault_horizon plan.Plan.ops
     +. 1.
   in
+  (* Canonical JSONL lines whatever the journal format: binary contents
+     decode through {!Journal_io}, so the audit and certify layers below
+     assert the exact same records — a per-run cross-format guarantee. *)
   let journal_lines () =
-    String.split_on_char '\n' (String.trim (Journal.to_string journal))
+    match Journal_io.of_contents (Journal.to_string journal) with
+    | Ok loaded -> loaded.Journal_io.lines
+    | Error m -> [ "journal decode failed: " ^ m ]
   in
   let fail what = Error { what; journal = journal_lines () } in
   try
@@ -287,8 +295,8 @@ type verdict = {
   failures : case list;  (** First failure per (cell, plan) pair. *)
 }
 
-let run ?dedup ?certify ?variant ?(cells = all_cells) ?(base_seed = 1000L)
-    ~plans () =
+let run ?dedup ?certify ?variant ?journal_format ?(cells = all_cells)
+    ?(base_seed = 1000L) ~plans () =
   let failures = ref [] in
   let count = ref 0 in
   let ps =
@@ -300,7 +308,7 @@ let run ?dedup ?certify ?variant ?(cells = all_cells) ?(base_seed = 1000L)
       List.iter
         (fun plan ->
           incr count;
-          match run_plan ?dedup ?certify ?variant cell plan with
+          match run_plan ?dedup ?certify ?variant ?journal_format cell plan with
           | Ok () -> ()
           | Error failure ->
             failures := { cell; plan; failure } :: !failures)

@@ -44,12 +44,17 @@ type failure = {
     [certify:true] adds a fourth assertion layer after
     liveness/safety/audit: the run's journal must certify serializable
     ({!Cloudtx_core.Certify});
+    [journal_format] selects the flight recorder's encoding (default
+    JSONL) — audit/certify assertions and [failure.journal] lines are
+    identical either way, because binary journals decode to the same
+    canonical records;
     [journal_path] additionally writes the journal through to a file;
     [variant] selects the participants' decision-logging discipline. *)
 val run_plan :
   ?dedup:bool ->
   ?certify:bool ->
   ?variant:Cloudtx_txn.Tpc.variant ->
+  ?journal_format:Cloudtx_obs.Journal.format ->
   ?journal_path:string ->
   cell ->
   Plan.t ->
@@ -64,6 +69,7 @@ val run :
   ?dedup:bool ->
   ?certify:bool ->
   ?variant:Cloudtx_txn.Tpc.variant ->
+  ?journal_format:Cloudtx_obs.Journal.format ->
   ?cells:cell list ->
   ?base_seed:int64 ->
   plans:int ->

@@ -425,13 +425,10 @@ let run ~lines =
       }
   with Fail m -> Error m
 
+(* Auto-detects the journal format: binary journals decode to the same
+   canonical JSONL lines ({!Journal_io}), so the byte-exact replay below
+   runs unchanged — and its verdict cannot depend on the format. *)
 let of_file path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then lines := line :: !lines
-     done
-   with End_of_file -> close_in ic);
-  run ~lines:(List.rev !lines)
+  match Journal_io.of_file path with
+  | Error m -> Error m
+  | Ok loaded -> run ~lines:loaded.Journal_io.lines

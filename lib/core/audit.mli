@@ -46,5 +46,8 @@ val report_to_string : report -> string
     the first divergent [seq] and what was expected vs. recorded. *)
 val run : lines:string list -> (report, string) result
 
-(** [of_file path] reads a JSONL journal and audits it. *)
+(** [of_file path] reads a journal (JSONL or binary, auto-detected) and
+    audits it.  Binary journals decode to the same canonical records a
+    JSONL journal holds ({!Journal_io}), so the byte-exact replay — and
+    the verdict — is identical across formats. *)
 val of_file : string -> (report, string) result

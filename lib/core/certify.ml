@@ -844,20 +844,12 @@ let run ~lines =
           verdict;
         })
 
+(* Format auto-detection: binary journals decode to the same canonical
+   JSONL lines ({!Journal_io}), so verdicts are format-independent. *)
 let of_file path =
-  match
-    let ic = open_in path in
-    let lines = ref [] in
-    (try
-       while true do
-         let line = input_line ic in
-         if String.trim line <> "" then lines := line :: !lines
-       done
-     with End_of_file -> close_in ic);
-    List.rev !lines
-  with
-  | exception Sys_error m -> Error m
-  | lines -> run ~lines
+  match Journal_io.of_file path with
+  | Error m -> Error m
+  | Ok loaded -> run ~lines:loaded.Journal_io.lines
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -1,5 +1,6 @@
 module Json = Cloudtx_policy.Json
 module Codec = Cloudtx_protocol.Codec
+module Codec_bin = Cloudtx_protocol.Codec_bin
 module Tm = Cloudtx_protocol.Tm_machine
 module Ps = Cloudtx_protocol.Ps_machine
 module Monitor = Cloudtx_obs.Monitor
@@ -186,8 +187,29 @@ let feed t ~seq ~time_ms ~node ~dir ~payload =
     t.decode_errors <- t.decode_errors + 1;
     emit t ~seq ~time_ms (Monitor.Activity { node })
 
+(* Observer payloads arrive in the journal's own format: JSON text for a
+   JSONL journal, [Codec_bin] bytes for a binary one. *)
+let feed_bin t ~seq ~time_ms ~node ~dir:_ ~payload =
+  match Codec_bin.payload_of_string payload with
+  | Ok p ->
+    let dir =
+      match p with
+      | Codec_bin.Create_tm _ | Codec_bin.Create_ps _ -> "create"
+      | Codec_bin.Tm_input _ | Codec_bin.Ps_input _ -> "input"
+      | Codec_bin.Tm_action _ | Codec_bin.Ps_action _ -> "action"
+    in
+    feed_json t ~seq ~time_ms ~node ~dir (Codec_bin.payload_to_json p)
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+
 let attach journal monitor =
   let t = create monitor in
+  let feed =
+    match Cloudtx_obs.Journal.format journal with
+    | Cloudtx_obs.Journal.Jsonl -> feed
+    | Cloudtx_obs.Journal.Binary -> feed_bin
+  in
   Cloudtx_obs.Journal.set_observer journal (fun ~seq ~time_ms ~node ~dir ~payload ->
       feed t ~seq ~time_ms ~node ~dir ~payload);
   t
@@ -225,21 +247,13 @@ let feed_line t ~lineno line =
     feed_json t ~seq ~time_ms ~node ~dir payload;
     Ok ())
 
+(* Format auto-detection via {!Journal_io}: a binary journal replays as
+   the same canonical records. *)
 let of_file path monitor =
-  match
-    let ic = open_in path in
-    let lines = ref [] in
-    (try
-       while true do
-         let line = input_line ic in
-         if String.trim line <> "" then lines := line :: !lines
-       done
-     with End_of_file -> close_in ic);
-    List.rev !lines
-  with
-  | exception Sys_error m -> Error m
-  | [] -> Error "empty journal"
-  | header :: records -> (
+  match Result.map (fun l -> l.Journal_io.lines) (Journal_io.of_file path) with
+  | Error m -> Error m
+  | Ok [] -> Error "empty journal"
+  | Ok (header :: records) -> (
     match check_header header with
     | Error _ as e -> e
     | Ok () ->

@@ -1,0 +1,179 @@
+(* Format-agnostic journal loading and conversion.  Everything that
+   consumes a journal file (audit, certify, watch, the CLI) routes
+   through here: binary journals decode to the same canonical JSONL
+   lines a JSONL journal records — byte-identical, which is what keeps
+   audit's byte-exact replay and the certifier's verdicts independent of
+   the on-disk format. *)
+
+module Journal = Cloudtx_obs.Journal
+module Codec = Cloudtx_protocol.Codec
+module Codec_bin = Cloudtx_protocol.Codec_bin
+module Json = Cloudtx_policy.Json
+
+type t = {
+  format : Journal.format;
+  version : int;
+  lines : string list;
+  torn_bytes : int;
+}
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Loading (either format -> canonical JSONL lines)                    *)
+(* ------------------------------------------------------------------ *)
+
+let split_lines s =
+  match String.trim s with
+  | "" -> []
+  | s ->
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+
+(* Best-effort header version for a JSONL journal; consumers run their
+   own strict [check_header]. *)
+let jsonl_version lines =
+  match lines with
+  | header :: _ -> (
+    match
+      Result.bind (Json.parse header) (fun j ->
+          Result.bind (Json.member "version" j) Json.to_int)
+    with
+    | Ok v -> v
+    | Error _ -> 0)
+  | [] -> 0
+
+let decode_binary_contents s =
+  let* { Journal.version; frames; torn_bytes } = Journal.decode_binary s in
+  if version < 3 || version > Journal.format_version then
+    Error (Printf.sprintf "unsupported binary journal version %d" version)
+  else
+    let* records =
+      List.fold_left
+        (fun acc (f : Journal.frame) ->
+          let* acc = acc in
+          match Codec_bin.payload_of_string f.Journal.payload with
+          | Error m ->
+            Error (Printf.sprintf "frame with seq %d: %s" f.Journal.seq m)
+          | Ok p ->
+            let payload = Codec.to_string (Codec_bin.payload_to_json p) in
+            Ok
+              (Journal.render_jsonl ~seq:f.Journal.seq
+                 ~time_ms:f.Journal.time_ms ~node:f.Journal.node
+                 ~dir:f.Journal.dir ~payload
+              :: acc))
+        (Ok []) frames
+    in
+    Ok
+      {
+        format = Journal.Binary;
+        version;
+        lines = Journal.render_header ~version :: List.rev records;
+        torn_bytes;
+      }
+
+let of_contents s =
+  if Journal.is_binary s then decode_binary_contents s
+  else
+    let lines = split_lines s in
+    Ok { format = Journal.Jsonl; version = jsonl_version lines; lines; torn_bytes = 0 }
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error m -> Error m
+  | s -> Ok s
+
+let of_file path = Result.bind (read_file path) of_contents
+
+(* ------------------------------------------------------------------ *)
+(* Conversion                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* JSONL -> binary re-encodes every payload through the typed codec, so
+   only journals the current codec fully understands convert; anything
+   else (older versions, foreign payloads) errors out rather than
+   silently rewriting history. *)
+let jsonl_to_binary lines =
+  match lines with
+  | [] -> Error "empty journal"
+  | header :: records ->
+    let* version =
+      match
+        Result.bind (Json.parse header) (fun j ->
+            Result.bind (Json.member "version" j) Json.to_int)
+      with
+      | Ok v -> Ok v
+      | Error _ -> Error "journal header unreadable"
+    in
+    if version <> Journal.format_version then
+      Error
+        (Printf.sprintf
+           "cannot convert a v%d journal to binary: binary journals are \
+            v%d-only (older versions encode some records differently)"
+           version Journal.format_version)
+    else begin
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf (Journal.binary_header ~version);
+      (* Node kinds, learned from create records, resolve whether an
+         input/action payload is a TM or PS one. *)
+      let kinds : (string, Codec_bin.node_kind) Hashtbl.t = Hashtbl.create 8 in
+      let line_no = ref 1 in
+      let convert_line line =
+        incr line_no;
+        let ctx m = Error (Printf.sprintf "line %d: %s" !line_no m) in
+        match Json.parse line with
+        | Error m -> ctx m
+        | Ok j -> (
+          let* seq = Result.bind (Json.member "seq" j) Json.to_int in
+          let* time_ms = Result.bind (Json.member "time_ms" j) Json.to_float in
+          let* node = Result.bind (Json.member "node" j) Json.to_str in
+          let* dir = Result.bind (Json.member "dir" j) Json.to_str in
+          let* payload = Json.member "payload" j in
+          let* kind =
+            if dir = "create" then begin
+              let* k = Result.bind (Json.member "kind" payload) Json.to_str in
+              let kind =
+                if k = "tm" then Codec_bin.Tm else Codec_bin.Ps
+              in
+              Hashtbl.replace kinds node kind;
+              Ok kind
+            end
+            else
+              match Hashtbl.find_opt kinds node with
+              | Some k -> Ok k
+              | None ->
+                Error
+                  (Printf.sprintf "node %S has a %s record before its create"
+                     node dir)
+          in
+          match Codec_bin.payload_of_json ~dir ~kind payload with
+          | Error m -> ctx m
+          | Ok p ->
+            Journal.encode_frame buf ~seq ~time_ms ~node ~dir
+              ~emit:(fun b -> Codec_bin.emit_payload b p);
+            Ok ())
+      in
+      let* () =
+        List.fold_left
+          (fun acc line ->
+            let* () = acc in
+            convert_line line)
+          (Ok ()) records
+      in
+      Ok (Buffer.contents buf)
+    end
+
+let convert ~to_ contents =
+  let* loaded = of_contents contents in
+  match (loaded.format, to_) with
+  | Journal.Jsonl, Journal.Jsonl | Journal.Binary, Journal.Binary ->
+    Ok contents
+  | Journal.Binary, Journal.Jsonl ->
+    Ok (String.concat "\n" loaded.lines ^ "\n")
+  | Journal.Jsonl, Journal.Binary -> jsonl_to_binary loaded.lines

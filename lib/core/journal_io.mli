@@ -1,0 +1,41 @@
+(** Format-agnostic journal loading and conversion.
+
+    The flight recorder writes journals in two formats (JSONL and
+    binary; see [Cloudtx_obs.Journal]).  This module is the single
+    choke point every consumer uses to read one: it auto-detects the
+    format (binary magic sniff) and decodes binary journals to the {e
+    byte-identical} canonical JSONL lines a JSONL journal would have
+    recorded — so {!Audit}, {!Certify} and {!Health} run the exact same
+    line-based replay regardless of the on-disk format, and their
+    verdicts cannot drift between formats by construction. *)
+
+module Journal = Cloudtx_obs.Journal
+
+type t = {
+  format : Journal.format;  (** Detected input format. *)
+  version : int;
+      (** Journal format version from the header (best-effort [0] for a
+          JSONL journal with an unreadable header — consumers run their
+          own strict header checks). *)
+  lines : string list;
+      (** Canonical JSONL: header line first, then one line per record. *)
+  torn_bytes : int;
+      (** Bytes of an incomplete trailing binary frame that were
+          tolerated and discarded (longest-valid-prefix); [0] for JSONL
+          or a cleanly-ended binary journal. *)
+}
+
+(** Load a journal from raw contents / from a file.  Binary decode
+    errors name the first bad frame (and the seq it carried or was
+    expected to carry). *)
+val of_contents : string -> (t, string) result
+
+val of_file : string -> (t, string) result
+
+(** [convert ~to_ contents] re-encodes a whole journal.  Same-format
+    conversion is the identity; binary→JSONL is {!of_contents}'s
+    canonical lines; JSONL→binary re-encodes every payload through the
+    typed codec and refuses journals whose version is not current
+    (older versions encode some records differently, and a silent
+    upgrade would break the auditor's byte-exact replay). *)
+val convert : to_:Journal.format -> string -> (string, string) result

@@ -140,11 +140,16 @@ type t = {
       (* volatile memory of settled transactions, so re-delivered decisions
          are re-acked without re-applying; wiped by [Crashed], re-seeded
          from the WAL by [Recovered] *)
-  commit_versions : (string, int) Hashtbl.t;
-      (* per-key count of commits applied here; stamps each committed
-         write with its position in this store's version order.  Wiped by
-         [Crashed] like all volatile state, so versions restart per crash
-         epoch — the journal's repeated create record marks the epoch. *)
+  key_ids : (string, int) Hashtbl.t;
+      (* key-string interning for the hot per-key tables below: each key
+         hashes once ever, then travels as an int.  Grow-only — an
+         interned id is a stable identity, so it survives crash resets. *)
+  commit_versions : (int, int) Hashtbl.t;
+      (* per-key (by interned id) count of commits applied here; stamps
+         each committed write with its position in this store's version
+         order.  Wiped by [Crashed] like all volatile state, so versions
+         restart per crash epoch — the journal's repeated create record
+         marks the epoch. *)
   mutable out : action list; (* reversed accumulator for the current step *)
 }
 
@@ -155,7 +160,8 @@ let create ~name ?(variant = Tpc.Basic) ?(inquiry_timeout = 0.) () =
     inquiry_timeout;
     txns = Hashtbl.create 16;
     decided = Hashtbl.create 16;
-    commit_versions = Hashtbl.create 16;
+    key_ids = Hashtbl.create 64;
+    commit_versions = Hashtbl.create 64;
     out = [];
   }
 
@@ -169,7 +175,17 @@ let queries_of t ~txn =
 let reset t =
   Hashtbl.reset t.txns;
   Hashtbl.reset t.decided;
+  (* [key_ids] deliberately survives: interned ids are identities, not
+     state; only the per-epoch counters restart. *)
   Hashtbl.reset t.commit_versions
+
+let key_id t key =
+  match Hashtbl.find_opt t.key_ids key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length t.key_ids in
+    Hashtbl.add t.key_ids key id;
+    id
 
 let emit t a = t.out <- a :: t.out
 let mark t label = emit t (Mark label)
@@ -224,10 +240,11 @@ let write_keys st =
 let commit_writes t st =
   List.map
     (fun key ->
+      let id = key_id t key in
       let v =
-        1 + Option.value ~default:0 (Hashtbl.find_opt t.commit_versions key)
+        1 + Option.value ~default:0 (Hashtbl.find_opt t.commit_versions id)
       in
-      Hashtbl.replace t.commit_versions key v;
+      Hashtbl.replace t.commit_versions id v;
       (key, v))
     (write_keys st)
 

@@ -61,12 +61,12 @@ let enable_metrics t =
   end;
   t.registry
 
-let enable_journal ?max_buffer_bytes ?path t =
+let enable_journal ?format ?max_buffer_bytes ?path t =
   if not (Obs.Journal.enabled t.journal) then begin
     let journal =
       Obs.Journal.create
         ~clock:(fun () -> Engine.now t.engine)
-        ?max_buffer_bytes ?path ()
+        ?format ?max_buffer_bytes ?path ()
     in
     (* The registry may be enabled after the journal: look it up at drop
        time, not at wiring time. *)

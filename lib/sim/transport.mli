@@ -49,14 +49,19 @@ val enable_metrics : _ t -> Cloudtx_obs.Registry.t
     until {!enable_journal} is called. *)
 val journal : _ t -> Cloudtx_obs.Journal.t
 
-(** [enable_journal ?max_buffer_bytes ?path t] installs (once) and
-    returns a live journal clocked by simulated time; with [path] records
-    are also written through to that JSONL file.  [max_buffer_bytes] caps
+(** [enable_journal ?format ?max_buffer_bytes ?path t] installs (once)
+    and returns a live journal clocked by simulated time; [format]
+    selects JSONL (default) or binary encoding, and with [path] records
+    are also written through to that file.  [max_buffer_bytes] caps
     the in-memory buffer (drop-oldest); evictions feed the registry's
     [journal.dropped] counter when metrics are enabled.  The protocol
     drivers record every machine step from then on. *)
 val enable_journal :
-  ?max_buffer_bytes:int -> ?path:string -> _ t -> Cloudtx_obs.Journal.t
+  ?format:Cloudtx_obs.Journal.format ->
+  ?max_buffer_bytes:int ->
+  ?path:string ->
+  _ t ->
+  Cloudtx_obs.Journal.t
 
 (** Simulated now, for convenience. *)
 val now : _ t -> float

@@ -570,6 +570,60 @@ let test_journal_cap_never_affects_file () =
        with End_of_file -> close_in ic);
       Alcotest.(check int) "write-through file keeps every line" 51 !n)
 
+let test_binary_cap_charges_encoded_bytes () =
+  (* The byte cap charges the actual encoded frame bytes, so eviction
+     must leave exactly the maximal suffix of frames whose encoded
+     sizes fit the cap. *)
+  let cap = 600 in
+  let journal =
+    Journal.create ~clock:(fun () -> 0.) ~format:Journal.Binary
+      ~max_buffer_bytes:cap ()
+  in
+  let payload i = String.make ((i mod 17) + 3) 'x' in
+  for i = 1 to 100 do
+    Journal.record journal ~node:"n" ~dir:"input" ~payload:(payload i)
+  done;
+  Alcotest.(check bool) "the cap evicted frames" true (Journal.dropped journal > 0);
+  (* Re-encode every record standalone to learn its exact frame size,
+     then compute the expected survivor suffix. *)
+  let size i =
+    let buf = Buffer.create 64 in
+    Journal.encode_frame buf ~seq:i ~time_ms:0. ~node:"n" ~dir:"input"
+      ~emit:(fun w -> Cloudtx_obs.Wbuf.str w (payload i));
+    Buffer.length buf
+  in
+  let expected_dropped = ref 0 and total = ref 0 in
+  for i = 100 downto 1 do
+    total := !total + size i;
+    if !total > cap && !expected_dropped = 0 then expected_dropped := i
+  done;
+  Alcotest.(check int) "dropped is exact for encoded bytes" !expected_dropped
+    (Journal.dropped journal);
+  let dump = Journal.to_string journal in
+  (match Journal.decode_binary dump with
+  | Error why -> Alcotest.failf "buffered journal undecodable: %s" why
+  | Ok d ->
+    Alcotest.(check int) "survivors are the contiguous tail"
+      (!expected_dropped + 1)
+      (List.hd d.Journal.frames).Journal.seq;
+    let buffered =
+      String.length dump
+      - String.length (Journal.binary_header ~version:Journal.format_version)
+    in
+    Alcotest.(check bool) "buffered frame bytes fit the cap" true
+      (buffered <= cap))
+
+let test_record_frame_needs_binary () =
+  (* record_frame is the binary fast path; a JSONL journal must reject
+     raw frame bytes loudly rather than journal garbage. *)
+  let journal = Journal.create ~clock:(fun () -> 0.) () in
+  Alcotest.check_raises "JSONL journal rejects record_frame"
+    (Invalid_argument "Journal.record_frame: JSONL journal") (fun () ->
+      Journal.record_frame journal ~node:"n" ~dir:"input" ~emit:(fun _ -> ()));
+  (* Disabled journal: no dispatch, no emit. *)
+  Journal.record_frame Journal.noop ~node:"n" ~dir:"input" ~emit:(fun _ ->
+      Alcotest.fail "emit ran on a disabled journal")
+
 let test_journal_dropped_counter_wired () =
   (* Through the transport: evictions land on the registry's
      journal.dropped counter. *)
@@ -655,6 +709,10 @@ let () =
             test_journal_buffer_cap;
           Alcotest.test_case "cap never affects the file" `Quick
             test_journal_cap_never_affects_file;
+          Alcotest.test_case "binary cap charges encoded bytes" `Quick
+            test_binary_cap_charges_encoded_bytes;
+          Alcotest.test_case "record_frame needs a binary journal" `Quick
+            test_record_frame_needs_binary;
           Alcotest.test_case "dropped counter wired" `Quick
             test_journal_dropped_counter_wired;
         ] );
