@@ -97,6 +97,7 @@ let check_skip_fields =
     "edges_per_sec"; "jsonl_records_per_sec"; "bin_records_per_sec";
     "jsonl_mb_per_sec"; "bin_mb_per_sec"; "encode_speedup"; "decode_speedup";
     "jsonl_decode_records_per_sec"; "bin_decode_records_per_sec"; "wall_s";
+    "sketch_ns_per_observe"; "exact_ns_per_observe";
   ]
 
 module Pjson = Cloudtx_policy.Json
@@ -1617,7 +1618,86 @@ let section_obs () =
       Journal.close journal;
       Printf.printf "  wrote %s (flight-recorder journal, %d records)\n" p
         (Journal.length journal))
-    !obs_journal_out
+    !obs_journal_out;
+  (* --- quantile sketch vs exact sample store ------------------------ *)
+  (* A deterministic heavy-tailed stream (no RNG dependency): the same
+     values feed both backends, so accuracy and retention are pure
+     functions of the stream. *)
+  let module Sketch = Cloudtx_obs.Sketch in
+  let module Histogram = Cloudtx_obs.Histogram in
+  let n_stream = 50_000 in
+  (* Period 10k: the 10k and 50k streams cover the same value set, so
+     retention flatness compares like with like. *)
+  let value i =
+    let x = float_of_int ((i * 7919 mod 10_000) + 1) in
+    0.05 *. (x ** 1.5) /. 100.
+  in
+  let record backend n =
+    let h = Histogram.create ~backend () in
+    let t0 = Sys.time () in
+    for i = 0 to n - 1 do
+      Histogram.observe h (value i)
+    done;
+    let elapsed = Sys.time () -. t0 in
+    (h, elapsed *. 1e9 /. float_of_int n)
+  in
+  let exact, exact_ns = record Histogram.Exact n_stream in
+  let sk, sketch_ns = record Histogram.Sketch n_stream in
+  (* Bounded memory: the sketch's footprint must be flat from 10k to 50k
+     observations over the same dynamic range, while the exact store
+     grows linearly.  Gated (deterministic). *)
+  let sk10, _ = record Histogram.Sketch 10_000 in
+  let sketch_words_10k = Histogram.retained_words sk10 in
+  let sketch_words_50k = Histogram.retained_words sk in
+  let exact_words_50k = Histogram.retained_words exact in
+  if sketch_words_50k > sketch_words_10k then begin
+    Printf.eprintf
+      "obs bench: sketch memory grew with the stream (%d -> %d words)\n"
+      sketch_words_10k sketch_words_50k;
+    exit 2
+  end;
+  (* Accuracy: every reported quantile within the documented relative
+     error bound of the exact percentile.  Gated (deterministic). *)
+  let bound =
+    match Histogram.sketch sk with
+    | Some s -> Sketch.error_bound s
+    | None -> assert false
+  in
+  let worst_rel_err =
+    List.fold_left
+      (fun acc p ->
+        let e = Histogram.percentile exact p
+        and g = Histogram.percentile sk p in
+        Float.max acc (Float.abs (g -. e) /. e))
+      0.
+      [ 1.; 25.; 50.; 90.; 99.; 99.9; 100. ]
+  in
+  if worst_rel_err > bound then begin
+    Printf.eprintf "obs bench: sketch error %.4f exceeds the bound %.4f\n"
+      worst_rel_err bound;
+    exit 2
+  end;
+  Printf.printf
+    "  sketch: %.0f ns/observe vs exact %.0f ns; retention %d words flat \
+     (exact: %d); worst quantile error %.3f%% (bound %.3f%%)\n"
+    sketch_ns exact_ns sketch_words_50k exact_words_50k
+    (100. *. worst_rel_err) (100. *. bound);
+  write_json_file ~what:"obs"
+    [
+      Obs_json.obj
+        [
+          ("workload", Obs_json.quote "sketch");
+          ("stream", string_of_int n_stream);
+          ("sketch_words_10k", string_of_int sketch_words_10k);
+          ("sketch_words_50k", string_of_int sketch_words_50k);
+          ("exact_words_50k", string_of_int exact_words_50k);
+          ("memory_bounded", "true");
+          ("within_error_bound", "true");
+          ("error_bound", Obs_json.number bound);
+          ("sketch_ns_per_observe", Obs_json.number sketch_ns);
+          ("exact_ns_per_observe", Obs_json.number exact_ns);
+        ];
+    ]
 
 (* ------------------------------------------------------------------ *)
 

@@ -38,6 +38,10 @@ module Dsg = Cloudtx_obs.Dsg
 module Monitor = Cloudtx_obs.Monitor
 module Slo = Cloudtx_obs.Slo
 module Health = Cloudtx_core.Health
+module Timeseries = Cloudtx_obs.Timeseries
+module Report = Cloudtx_obs.Report
+module Report_io = Cloudtx_core.Report_io
+module Json = Cloudtx_obs.Json
 module Plan = Cloudtx_chaos.Plan
 module Campaign = Cloudtx_chaos.Campaign
 module Shrink = Cloudtx_chaos.Shrink
@@ -179,6 +183,31 @@ let alerts_out_arg =
         ~doc:"Write every alert transition as a JSONL record to $(docv)."
         ~docv:"FILE")
 
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "metrics-interval" ] ~docv:"MS"
+        ~doc:
+          "Aggregate a windowed time series live over the protocol event \
+           stream: fixed $(docv)-wide windows of simulated time, each with \
+           commit/abort throughput, per-phase latency sketch quantiles, \
+           policy staleness and alert gauges.  Implies the in-memory flight \
+           recorder.  Write the snapshot with $(b,--metrics-out); \
+           $(b,cloudtx report) rebuilds the identical report from either \
+           the snapshot or the journal.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the windowed time-series snapshot (JSONL: header, one \
+           record per window, totals) to $(docv).  Window width comes from \
+           $(b,--metrics-interval) (default 100 ms).  Feed it to \
+           $(b,cloudtx report --metrics).")
+
 (* The SLO rule thresholds, shared by run/trace --monitor, watch and
    health. *)
 let rules_term =
@@ -292,24 +321,47 @@ let alerts_sink = function
     in
     (Some log, fun () -> close_out oc)
 
+(* One Health bridge per journal: {!Cloudtx_obs.Journal.set_observer} is
+   a single slot, so the monitor and the windowed time series must share
+   the same attach — the bridge feeds the monitor first, then the
+   timeseries, for every record. *)
+type live_monitor = {
+  lm_monitor : Monitor.t;
+  lm_timeseries : Timeseries.t option;
+  lm_chatty : bool;  (** print alert lines / the health summary *)
+  lm_close : unit -> unit;
+}
+
 (* Call after {!enable_obs} (the monitor snapshots the transport's
    registry, and reuses a --journal-out journal when one exists). *)
-let enable_monitor cluster ~monitor ~alerts_out ~rules ~journal_format =
-  if (not monitor) && alerts_out = None then None
+let enable_monitor cluster ~monitor ~alerts_out ~rules ~journal_format
+    ~metrics_interval ~metrics_out =
+  let want_ts = metrics_interval <> None || metrics_out <> None in
+  if (not monitor) && alerts_out = None && not want_ts then None
   else begin
     let transport = Cluster.transport cluster in
     let journal =
       Transport.enable_journal ~format:journal_format
         ~max_buffer_bytes:monitor_buffer_cap transport
     in
+    let ts =
+      if want_ts then
+        Some (Transport.enable_timeseries ?width_ms:metrics_interval transport)
+      else None
+    in
     let log, close_log = alerts_sink alerts_out in
+    let chatty = monitor || alerts_out <> None in
     let m =
       Monitor.create ~rules
         ~registry:(Transport.registry transport)
-        ?log ~console:print_endline ()
+        ?log
+        ~console:(if chatty then print_endline else ignore)
+        ?notify:(Option.map Timeseries.note_alert ts)
+        ()
     in
-    ignore (Health.attach journal m);
-    Some (m, close_log)
+    ignore (Health.attach ?timeseries:ts journal m);
+    Some { lm_monitor = m; lm_timeseries = ts; lm_chatty = chatty;
+           lm_close = close_log }
   end
 
 let monitor_summary (m : Monitor.t) =
@@ -329,11 +381,17 @@ let monitor_summary (m : Monitor.t) =
           versions domain)
       peaks)
 
-let finish_monitor = function
+let finish_monitor ?metrics_out = function
   | None -> ()
-  | Some (m, close_log) ->
-    monitor_summary m;
-    close_log ()
+  | Some lm ->
+    if lm.lm_chatty then monitor_summary lm.lm_monitor;
+    (match (metrics_out, lm.lm_timeseries) with
+    | Some path, Some ts ->
+      write_file path (Timeseries.to_jsonl ts);
+      Format.printf "wrote %s (windowed metrics, %d window(s))@." path
+        (List.length (Timeseries.cells ts))
+    | _ -> ());
+    lm.lm_close ()
 
 let dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out =
   let transport = Cluster.transport cluster in
@@ -438,7 +496,7 @@ let obs_summary reg ~scheme ~level ~servers ~queries ~txns =
 
 let run_cmd verbose scheme level servers queries txns seed update_period
     write_ratio zipf trace_out metrics_json metrics_prom journal_out
-    journal_format monitor alerts_out rules =
+    journal_format monitor alerts_out metrics_interval metrics_out rules =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
@@ -447,7 +505,7 @@ let run_cmd verbose scheme level servers queries txns seed update_period
     ~journal_out ~journal_format;
   let mon =
     enable_monitor scenario.Scenario.cluster ~monitor ~alerts_out ~rules
-      ~journal_format
+      ~journal_format ~metrics_interval ~metrics_out
   in
   (match update_period with
   | Some period when period > 0. ->
@@ -489,7 +547,7 @@ let run_cmd verbose scheme level servers queries txns seed update_period
   obs_summary
     (Transport.registry (Cluster.transport scenario.Scenario.cluster))
     ~scheme ~level ~servers ~queries ~txns;
-  finish_monitor mon;
+  finish_monitor ?metrics_out mon;
   dump_obs scenario.Scenario.cluster ~trace_out ~metrics_json ~metrics_prom
     ~journal_out
 
@@ -499,7 +557,7 @@ let run_term =
     $ queries_arg $ txns_arg $ seed_arg $ update_period_arg $ write_ratio_arg
     $ zipf_arg $ trace_out_arg $ metrics_json_arg $ metrics_prom_arg
     $ journal_out_arg $ journal_format_arg $ monitor_arg $ alerts_out_arg
-    $ rules_term)
+    $ metrics_interval_arg $ metrics_out_arg $ rules_term)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -526,7 +584,8 @@ let table1_term =
 (* ------------------------------------------------------------------ *)
 
 let trace_cmd verbose scheme level servers queries format trace_out metrics_json
-    metrics_prom journal_out journal_format monitor alerts_out rules =
+    metrics_prom journal_out journal_format monitor alerts_out metrics_interval
+    metrics_out rules =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:servers
@@ -535,7 +594,10 @@ let trace_cmd verbose scheme level servers queries format trace_out metrics_json
   let cluster = scenario.Scenario.cluster in
   enable_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out
     ~journal_format;
-  let mon = enable_monitor cluster ~monitor ~alerts_out ~rules ~journal_format in
+  let mon =
+    enable_monitor cluster ~monitor ~alerts_out ~rules ~journal_format
+      ~metrics_interval ~metrics_out
+  in
   let txn =
     Scenario.spread_transaction scenario ~id:"t1" ~subject:"clerk-1" ~queries ()
   in
@@ -551,7 +613,7 @@ let trace_cmd verbose scheme level servers queries format trace_out metrics_json
   | other ->
     Printf.eprintf "unknown format %s (text|mermaid|csv|jsonl)\n" other;
     exit 2);
-  finish_monitor mon;
+  finish_monitor ?metrics_out mon;
   dump_obs cluster ~trace_out ~metrics_json ~metrics_prom ~journal_out
 
 let format_arg =
@@ -565,7 +627,7 @@ let trace_term =
     const trace_cmd $ verbose_arg $ scheme_arg $ level_arg $ servers_arg
     $ queries_arg $ format_arg $ trace_out_arg $ metrics_json_arg
     $ metrics_prom_arg $ journal_out_arg $ journal_format_arg $ monitor_arg
-    $ alerts_out_arg $ rules_term)
+    $ alerts_out_arg $ metrics_interval_arg $ metrics_out_arg $ rules_term)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -691,11 +753,141 @@ let watch_term =
     $ rules_term $ alerts_out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* report: journal / metrics snapshot -> flight-deck report            *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd journal metrics alerts window rules json_out md_out =
+  let offline =
+    Option.map
+      (fun path ->
+        match Report_io.of_journal ~rules ?width_ms:window path with
+        | Ok pair -> pair
+        | Error why ->
+          Format.eprintf "%s: cannot build report@.  %s@." path why;
+          exit 2)
+      journal
+  in
+  let live =
+    Option.map
+      (fun path ->
+        match Report_io.of_snapshot_file path with
+        | Ok r -> r
+        | Error why ->
+          Format.eprintf "%s: cannot parse metrics snapshot@.  %s@." path why;
+          exit 2)
+      metrics
+  in
+  let report, monitor =
+    match (offline, live) with
+    | None, None ->
+      Format.eprintf
+        "cloudtx report: need a JOURNAL argument, --metrics SNAPSHOT, or both@.";
+      exit 2
+    | Some (r, m), None -> (r, Some m)
+    | None, Some r -> (r, None)
+    | Some (r_journal, m), Some r_snapshot ->
+      (* Both inputs: the consistency gate.  The live snapshot and the
+         offline replay must render byte-identical JSON — same windows,
+         same counts, same sketch quantiles — or the flight deck cannot
+         be trusted. *)
+      let a = Report.to_json r_journal and b = Report.to_json r_snapshot in
+      if not (String.equal a b) then begin
+        Format.eprintf
+          "report: online/offline DIVERGENCE@.  journal replay and metrics \
+           snapshot disagree (%d vs %d window(s))@."
+          (List.length r_journal.Report.windows)
+          (List.length r_snapshot.Report.windows);
+        exit 2
+      end;
+      Format.printf "online/offline reports agree (%d window(s))@."
+        (List.length r_journal.Report.windows);
+      (r_journal, Some m)
+  in
+  let alert_lines =
+    match alerts with
+    | Some path -> (
+      match Report_io.alert_lines_of_file path with
+      | Ok lines -> lines
+      | Error why ->
+        Format.eprintf "%s: cannot parse alerts file@.  %s@." path why;
+        exit 2)
+    | None -> (
+      match monitor with
+      | Some m -> Report_io.alert_lines_of_monitor m
+      | None -> [])
+  in
+  let json () = Report.to_json report in
+  let md () = Report.to_markdown ~alert_lines report in
+  Option.iter
+    (fun path ->
+      write_file path (json ());
+      Format.printf "wrote %s (report, JSON)@." path)
+    json_out;
+  Option.iter
+    (fun path ->
+      write_file path (md ());
+      Format.printf "wrote %s (report, markdown)@." path)
+    md_out;
+  if json_out = None && md_out = None then print_string (md ())
+
+let report_term =
+  Term.(
+    const report_cmd
+    $ Arg.(
+        value
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL"
+            ~doc:
+              "Flight-recorder journal written by $(b,--journal-out) (JSONL \
+               or binary, auto-detected); replayed through the Watchtower \
+               and the windowed time series to rebuild the report offline.")
+    $ Arg.(
+        value
+        & opt (some file) None
+        & info [ "metrics" ] ~docv:"SNAPSHOT"
+            ~doc:
+              "Windowed metrics snapshot written by $(b,--metrics-out); the \
+               live path's artifact.  With both $(i,JOURNAL) and \
+               $(b,--metrics), the two reports must render byte-identical \
+               JSON — exit 2 on divergence.")
+    $ Arg.(
+        value
+        & opt (some file) None
+        & info [ "alerts" ] ~docv:"FILE"
+            ~doc:
+              "Alert-transition JSONL written by $(b,--alerts-out); rendered \
+               as the markdown report's alert timeline.  Default: the \
+               journal replay's own alert transitions, when a journal is \
+               given.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "window" ] ~docv:"MS"
+            ~doc:
+              "Window width for journal replay (default 100 ms).  Ignored \
+               for $(b,--metrics) snapshots, which carry their own width — \
+               when comparing both, this must match the snapshot's width or \
+               the reports diverge.")
+    $ rules_term
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the report as JSON to $(docv).")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "md" ] ~docv:"FILE"
+            ~doc:
+              "Write the report as markdown to $(docv).  With neither \
+               $(b,--json) nor $(b,--md), markdown goes to stdout."))
+
+(* ------------------------------------------------------------------ *)
 (* health                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let health_cmd verbose servers queries txns seed update_period rules alerts_out
-    metrics_prom =
+    metrics_prom json_out =
   setup_logs verbose;
   let scenario =
     Scenario.retail ~seed:(Int64.of_int seed) ~n_servers:servers ~n_subjects:4 ()
@@ -734,8 +926,9 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
         [ Consistency.View; Consistency.Global ])
     Scheme.all;
   (* Per-cell phase percentiles (Section VI-B: the scheme choice follows
-     from exactly these distributions). *)
-  let phase_rows =
+     from exactly these distributions).  One numeric row per cell x phase
+     feeds both the console table and --json. *)
+  let phase_cells =
     List.concat_map
       (fun scheme ->
         List.concat_map
@@ -752,14 +945,12 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
                 | None -> None
                 | Some h ->
                   Some
-                    [
-                      Scheme.name scheme;
-                      Consistency.name level;
-                      phase;
-                      string_of_int (Cloudtx_obs.Histogram.count h);
-                      Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 50.);
-                      Printf.sprintf "%.2f" (Cloudtx_obs.Histogram.percentile h 99.);
-                    ])
+                    ( Scheme.name scheme,
+                      Consistency.name level,
+                      phase,
+                      Cloudtx_obs.Histogram.count h,
+                      Cloudtx_obs.Histogram.percentile h 50.,
+                      Cloudtx_obs.Histogram.percentile h 99. ))
               [
                 ("execute", "phase_execute_ms");
                 ("commit", "phase_commit_ms");
@@ -769,6 +960,17 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
           [ Consistency.View; Consistency.Global ])
       Scheme.all
   in
+  let phase_rows =
+    List.map
+      (fun (scheme, level, phase, count, p50, p99) ->
+        [
+          scheme; level; phase;
+          string_of_int count;
+          Printf.sprintf "%.2f" p50;
+          Printf.sprintf "%.2f" p99;
+        ])
+      phase_cells
+  in
   Table.print
     ~title:
       (Printf.sprintf "per-phase latency (ms), %d txns/cell, u=%d, n=%d" txns
@@ -777,6 +979,9 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
     phase_rows;
   Format.printf "per-node health@.";
   let peaks = Monitor.staleness_peak monitor in
+  let nodes =
+    List.map Cloudtx_core.Participant.name (Cluster.participants cluster)
+  in
   List.iter
     (fun server ->
       match List.assoc_opt server peaks with
@@ -784,14 +989,15 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
         Format.printf "  %-12s worst staleness %d version(s) on %s@." server
           versions domain
       | None -> Format.printf "  %-12s worst staleness 0 versions@." server)
-    (List.map Cloudtx_core.Participant.name (Cluster.participants cluster));
+    nodes;
   (* Certify the whole grid's history off the capped in-memory journal:
      the snapshot's fourth line of defence after metrics/staleness/alerts. *)
-  (match
-     Result.bind
-       (Journal_io.of_contents (Journal.to_string journal))
-       (fun loaded -> Certify.run ~lines:loaded.Journal_io.lines)
-   with
+  let certified =
+    Result.bind
+      (Journal_io.of_contents (Journal.to_string journal))
+      (fun loaded -> Certify.run ~lines:loaded.Journal_io.lines)
+  in
+  (match certified with
   | Ok report -> Format.printf "certify   : %s@." (Certify.summary report)
   | Error why -> Format.printf "certify   : unreadable (%s)@." why);
   let open_alerts = Monitor.open_alerts monitor in
@@ -806,6 +1012,78 @@ let health_cmd verbose servers queries txns seed update_period rules alerts_out
       write_file path (Registry.to_prometheus registry);
       Format.printf "wrote %s (metrics snapshot, Prometheus text format)@." path)
     metrics_prom;
+  (* --json: the same snapshot, machine-readable — every console row has
+     a field here, so CI can gate on the numbers it reads. *)
+  Option.iter
+    (fun path ->
+      let phases =
+        phase_cells
+        |> List.map (fun (scheme, level, phase, count, p50, p99) ->
+               Json.obj
+                 [
+                   ("scheme", Json.quote scheme);
+                   ("level", Json.quote level);
+                   ("phase", Json.quote phase);
+                   ("count", string_of_int count);
+                   ("p50", Json.number p50);
+                   ("p99", Json.number p99);
+                 ])
+        |> String.concat ","
+      in
+      let staleness =
+        nodes
+        |> List.map (fun server ->
+               let versions, domain =
+                 match List.assoc_opt server peaks with
+                 | Some (versions, domain) -> (versions, Json.quote domain)
+                 | None -> (0, "null")
+               in
+               Json.obj
+                 [
+                   ("node", Json.quote server);
+                   ("versions", string_of_int versions);
+                   ("domain", domain);
+                 ])
+        |> String.concat ","
+      in
+      let certify =
+        match certified with
+        | Ok report ->
+          Json.obj
+            [
+              ("ok", "true"); ("summary", Json.quote (Certify.summary report));
+            ]
+        | Error why ->
+          Json.obj [ ("ok", "false"); ("summary", Json.quote why) ]
+      in
+      let alerts =
+        Json.obj
+          [
+            ("fired", string_of_int (Monitor.fired_total monitor));
+            ( "open",
+              "["
+              ^ String.concat ","
+                  (List.map (fun a -> Slo.log_line `Fire a) open_alerts)
+              ^ "]" );
+          ]
+      in
+      let doc =
+        Json.obj
+          [
+            ("health", Json.quote "cloudtx");
+            ("version", "1");
+            ("servers", string_of_int servers);
+            ("queries", string_of_int queries);
+            ("txns_per_cell", string_of_int txns);
+            ("phases", "[" ^ phases ^ "]");
+            ("staleness", "[" ^ staleness ^ "]");
+            ("certify", certify);
+            ("alerts", alerts);
+          ]
+      in
+      write_file path doc;
+      Format.printf "wrote %s (health snapshot, JSON)@." path)
+    json_out;
   close_log ();
   if Monitor.unresolved_critical monitor > 0 then exit 1
 
@@ -814,7 +1092,16 @@ let health_term =
     const health_cmd $ verbose_arg $ servers_arg $ queries_arg
     $ Arg.(value & opt int 10 & info [ "txns" ] ~doc:"Transactions per cell.")
     $ seed_arg $ update_period_arg $ rules_term $ alerts_out_arg
-    $ metrics_prom_arg)
+    $ metrics_prom_arg
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:
+              "Write the health snapshot as a JSON document to $(docv): the \
+               per-cell phase percentiles, per-node staleness peaks, the \
+               certify verdict and the alert summary — every console row, \
+               machine-readable."))
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -1134,7 +1421,7 @@ let report_case dir shrink certify journal_format (case : Campaign.case) =
   end
 
 let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
-    certify journal_format =
+    certify journal_format journal_out metrics_interval metrics_out =
   let dedup = not no_dedup in
   let cells = match cell with Some c -> [ c ] | None -> Campaign.all_cells in
   Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
@@ -1152,7 +1439,11 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
       | Ok plan ->
         List.filter_map
           (fun cell ->
-            match Campaign.run_plan ~dedup ~certify ~journal_format cell plan with
+            match
+              Campaign.run_plan ~dedup ~certify ~journal_format
+                ?journal_path:journal_out ?metrics_path:metrics_out
+                ?metrics_width_ms:metrics_interval cell plan
+            with
             | Ok () ->
               Format.printf "ok %s seed=%Ld@." (Campaign.cell_name cell)
                 plan.Plan.seed;
@@ -1161,8 +1452,9 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
           cells)
     | None ->
       let verdict =
-        Campaign.run ~dedup ~certify ~journal_format ~cells ~base_seed
-          ~plans:seeds ()
+        Campaign.run ~dedup ~certify ~journal_format ?journal_path:journal_out
+          ?metrics_path:metrics_out ?metrics_width_ms:metrics_interval ~cells
+          ~base_seed ~plans:seeds ()
       in
       Format.printf "%d plan(s) x %d cell(s) = %d run(s), %d violation(s)@."
         seeds (List.length cells) verdict.Campaign.plans_run
@@ -1227,7 +1519,32 @@ let chaos_term =
                ($(b,cloudtx certify) over the same history).  Verdicts \
                stay bit-reproducible — the check is a pure function of the \
                journal.")
-    $ journal_format_arg)
+    $ journal_format_arg
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "journal-out" ] ~docv:"FILE"
+            ~doc:
+              "Write every run's flight-recorder journal through to $(docv) \
+               whatever the verdict (each run overwrites it — pair with \
+               $(b,--seeds 1) and $(b,--cell) for a single run's artifact, \
+               e.g. to feed $(b,cloudtx report)).")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "metrics-interval" ] ~docv:"MS"
+            ~doc:
+              "Window width for $(b,--metrics-out) (default 100 ms of \
+               simulated time).")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:
+              "Aggregate a windowed time series live over each run and \
+               write the snapshot JSONL to $(docv) whatever the verdict \
+               (each run overwrites it; see $(b,--journal-out)).  Feed it \
+               to $(b,cloudtx report --metrics)."))
 
 (* ------------------------------------------------------------------ *)
 (* journal: format tooling (cat / convert)                             *)
@@ -1356,6 +1673,15 @@ let cmds =
             cycle with journal seq evidence.")
       certify_term;
     Cmd.v (Cmd.info "watch" ~doc:"Replay a flight-recorder journal through the Watchtower health monitor.") watch_term;
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Build the flight-deck report (throughput curve, per-phase \
+            quantiles per window, staleness trajectory, alert timeline, \
+            saturation knee) from a journal, a --metrics-out snapshot, or \
+            both — with both, the online and offline reports must agree \
+            byte-for-byte.")
+      report_term;
     journal_cmd;
     Cmd.v (Cmd.info "health" ~doc:"Run the full scheme x level grid and print a health snapshot.") health_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;

@@ -14,6 +14,9 @@ module Transport = Cloudtx_sim.Transport
 module Network = Cloudtx_sim.Network
 module Latency = Cloudtx_sim.Latency
 module Journal = Cloudtx_obs.Journal
+module Monitor = Cloudtx_obs.Monitor
+module Timeseries = Cloudtx_obs.Timeseries
+module Health = Cloudtx_core.Health
 module Server = Cloudtx_store.Server
 module Wal = Cloudtx_store.Wal
 module Tpc = Cloudtx_txn.Tpc
@@ -57,7 +60,8 @@ let quiesce_steps = 400_000
 exception Violation of string
 
 let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
-    ?journal_path (cell : cell) (plan : Plan.t) =
+    ?journal_path ?metrics_path ?metrics_width_ms (cell : cell) (plan : Plan.t)
+    =
   let sc =
     Scenario.retail ~seed:plan.Plan.seed ?variant ~dedup ~inquiry_timeout
       ~n_servers ~n_subjects:n_txns ()
@@ -67,6 +71,16 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
   let journal =
     Transport.enable_journal ?format:journal_format ?path:journal_path tr
   in
+  (* Windowed metrics ride the same observer slot as the journal write-
+     through: one Health bridge feeds a monitor (default SLO rules) and
+     the fabric's timeseries, and the snapshot is written whatever the
+     verdict — a failing cell's flight deck is exactly what you want. *)
+  (match metrics_path with
+  | None -> ()
+  | Some _ ->
+    let ts = Transport.enable_timeseries ?width_ms:metrics_width_ms tr in
+    let monitor = Monitor.create ~notify:(Timeseries.note_alert ts) () in
+    ignore (Health.attach ~timeseries:ts journal monitor));
   let net = Transport.network tr in
   let cfg =
     Manager.config ~vote_timeout ~decision_retry cell.scheme cell.level
@@ -166,7 +180,15 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
     | Error m -> [ "journal decode failed: " ^ m ]
   in
   let fail what = Error { what; journal = journal_lines () } in
-  try
+  let write_snapshot () =
+    match (metrics_path, Transport.timeseries tr) with
+    | Some path, Some ts ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Timeseries.to_jsonl ts))
+    | _ -> ()
+  in
+  let result =
+    try
     submit 0;
     for i = 1 to n_txns - 1 do
       Transport.at tr ~delay:(6. *. float_of_int i) (fun () -> submit i)
@@ -279,10 +301,13 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
        | Ok { Certify.verdict = Certify.Anomalous a; _ } ->
          raise (Violation ("certify: " ^ Certify.describe_anomaly a))
        | Error why -> raise (Violation (Printf.sprintf "certify: %s" why)));
-    Ok ()
-  with
-  | Violation what -> fail what
-  | exn -> fail (Printf.sprintf "exception: %s" (Printexc.to_string exn))
+      Ok ()
+    with
+    | Violation what -> fail what
+    | exn -> fail (Printf.sprintf "exception: %s" (Printexc.to_string exn))
+  in
+  write_snapshot ();
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps                                                              *)
@@ -295,8 +320,8 @@ type verdict = {
   failures : case list;  (** First failure per (cell, plan) pair. *)
 }
 
-let run ?dedup ?certify ?variant ?journal_format ?(cells = all_cells)
-    ?(base_seed = 1000L) ~plans () =
+let run ?dedup ?certify ?variant ?journal_format ?journal_path ?metrics_path
+    ?metrics_width_ms ?(cells = all_cells) ?(base_seed = 1000L) ~plans () =
   let failures = ref [] in
   let count = ref 0 in
   let ps =
@@ -308,7 +333,10 @@ let run ?dedup ?certify ?variant ?journal_format ?(cells = all_cells)
       List.iter
         (fun plan ->
           incr count;
-          match run_plan ?dedup ?certify ?variant ?journal_format cell plan with
+          match
+            run_plan ?dedup ?certify ?variant ?journal_format ?journal_path
+              ?metrics_path ?metrics_width_ms cell plan
+          with
           | Ok () -> ()
           | Error failure ->
             failures := { cell; plan; failure } :: !failures)

@@ -49,6 +49,10 @@ type failure = {
     identical either way, because binary journals decode to the same
     canonical records;
     [journal_path] additionally writes the journal through to a file;
+    [metrics_path] writes a windowed-metrics snapshot JSONL
+    ({!Cloudtx_obs.Timeseries.to_jsonl}, window width [metrics_width_ms])
+    built live from the run's journal stream — written whatever the
+    verdict, so a failing cell still yields a flight deck;
     [variant] selects the participants' decision-logging discipline. *)
 val run_plan :
   ?dedup:bool ->
@@ -56,6 +60,8 @@ val run_plan :
   ?variant:Cloudtx_txn.Tpc.variant ->
   ?journal_format:Cloudtx_obs.Journal.format ->
   ?journal_path:string ->
+  ?metrics_path:string ->
+  ?metrics_width_ms:float ->
   cell ->
   Plan.t ->
   (unit, failure) result
@@ -64,12 +70,18 @@ type case = { cell : cell; plan : Plan.t; failure : failure }
 type verdict = { plans_run : int; failures : case list }
 
 (** [run ~plans ()] sweeps [plans] random plans (seeds [base_seed],
-    [base_seed+1], …) across [cells] (default: all 8). *)
+    [base_seed+1], …) across [cells] (default: all 8).
+    [journal_path]/[metrics_path] are passed to every {!run_plan} — each
+    run overwrites the same file, so they are mainly useful for
+    single-run sweeps ([plans = 1] with one cell). *)
 val run :
   ?dedup:bool ->
   ?certify:bool ->
   ?variant:Cloudtx_txn.Tpc.variant ->
   ?journal_format:Cloudtx_obs.Journal.format ->
+  ?journal_path:string ->
+  ?metrics_path:string ->
+  ?metrics_width_ms:float ->
   ?cells:cell list ->
   ?base_seed:int64 ->
   plans:int ->

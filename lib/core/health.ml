@@ -9,18 +9,40 @@ module Policy = Cloudtx_policy.Policy
 
 type kind = Tm_node of string  (** transaction id *) | Ps_node
 
+(* Phase boundaries recovered from the journaled TM lifecycle: creation,
+   the Obs Phase_open marks, and Finish — the same clock points
+   [Manager] samples for the registry's phase histograms, so offline
+   latency derivation reproduces the live metrics exactly. *)
+type phase_times = {
+  begun_at : float;
+  mutable prepare_at : float option;
+  mutable decided_at : float option;
+}
+
 type t = {
   monitor : Monitor.t;
+  timeseries : Cloudtx_obs.Timeseries.t option;
   kinds : (string, kind) Hashtbl.t;
+  phase_times : (string, phase_times) Hashtbl.t;
   mutable decode_errors : int;
 }
 
-let create monitor =
-  { monitor; kinds = Hashtbl.create 16; decode_errors = 0 }
+let create ?timeseries monitor =
+  {
+    monitor;
+    timeseries;
+    kinds = Hashtbl.create 16;
+    phase_times = Hashtbl.create 16;
+    decode_errors = 0;
+  }
 
 let decode_errors t = t.decode_errors
 
-let emit t ~seq ~time_ms ev = Monitor.observe t.monitor ~seq ~time_ms ev
+let emit t ~seq ~time_ms ev =
+  Monitor.observe t.monitor ~seq ~time_ms ev;
+  match t.timeseries with
+  | Some ts -> Cloudtx_obs.Timeseries.observe ts ~seq ~time_ms ev
+  | None -> ()
 
 let emit_masters t ~seq ~time_ms policies =
   List.iter
@@ -64,6 +86,8 @@ let on_create t ~seq ~time_ms ~node payload =
       emit t ~seq ~time_ms (Monitor.Activity { node })
     | Some (txn, cfg) ->
       Hashtbl.replace t.kinds node (Tm_node txn);
+      Hashtbl.replace t.phase_times txn
+        { begun_at = time_ms; prepare_at = None; decided_at = None };
       emit t ~seq ~time_ms
         (Monitor.Txn_begin
            {
@@ -94,12 +118,44 @@ let on_tm_input t ~seq ~time_ms ~node ~txn payload =
     | _ -> ())
   | Ok (Tm.Watchdog_fired _ | Tm.Retry_fired) -> ignore node
 
+let emit_latency t ~seq ~time_ms txn =
+  match Hashtbl.find_opt t.phase_times txn with
+  | None -> ()
+  | Some pt ->
+    Hashtbl.remove t.phase_times txn;
+    let diff a b = Option.map (fun x -> x -. b) a in
+    emit t ~seq ~time_ms
+      (Monitor.Txn_latency
+         {
+           txn;
+           total_ms = time_ms -. pt.begun_at;
+           execute_ms = diff pt.prepare_at pt.begun_at;
+           commit_ms =
+             (match (pt.prepare_at, pt.decided_at) with
+             | Some p, Some d -> Some (d -. p)
+             | _ -> None);
+           decide_ms = Option.map (fun d -> time_ms -. d) pt.decided_at;
+         })
+
 let on_tm_action t ~seq ~time_ms ~node ~txn payload =
   match Codec.tm_action_of_json payload with
   | Error _ ->
     t.decode_errors <- t.decode_errors + 1;
     emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Ok (Tm.Obs (Tm.Phase_open { span_name; _ })) ->
+    (match Hashtbl.find_opt t.phase_times txn with
+    | Some pt -> (
+      (* The same clock points Manager samples: prepare opening starts
+         the commit phase; the commit/abort phase opening is the
+         decision instant. *)
+      match span_name with
+      | "2pvc.prepare" -> pt.prepare_at <- Some time_ms
+      | "2pvc.commit" | "2pvc.abort" -> pt.decided_at <- Some time_ms
+      | _ -> ())
+    | None -> ());
+    emit t ~seq ~time_ms (Monitor.Activity { node })
   | Ok (Tm.Finish { committed; reason; _ }) ->
+    emit_latency t ~seq ~time_ms txn;
     emit t ~seq ~time_ms
       (Monitor.Txn_end
          {
@@ -203,8 +259,8 @@ let feed_bin t ~seq ~time_ms ~node ~dir:_ ~payload =
     t.decode_errors <- t.decode_errors + 1;
     emit t ~seq ~time_ms (Monitor.Activity { node })
 
-let attach journal monitor =
-  let t = create monitor in
+let attach ?timeseries journal monitor =
+  let t = create ?timeseries monitor in
   let feed =
     match Cloudtx_obs.Journal.format journal with
     | Cloudtx_obs.Journal.Jsonl -> feed
@@ -249,7 +305,7 @@ let feed_line t ~lineno line =
 
 (* Format auto-detection via {!Journal_io}: a binary journal replays as
    the same canonical records. *)
-let of_file path monitor =
+let of_file ?timeseries path monitor =
   match Result.map (fun l -> l.Journal_io.lines) (Journal_io.of_file path) with
   | Error m -> Error m
   | Ok [] -> Error "empty journal"
@@ -257,7 +313,7 @@ let of_file path monitor =
     match check_header header with
     | Error _ as e -> e
     | Ok () ->
-      let t = create monitor in
+      let t = create ?timeseries monitor in
       let rec go n lineno = function
         | [] -> Ok n
         | line :: rest -> (

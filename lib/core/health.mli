@@ -15,7 +15,14 @@
 
 type t
 
-val create : Cloudtx_obs.Monitor.t -> t
+(** [create monitor] — [timeseries], when given, receives every emitted
+    event too (after the monitor), so one journal pass feeds both the
+    Watchtower and the windowed series.  The bridge also derives a
+    {!Cloudtx_obs.Monitor.Txn_latency} per finished transaction from
+    the journaled TM lifecycle (creation, the [2pvc.*] phase-open
+    marks, finish) — the same clock points the live registry's phase
+    histograms sample, so offline replay reproduces them exactly. *)
+val create : ?timeseries:Cloudtx_obs.Timeseries.t -> Cloudtx_obs.Monitor.t -> t
 
 (** Feed one journal record; [payload] is the raw JSON fragment from the
     record envelope. *)
@@ -28,7 +35,11 @@ val decode_errors : t -> int
 (** [attach journal monitor] registers a streaming observer on [journal]
     (see {!Cloudtx_obs.Journal.set_observer}) feeding [monitor] — the
     live [--monitor] path.  Returns the bridge for {!decode_errors}. *)
-val attach : Cloudtx_obs.Journal.t -> Cloudtx_obs.Monitor.t -> t
+val attach :
+  ?timeseries:Cloudtx_obs.Timeseries.t ->
+  Cloudtx_obs.Journal.t ->
+  Cloudtx_obs.Monitor.t ->
+  t
 
 (** [of_file path monitor] replays a journal file through the monitor in
     journal order — the [watch] path.  Returns the number of records fed,
@@ -36,4 +47,8 @@ val attach : Cloudtx_obs.Journal.t -> Cloudtx_obs.Monitor.t -> t
     {!Audit.of_file} this tolerates seq gaps (a capped in-memory buffer
     legitimately drops oldest records); each record's own [seq] is what
     lands in alert evidence. *)
-val of_file : string -> Cloudtx_obs.Monitor.t -> (int, string) result
+val of_file :
+  ?timeseries:Cloudtx_obs.Timeseries.t ->
+  string ->
+  Cloudtx_obs.Monitor.t ->
+  (int, string) result

@@ -7,10 +7,30 @@ let lo_exp = -16
 let hi_exp = 47
 let n_buckets = hi_exp - lo_exp + 1
 
-type t = { samples : Sample_set.t; counts : int array; mutable sum : float }
+type backend = Exact | Sketch
 
-let create () =
-  { samples = Sample_set.create (); counts = Array.make n_buckets 0; sum = 0. }
+type exact = {
+  samples : Sample_set.t;
+  counts : int array;
+  mutable sum : float;
+}
+
+type t = E of exact | S of Sketch.t
+
+let create ?(backend = Exact) () =
+  match backend with
+  | Exact ->
+    E
+      {
+        samples = Sample_set.create ();
+        counts = Array.make n_buckets 0;
+        sum = 0.;
+      }
+  | Sketch -> S (Sketch.create ())
+
+let backend = function E _ -> Exact | S _ -> Sketch
+let samples = function E e -> Some e.samples | S _ -> None
+let sketch = function E _ -> None | S s -> Some s
 
 let bucket_index v =
   if v <= 0. || Float.is_nan v then 0
@@ -24,24 +44,38 @@ let bucket_index v =
   end
 
 let observe t v =
-  Sample_set.add t.samples v;
-  t.sum <- t.sum +. v;
-  let i = bucket_index v in
-  t.counts.(i) <- t.counts.(i) + 1
+  match t with
+  | E e ->
+    Sample_set.add e.samples v;
+    e.sum <- e.sum +. v;
+    let i = bucket_index v in
+    e.counts.(i) <- e.counts.(i) + 1
+  | S s -> Sketch.observe s v
 
-let count t = Sample_set.count t.samples
-let sum t = t.sum
-let mean t = Sample_set.mean t.samples
-let min t = Sample_set.min t.samples
-let max t = Sample_set.max t.samples
-let percentile t p = Sample_set.percentile t.samples p
+let count = function
+  | E e -> Sample_set.count e.samples
+  | S s -> Sketch.count s
 
-let buckets t =
-  let out = ref [] in
-  for i = n_buckets - 1 downto 0 do
-    if t.counts.(i) > 0 then
-      out := (Float.ldexp 1. (i + lo_exp), t.counts.(i)) :: !out
-  done;
-  !out
+let sum = function E e -> e.sum | S s -> Sketch.sum s
+let mean = function E e -> Sample_set.mean e.samples | S s -> Sketch.mean s
+let min = function E e -> Sample_set.min e.samples | S s -> Sketch.min s
+let max = function E e -> Sample_set.max e.samples | S s -> Sketch.max s
 
-let samples t = t.samples
+let percentile t p =
+  match t with
+  | E e -> Sample_set.percentile e.samples p
+  | S s -> Sketch.percentile s p
+
+let buckets = function
+  | E e ->
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if e.counts.(i) > 0 then
+        out := (Float.ldexp 1. (i + lo_exp), e.counts.(i)) :: !out
+    done;
+    !out
+  | S s -> Sketch.bins s
+
+let retained_words = function
+  | E e -> Sample_set.count e.samples + n_buckets + 4
+  | S s -> Sketch.memory_words s

@@ -1,30 +1,50 @@
-(** Latency histogram: log2 buckets for cheap shape summaries plus the
-    exact sample store ({!Cloudtx_metrics.Sample_set}) for precise
-    percentiles — simulation scale makes keeping every observation
-    affordable, so percentiles are exact rather than bucket-interpolated. *)
+(** Latency histogram with a selectable storage backend.
+
+    [Exact] (the default) keeps log2 buckets for cheap shape summaries
+    plus the exact sample store ({!Cloudtx_metrics.Sample_set}) for
+    precise percentiles — affordable at simulation scale, O(n) memory.
+    [Sketch] drops the raw samples and keeps a bounded-memory log-linear
+    {!Sketch} instead: percentiles carry the sketch's documented
+    relative-error bound ({!Sketch.error_bound}) but memory stays
+    O(bins) no matter how many values are recorded — the backend for
+    big load-engine runs. *)
 
 type t
 
-val create : unit -> t
+type backend = Exact | Sketch
+
+val create : ?backend:backend -> unit -> t
+val backend : t -> backend
 val observe : t -> float -> unit
 val count : t -> int
 
-(** Exact running sum of every observation (not reconstructed from the
-    buckets, which would be lossy for log-bucketed data). *)
+(** Exact running sum of every observation (tracked in both backends,
+    not reconstructed from the buckets). *)
 val sum : t -> float
 
 val mean : t -> float
 val min : t -> float
 val max : t -> float
 
-(** Exact percentile over every observation; raises [Invalid_argument]
-    when empty or [p] outside [0, 100]. *)
+(** Percentile over the observations: exact in [Exact] mode, within
+    {!Sketch.error_bound} (relative) in [Sketch] mode.  Both backends
+    use the same rank convention ([r = p/100*(n-1)], interpolated).
+    Raises [Invalid_argument] when empty or [p] outside [0, 100]. *)
 val percentile : t -> float -> float
 
-(** Non-empty log2 buckets as [(upper_bound, count)], ascending.  A value
-    [v] lands in the bucket with the smallest upper bound [2^k >= v];
-    non-positive values land in the lowest bucket. *)
+(** Non-empty buckets as [(upper_bound, count)], ascending — log2 buckets
+    in [Exact] mode, the finer sketch bins in [Sketch] mode (both render
+    directly as cumulative Prometheus [_bucket] series).  Non-positive
+    values land in the lowest bucket. *)
 val buckets : t -> (float * int) list
 
-(** The underlying exact sample store. *)
-val samples : t -> Cloudtx_metrics.Sample_set.t
+(** The underlying exact sample store ([Exact] backend only). *)
+val samples : t -> Cloudtx_metrics.Sample_set.t option
+
+(** The underlying sketch ([Sketch] backend only). *)
+val sketch : t -> Sketch.t option
+
+(** Lower-bound estimate of words retained by the backend — grows with
+    the observation count in [Exact] mode, stays O(bins) in [Sketch]
+    mode (the bench's bounded-memory assertion). *)
+val retained_words : t -> int

@@ -2,6 +2,13 @@ type event =
   | Txn_begin of { txn : string; node : string; scheme : string; level : string }
   | Txn_step of { txn : string }
   | Txn_end of { txn : string; committed : bool; reason : string; killed : bool }
+  | Txn_latency of {
+      txn : string;
+      total_ms : float;
+      execute_ms : float option;
+      commit_ms : float option;
+      decide_ms : float option;
+    }
   | Master_version of { domain : string; version : int }
   | Replica_version of { node : string; domain : string; version : int }
   | Vote of { txn : string; node : string; vote : bool }
@@ -30,6 +37,7 @@ type t = {
   registry : Registry.t;
   log : string -> unit;
   console : string -> unit;
+  notify : [ `Fire | `Resolve ] -> Slo.alert -> unit;
   (* rule state *)
   txns : (string, txn_state) Hashtbl.t;  (* open transactions *)
   master : (string, int) Hashtbl.t;  (* domain -> observed master version *)
@@ -47,12 +55,13 @@ type t = {
 }
 
 let create ?(rules = Slo.default) ?(registry = Registry.noop)
-    ?(log = ignore) ?(console = ignore) () =
+    ?(log = ignore) ?(console = ignore) ?(notify = fun _ _ -> ()) () =
   {
     rules;
     registry;
     log;
     console;
+    notify;
     txns = Hashtbl.create 16;
     master = Hashtbl.create 4;
     replicas = Hashtbl.create 16;
@@ -128,7 +137,8 @@ let fire t ~seq ~time_ms ~rule ~severity ~subject ~node ~detail =
       set_active_gauge t rule
     end;
     t.console (Slo.console_line `Fire a);
-    t.log (Slo.log_line `Fire a)
+    t.log (Slo.log_line `Fire a);
+    t.notify `Fire a
 
 let resolve t ~seq ~time_ms ~rule ~subject ~detail =
   match Hashtbl.find_opt t.active (rule, subject) with
@@ -143,7 +153,8 @@ let resolve t ~seq ~time_ms ~rule ~subject ~detail =
          (Option.value ~default:1 (Hashtbl.find_opt t.active_per_rule rule) - 1));
     set_active_gauge t rule;
     t.console (Slo.console_line `Resolve a);
-    t.log (Slo.log_line `Resolve a)
+    t.log (Slo.log_line `Resolve a);
+    t.notify `Resolve a
 
 (* ------------------------------------------------------------------ *)
 (* Rules                                                               *)
@@ -349,6 +360,7 @@ let observe t ~seq ~time_ms event =
   | Master_version { domain; version } -> note_master t ~seq ~time_ms domain version
   | Replica_version { node; domain; version } ->
     note_replica t ~seq ~time_ms node domain version
+  | Txn_latency _ -> ()  (* consumed by Timeseries, not by any rule *)
   | Vote { txn; node; vote } -> note_vote t ~seq txn node vote
   | Proof_result { txn; node; domain; version; result } ->
     note_replica t ~seq ~time_ms node domain version;

@@ -31,6 +31,15 @@ type event =
       reason : string;
       killed : bool;  (** Wait-die victim (feeds the livelock rule). *)
     }
+  | Txn_latency of {
+      txn : string;
+      total_ms : float;  (** Submit-to-finish. *)
+      execute_ms : float option;  (** Submit to 2PVC prepare open. *)
+      commit_ms : float option;  (** Prepare open to decision. *)
+      decide_ms : float option;  (** Decision to finish. *)
+    }
+      (** Per-phase latency breakdown derived at transaction finish —
+          no rule consumes it; it exists for {!Timeseries}. *)
   | Master_version of { domain : string; version : int }
       (** The policy master was observed to hold this version. *)
   | Replica_version of { node : string; domain : string; version : int }
@@ -50,12 +59,16 @@ type t
 
 (** [create ()] — [rules] defaults to {!Slo.default}; [registry] (when
     live) receives the alert counters/gauges; [log] receives one
-    {!Slo.log_line} per transition; [console] one {!Slo.console_line}. *)
+    {!Slo.log_line} per transition; [console] one {!Slo.console_line};
+    [notify] sees every alert transition as a structured value (a fresh
+    fire or a resolve — refreshes of an already-open alert do not
+    re-notify), the hook {!Timeseries.note_alert} plugs into. *)
 val create :
   ?rules:Slo.rules ->
   ?registry:Registry.t ->
   ?log:(string -> unit) ->
   ?console:(string -> unit) ->
+  ?notify:([ `Fire | `Resolve ] -> Slo.alert -> unit) ->
   unit ->
   t
 

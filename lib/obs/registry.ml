@@ -7,12 +7,18 @@ type cell =
 
 type t = {
   enabled : bool;
+  histogram : Histogram.backend;
   cells : (string * labels, cell) Hashtbl.t;
 }
 
-let noop = { enabled = false; cells = Hashtbl.create 1 }
-let create () = { enabled = true; cells = Hashtbl.create 64 }
+let noop =
+  { enabled = false; histogram = Histogram.Exact; cells = Hashtbl.create 1 }
+
+let create ?(histogram = Histogram.Exact) () =
+  { enabled = true; histogram; cells = Hashtbl.create 64 }
+
 let enabled t = t.enabled
+let histogram_backend t = t.histogram
 
 let canonical labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -49,7 +55,10 @@ let set_gauge t name labels v =
 
 let observe t name labels v =
   if t.enabled then
-    match cell t name labels (fun () -> Hist (Histogram.create ())) with
+    match
+      cell t name labels (fun () ->
+          Hist (Histogram.create ~backend:t.histogram ()))
+    with
     | Hist h -> Histogram.observe h v
     | c -> type_error name c "histogram"
 

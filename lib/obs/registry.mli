@@ -1,5 +1,6 @@
-(** Labeled metrics registry: counters, gauges and log-bucketed histograms
-    (exact percentiles via {!Histogram} / {!Cloudtx_metrics.Sample_set}).
+(** Labeled metrics registry: counters, gauges and histograms
+    ({!Histogram} — exact percentiles by default, or bounded-memory
+    sketches when created with the [Sketch] backend).
 
     A time series is identified by a metric name plus a label set such as
     [[("scheme", "deferred"); ("level", "view")]].  Label order does not
@@ -16,8 +17,16 @@ type labels = (string * string) list
 (** Shared disabled registry; every write is a no-op. *)
 val noop : t
 
-val create : unit -> t
+(** [create ()] — [histogram] selects the storage backend for every
+    histogram this registry creates: {!Histogram.Exact} (default, exact
+    percentiles, O(n) memory) or {!Histogram.Sketch} (bounded-memory
+    log-linear sketch for big runs). *)
+val create : ?histogram:Histogram.backend -> unit -> t
+
 val enabled : t -> bool
+
+(** The backend new histograms are created with. *)
+val histogram_backend : t -> Histogram.backend
 
 (** {1 Writes} *)
 

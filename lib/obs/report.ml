@@ -1,0 +1,297 @@
+type stats = { count : int; p50 : float; p99 : float; p999 : float; max : float }
+
+type window = {
+  index : int;
+  start_ms : float;
+  begun : int;
+  commits : int;
+  aborts : int;
+  killed : int;
+  staleness : int;
+  alerts_fired : int;
+  alerts_resolved : int;
+  alerts_open : int;
+  phases : (string * stats) list;
+}
+
+type totals = {
+  begun : int;
+  commits : int;
+  aborts : int;
+  killed : int;
+  staleness : int;
+  alerts_fired : int;
+  alerts_resolved : int;
+  alerts_open : int;
+  phases : (string * stats) list;
+}
+
+type t = {
+  width_ms : float;
+  windows : window list;
+  totals : totals;
+  knee : int option;
+}
+
+let finished (w : window) = w.commits + w.aborts
+
+let total_p99 (w : window) =
+  Option.map (fun s -> s.p99) (List.assoc_opt "total" w.phases)
+
+(* First window whose total-phase p99 inflected (>= 1.5x the best earlier
+   p99) while throughput flattened (finished count <= 1.1x the best
+   earlier window).  Documented in DESIGN §8. *)
+let detect_knee windows =
+  let rec go best_p99 best_tp = function
+    | [] -> None
+    | (w : window) :: rest -> (
+      match total_p99 w with
+      | None -> go best_p99 best_tp rest
+      | Some p99 ->
+        let tp = float_of_int (finished w) in
+        let hit =
+          match best_p99 with
+          | Some base when p99 >= 1.5 *. base && tp <= 1.1 *. best_tp ->
+            Some w.index
+          | _ -> None
+        in
+        (match hit with
+        | Some _ -> hit
+        | None ->
+          let best_p99 =
+            match best_p99 with
+            | None -> Some p99
+            | Some b -> Some (Float.min b p99)
+          in
+          go best_p99 (Float.max best_tp tp) rest))
+  in
+  go None 0. windows
+
+let make ~width_ms ~windows ~totals =
+  { width_ms; windows; totals; knee = detect_knee windows }
+
+let of_timeseries ts =
+  let window_of (c : Timeseries.cell) =
+    {
+      index = c.Timeseries.index;
+      start_ms = c.Timeseries.start_ms;
+      begun = c.Timeseries.begun;
+      commits = c.Timeseries.commits;
+      aborts = c.Timeseries.aborts;
+      killed = c.Timeseries.killed;
+      staleness = c.Timeseries.staleness;
+      alerts_fired = c.Timeseries.alerts_fired;
+      alerts_resolved = c.Timeseries.alerts_resolved;
+      alerts_open = c.Timeseries.alerts_open;
+      phases =
+        List.map
+          (fun (name, (s : Timeseries.stats)) ->
+            ( name,
+              {
+                count = s.Timeseries.count;
+                p50 = s.Timeseries.p50;
+                p99 = s.Timeseries.p99;
+                p999 = s.Timeseries.p999;
+                max = s.Timeseries.max;
+              } ))
+          c.Timeseries.phases;
+    }
+  in
+  let tot = Timeseries.totals ts in
+  let totals =
+    {
+      begun = tot.Timeseries.begun;
+      commits = tot.Timeseries.commits;
+      aborts = tot.Timeseries.aborts;
+      killed = tot.Timeseries.killed;
+      staleness = tot.Timeseries.staleness;
+      alerts_fired = tot.Timeseries.alerts_fired;
+      alerts_resolved = tot.Timeseries.alerts_resolved;
+      alerts_open = tot.Timeseries.alerts_open;
+      phases =
+        List.map
+          (fun (name, (s : Timeseries.stats)) ->
+            ( name,
+              {
+                count = s.Timeseries.count;
+                p50 = s.Timeseries.p50;
+                p99 = s.Timeseries.p99;
+                p999 = s.Timeseries.p999;
+                max = s.Timeseries.max;
+              } ))
+          tot.Timeseries.phases;
+    }
+  in
+  make ~width_ms:(Timeseries.width_ms ts)
+    ~windows:(List.map window_of (Timeseries.cells ts))
+    ~totals
+
+let throughput t w = float_of_int (finished w) *. 1000. /. t.width_ms
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let format_version = 1
+
+let stats_json (s : stats) =
+  Json.obj
+    [
+      ("count", string_of_int s.count);
+      ("p50", Json.number s.p50);
+      ("p99", Json.number s.p99);
+      ("p999", Json.number s.p999);
+      ("max", Json.number s.max);
+    ]
+
+let phases_json phases =
+  Json.obj (List.map (fun (name, s) -> (name, stats_json s)) phases)
+
+let window_json t (w : window) =
+  Json.obj
+    [
+      ("window", string_of_int w.index);
+      ("start_ms", Json.number w.start_ms);
+      ("throughput_tps", Json.number (throughput t w));
+      ("begun", string_of_int w.begun);
+      ("commits", string_of_int w.commits);
+      ("aborts", string_of_int w.aborts);
+      ("killed", string_of_int w.killed);
+      ("staleness", string_of_int w.staleness);
+      ("alerts_fired", string_of_int w.alerts_fired);
+      ("alerts_resolved", string_of_int w.alerts_resolved);
+      ("alerts_open", string_of_int w.alerts_open);
+      ("phases", phases_json w.phases);
+    ]
+
+let totals_json (tot : totals) =
+  Json.obj
+    [
+      ("begun", string_of_int tot.begun);
+      ("commits", string_of_int tot.commits);
+      ("aborts", string_of_int tot.aborts);
+      ("killed", string_of_int tot.killed);
+      ("staleness", string_of_int tot.staleness);
+      ("alerts_fired", string_of_int tot.alerts_fired);
+      ("alerts_resolved", string_of_int tot.alerts_resolved);
+      ("alerts_open", string_of_int tot.alerts_open);
+      ("phases", phases_json tot.phases);
+    ]
+
+let to_json t =
+  Json.obj
+    [
+      ("report", {|"cloudtx"|});
+      ("version", string_of_int format_version);
+      ("width_ms", Json.number t.width_ms);
+      ( "knee",
+        match t.knee with None -> "null" | Some i -> string_of_int i );
+      ("totals", totals_json t.totals);
+      ( "windows",
+        "[" ^ String.concat "," (List.map (window_json t) t.windows) ^ "]" );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Markdown rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ms v = Printf.sprintf "%.2f" v
+
+let phase_cell (w : window) name pick =
+  match List.assoc_opt name w.phases with
+  | None -> "-"
+  | Some s -> ms (pick s)
+
+let bar scale v =
+  let n =
+    if scale <= 0. then 0
+    else int_of_float (Float.round (v /. scale *. 20.))
+  in
+  String.concat "" (List.init (Stdlib.max 0 (Stdlib.min 20 n)) (fun _ -> "█"))
+
+let add_line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+
+let to_markdown ?(alert_lines = []) t =
+  let buf = Buffer.create 4096 in
+  let tot = t.totals in
+  add_line buf "# cloudtx run report";
+  add_line buf "";
+  let span_ms = float_of_int (List.length t.windows) *. t.width_ms in
+  add_line buf "- windows: %d × %g ms (sim-time 0 – %g ms)"
+    (List.length t.windows) t.width_ms span_ms;
+  let fin = tot.commits + tot.aborts in
+  add_line buf
+    "- transactions: %d begun, %d finished — %d committed, %d aborted (%d \
+     wait-die)%s"
+    tot.begun fin tot.commits tot.aborts tot.killed
+    (if fin = 0 then ""
+     else
+       Printf.sprintf ", %.1f%% commit"
+         (100. *. float_of_int tot.commits /. float_of_int fin));
+  add_line buf "- policy staleness peak: %d version(s)" tot.staleness;
+  add_line buf "- alerts: %d fired, %d resolved, %d open" tot.alerts_fired
+    tot.alerts_resolved tot.alerts_open;
+  (match t.knee with
+  | Some i ->
+    add_line buf
+      "- **saturation knee: window %d (t = %g ms)** — p99 inflected while \
+       throughput flattened"
+      i
+      (float_of_int i *. t.width_ms)
+  | None -> add_line buf "- saturation knee: none detected");
+  add_line buf "";
+  add_line buf "## Throughput per window";
+  add_line buf "";
+  add_line buf
+    "| window | t (ms) | txn/s | commits | aborts | stale | alerts open | |";
+  add_line buf "|---:|---:|---:|---:|---:|---:|---:|:---|";
+  let peak_tps =
+    List.fold_left (fun acc w -> Float.max acc (throughput t w)) 0. t.windows
+  in
+  List.iter
+    (fun w ->
+      let tps = throughput t w in
+      add_line buf "| %d | %g | %.1f | %d | %d | %d | %d | %s |" w.index
+        w.start_ms tps w.commits w.aborts w.staleness w.alerts_open
+        (bar peak_tps tps))
+    t.windows;
+  add_line buf "";
+  add_line buf "## Phase latency per window (ms)";
+  add_line buf "";
+  add_line buf
+    "| window | exec p50 | exec p99 | commit p50 | commit p99 | decide p50 | \
+     decide p99 | total p50 | total p99 | total p999 |";
+  add_line buf "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|";
+  List.iter
+    (fun w ->
+      add_line buf "| %d | %s | %s | %s | %s | %s | %s | %s | %s | %s |"
+        w.index
+        (phase_cell w "execute" (fun s -> s.p50))
+        (phase_cell w "execute" (fun s -> s.p99))
+        (phase_cell w "commit" (fun s -> s.p50))
+        (phase_cell w "commit" (fun s -> s.p99))
+        (phase_cell w "decide" (fun s -> s.p50))
+        (phase_cell w "decide" (fun s -> s.p99))
+        (phase_cell w "total" (fun s -> s.p50))
+        (phase_cell w "total" (fun s -> s.p99))
+        (phase_cell w "total" (fun s -> s.p999)))
+    t.windows;
+  add_line buf "";
+  add_line buf "## Whole-run phase quantiles (ms)";
+  add_line buf "";
+  add_line buf "| phase | count | p50 | p99 | p999 | max |";
+  add_line buf "|:---|---:|---:|---:|---:|---:|";
+  List.iter
+    (fun (name, s) ->
+      add_line buf "| %s | %d | %s | %s | %s | %s |" name s.count (ms s.p50)
+        (ms s.p99) (ms s.p999) (ms s.max))
+    tot.phases;
+  if alert_lines <> [] then begin
+    add_line buf "";
+    add_line buf "## Alert timeline";
+    add_line buf "";
+    add_line buf "```";
+    List.iter (fun l -> add_line buf "%s" l) alert_lines;
+    add_line buf "```"
+  end;
+  Buffer.contents buf

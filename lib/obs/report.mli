@@ -1,0 +1,74 @@
+(** Run report: the rendered view of a {!Timeseries}.
+
+    A report is pure data — per-window counters and phase quantiles plus
+    whole-run totals — rendered two ways: machine-readable JSON
+    ({!to_json}) and human-readable markdown ({!to_markdown}).  It can
+    be built directly from a {!Timeseries} ({!of_timeseries}) or
+    reconstructed from a snapshot JSONL (see [Cloudtx_core.Report_io]);
+    both constructions carry the same numbers, so the two JSON renderings
+    are byte-identical — the online/offline agreement gate.
+
+    {b Saturation-knee heuristic} (first cut, see DESIGN §8): the knee is
+    the first window [i] with total-phase data such that its p99 is at
+    least [1.5×] the minimum p99 over earlier windows with data, while
+    throughput has flattened — the window finished at most [1.1×] the
+    best earlier window's count.  [None] when no window qualifies
+    (fewer than two windows with latency data, or latency never
+    inflects). *)
+
+type stats = { count : int; p50 : float; p99 : float; p999 : float; max : float }
+
+type window = {
+  index : int;
+  start_ms : float;
+  begun : int;
+  commits : int;
+  aborts : int;
+  killed : int;
+  staleness : int;
+  alerts_fired : int;
+  alerts_resolved : int;
+  alerts_open : int;
+  phases : (string * stats) list;
+}
+
+type totals = {
+  begun : int;
+  commits : int;
+  aborts : int;
+  killed : int;
+  staleness : int;
+  alerts_fired : int;
+  alerts_resolved : int;
+  alerts_open : int;
+  phases : (string * stats) list;
+}
+
+type t = {
+  width_ms : float;
+  windows : window list;
+  totals : totals;
+  knee : int option;  (** Window index of the detected saturation knee. *)
+}
+
+(** [make ~width_ms ~windows ~totals] assembles a report and runs the
+    knee detector — the constructor snapshot parsing goes through. *)
+val make : width_ms:float -> windows:window list -> totals:totals -> t
+
+val of_timeseries : Timeseries.t -> t
+
+(** Finished transactions per second in a window (commits + aborts over
+    the window width). *)
+val throughput : t -> window -> float
+
+(** Machine-readable report.  Contains nothing wall-clock- or
+    path-dependent: two reports over the same series render the same
+    bytes. *)
+val to_json : t -> string
+
+(** Rendered markdown: throughput curve, per-phase quantiles per window,
+    commit/abort mix, staleness trajectory, alert overlay and the knee
+    callout.  [alert_lines] (e.g. {!Slo.console_line} renderings, or raw
+    alert-log records) are appended as an alert-timeline section when
+    non-empty. *)
+val to_markdown : ?alert_lines:string list -> t -> string

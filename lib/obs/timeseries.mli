@@ -1,0 +1,93 @@
+(** Windowed time-series aggregation over simulated time.
+
+    A time series slices sim-time into fixed-width windows (window [i]
+    covers [[i*width_ms, (i+1)*width_ms)] — an observation exactly on an
+    edge belongs to the window that {e starts} there) and accumulates,
+    per window: transaction begin/commit/abort/kill counts, per-phase
+    latency {!Sketch}es (fed by {!Monitor.Txn_latency}, attributed to
+    the finish time like the registry's phase histograms), the worst
+    policy-replica staleness observed inside the window, and alert
+    fire/resolve transitions (via {!note_alert}, wired through
+    {!Monitor.create}'s [notify]).
+
+    It consumes the same neutral {!Monitor.event} stream the Watchtower
+    does, so the two canonical feeds — live through
+    [Journal.set_observer]/[Cloudtx_core.Health.attach], and offline by
+    replaying a journal file — produce identical series by construction.
+    Window assignment is purely a function of each record's [time_ms],
+    so reordered journal records land in the right window.
+
+    Memory is O(windows × bins): every window holds at most four
+    sketches and a handful of counters, never raw samples. *)
+
+type t
+
+(** [create ()] — [width_ms] is the window width in simulated
+    milliseconds (default [100.]; must be positive). *)
+val create : ?width_ms:float -> unit -> t
+
+val width_ms : t -> float
+
+(** Events consumed so far. *)
+val events : t -> int
+
+(** Feed one event; [time_ms] selects the window. *)
+val observe : t -> seq:int -> time_ms:float -> Monitor.event -> unit
+
+(** Record an alert transition in the window of its transition time
+    ([fired_at] for [`Fire], [resolved_at] for [`Resolve]). *)
+val note_alert : t -> [ `Fire | `Resolve ] -> Slo.alert -> unit
+
+(** {1 Reading the series} *)
+
+(** Quantiles of one phase in one window, from its sketch. *)
+type stats = { count : int; p50 : float; p99 : float; p999 : float; max : float }
+
+type cell = {
+  index : int;
+  start_ms : float;
+  begun : int;
+  commits : int;
+  aborts : int;
+  killed : int;  (** Wait-die victims (a subset of [aborts]). *)
+  staleness : int;  (** Worst replica version lag seen in the window. *)
+  alerts_fired : int;
+  alerts_resolved : int;
+  alerts_open : int;  (** Cumulative open alerts at window end. *)
+  phases : (string * stats) list;
+      (** Phases with data, in ["execute"; "commit"; "decide"; "total"]
+          order. *)
+}
+
+(** Whole-run aggregate: counters summed, [staleness] the overall peak,
+    phase stats from the {e merged} per-window sketches (exactly the
+    sketch of the full stream, by merge exactness). *)
+type totals = {
+  begun : int;
+  commits : int;
+  aborts : int;
+  killed : int;
+  staleness : int;
+  alerts_fired : int;
+  alerts_resolved : int;
+  alerts_open : int;
+  phases : (string * stats) list;
+}
+
+(** The dense window list, indices [0 .. max]: windows nothing landed in
+    are rendered (all-zero), not skipped.  Empty when no event arrived. *)
+val cells : t -> cell list
+
+val totals : t -> totals
+
+(** {1 Snapshot} *)
+
+(** Snapshot-format version; bump on any line-shape change. *)
+val format_version : int
+
+(** The JSONL snapshot ([--metrics-out]): a header line
+    [{"metrics":"cloudtx","version":V,"width_ms":W}], one line per
+    window (dense), and a final [{"totals":{...}}] line.  The snapshot
+    carries everything [Report] reads, so a report built from it equals
+    one built from this series directly. *)
+val to_jsonl : t -> string

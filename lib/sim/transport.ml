@@ -14,6 +14,7 @@ type 'msg t = {
   mutable tracer : Obs.Tracer.t;
   mutable registry : Obs.Registry.t;
   mutable journal : Obs.Journal.t;
+  mutable timeseries : Obs.Timeseries.t option;
 }
 
 let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
@@ -32,6 +33,7 @@ let create ?(seed = 42L) ?(latency = Latency.lan) ?(drop = 0.) ~label_of () =
     tracer = Obs.Tracer.noop;
     registry = Obs.Registry.noop;
     journal = Obs.Journal.noop;
+    timeseries = None;
   }
 
 let engine t = t.engine
@@ -60,6 +62,18 @@ let enable_metrics t =
              (float_of_int pending)))
   end;
   t.registry
+
+let timeseries t = t.timeseries
+
+let enable_timeseries ?width_ms t =
+  match t.timeseries with
+  | Some ts -> ts
+  | None ->
+    (* Sim-time starts at 0, so window 0 opens at the engine's epoch and
+       every edge falls on an exact multiple of the width. *)
+    let ts = Obs.Timeseries.create ?width_ms () in
+    t.timeseries <- Some ts;
+    ts
 
 let enable_journal ?format ?max_buffer_bytes ?path t =
   if not (Obs.Journal.enabled t.journal) then begin

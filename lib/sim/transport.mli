@@ -45,6 +45,19 @@ val enable_tracing : _ t -> Cloudtx_obs.Tracer.t
     hooks the engine to sample queue depth ([sim.pending_events]). *)
 val enable_metrics : _ t -> Cloudtx_obs.Registry.t
 
+(** The fabric's windowed time series; [None] until
+    {!enable_timeseries} is called. *)
+val timeseries : _ t -> Cloudtx_obs.Timeseries.t option
+
+(** [enable_timeseries t] installs (once) and returns a windowed
+    {!Cloudtx_obs.Timeseries.t} aligned to the fabric's clock: sim-time
+    starts at 0, so window 0 opens at the engine's epoch and window
+    edges fall on exact multiples of [width_ms] of simulated time.
+    Feeding it is the observer's job (see [Cloudtx_core.Health.attach]);
+    the fabric only owns the window/clock convention. *)
+val enable_timeseries :
+  ?width_ms:float -> _ t -> Cloudtx_obs.Timeseries.t
+
 (** The fabric's flight-recorder journal; {!Cloudtx_obs.Journal.noop}
     until {!enable_journal} is called. *)
 val journal : _ t -> Cloudtx_obs.Journal.t

@@ -340,6 +340,97 @@ let test_prometheus_empty_histogram_sum () =
     (Registry.to_prometheus r);
   Alcotest.(check string) "empty registry" "" (Registry.to_prometheus (Registry.create ()))
 
+(* Whatever the backend, the Prometheus rendering must be internally
+   consistent: cumulative non-decreasing _bucket series, +Inf == _count,
+   and _sum the exact running sum (both backends track it exactly). *)
+let test_prometheus_backend_consistency () =
+  List.iter
+    (fun backend ->
+      let what =
+        match backend with
+        | Histogram.Exact -> "exact"
+        | Histogram.Sketch -> "sketch"
+      in
+      let r = Registry.create ~histogram:backend () in
+      let values = List.init 200 (fun i -> 0.25 *. float_of_int (i + 1)) in
+      List.iter (Registry.observe r "lat" []) values;
+      let lines =
+        Registry.to_prometheus r |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      in
+      let value_of line =
+        match String.rindex_opt line ' ' with
+        | Some i ->
+          String.sub line (i + 1) (String.length line - i - 1)
+          |> float_of_string
+        | None -> Alcotest.failf "%s: unparsable line %s" what line
+      in
+      let starts p l = String.length l >= String.length p
+                       && String.sub l 0 (String.length p) = p in
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i =
+          i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+        in
+        go 0
+      in
+      let buckets = List.filter (starts "lat_bucket") lines in
+      Alcotest.(check bool) (what ^ ": has buckets") true (buckets <> []);
+      let counts = List.map value_of buckets in
+      ignore
+        (List.fold_left
+           (fun prev c ->
+             if c < prev then
+               Alcotest.failf "%s: cumulative buckets decreased" what;
+             c)
+           0. counts);
+      let count = value_of (List.find (starts "lat_count") lines) in
+      let sum = value_of (List.find (starts "lat_sum") lines) in
+      let inf =
+        List.find (fun l -> starts "lat_bucket" l && contains l "+Inf") lines
+        |> value_of
+      in
+      Alcotest.(check (float 0.)) (what ^ ": +Inf bucket = count") count inf;
+      Alcotest.(check (float 0.))
+        (what ^ ": every observation below some finite bucket")
+        count
+        (List.nth counts (List.length counts - 2));
+      Alcotest.(check (float 1e-6)) (what ^ ": sum exact")
+        (List.fold_left ( +. ) 0. values)
+        sum;
+      Alcotest.(check int) (what ^ ": count") (List.length values)
+        (int_of_float count))
+    [ Histogram.Exact; Histogram.Sketch ]
+
+(* The sketch backend answers the same questions as the exact one, at
+   bounded memory. *)
+let test_histogram_sketch_backend () =
+  let h = Histogram.create ~backend:Histogram.Sketch () in
+  let values = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  List.iter (Histogram.observe h) values;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum exact" 500_500. (Histogram.sum h);
+  Alcotest.(check (float 0.)) "max exact" 1000. (Histogram.max h);
+  let p50 = Histogram.percentile h 50. in
+  Alcotest.(check bool) "p50 within sketch bound" true
+    (Float.abs (p50 -. 500.5) <= 500.5 /. 64.);
+  Alcotest.(check bool) "samples absent" true (Histogram.samples h = None);
+  Alcotest.(check bool) "sketch exposed" true (Histogram.sketch h <> None);
+  (* Bounded retention vs the exact backend's linear growth. *)
+  let words_at n =
+    let h = Histogram.create ~backend:Histogram.Sketch () in
+    for i = 1 to n do
+      Histogram.observe h (float_of_int (i mod 1000) +. 0.5)
+    done;
+    Histogram.retained_words h
+  in
+  Alcotest.(check int) "retention flat from 10k to 50k" (words_at 10_000)
+    (words_at 50_000);
+  let exact = Histogram.create () in
+  List.iter (Histogram.observe exact) values;
+  Alcotest.(check bool) "exact backend retains every sample" true
+    (Histogram.retained_words exact > 1000)
+
 (* ------------------------------------------------------------------ *)
 (* Wiring: simulator clock feeds spans                                 *)
 (* ------------------------------------------------------------------ *)
@@ -694,6 +785,10 @@ let () =
             test_prometheus_export;
           Alcotest.test_case "prometheus corner cases" `Quick
             test_prometheus_empty_histogram_sum;
+          Alcotest.test_case "prometheus backend consistency" `Quick
+            test_prometheus_backend_consistency;
+          Alcotest.test_case "sketch histogram backend" `Quick
+            test_histogram_sketch_backend;
         ] );
       ( "wiring",
         [
