@@ -54,6 +54,9 @@ module Codec_bin = Cloudtx_protocol.Codec_bin
 module Pcodec = Cloudtx_protocol.Codec
 module Campaign = Cloudtx_chaos.Campaign
 module Certify = Cloudtx_core.Certify
+module Blame = Cloudtx_core.Blame
+module Critical_path = Cloudtx_obs.Critical_path
+module Obs_histogram = Cloudtx_obs.Histogram
 
 (* Optional artifact destinations, set by command-line flags (parsed at
    the bottom of this file). *)
@@ -1309,6 +1312,177 @@ let section_certify () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Blame: critical-path decomposition of journal latency               *)
+(* ------------------------------------------------------------------ *)
+
+let section_blame () =
+  print_newline ();
+  print_endline "== Blame -- per-transaction critical-path decomposition ==";
+  (* The certify section's deterministic 8-cell corpus, with the metrics
+     fabric on so the segment totals can be reconciled against the
+     registry's latency histograms -- the same clock points, counted two
+     ways. *)
+  let corpus =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun level ->
+            let scenario =
+              Scenario.retail ~seed:23L ~n_servers:4 ~n_subjects:4 ()
+            in
+            let transport = Cluster.transport scenario.Scenario.cluster in
+            let journal = Transport.enable_journal transport in
+            let registry = Transport.enable_metrics transport in
+            let rng = Splitmix.create 29L in
+            let params =
+              { Generator.default with queries_per_txn = 4; write_ratio = 0.4 }
+            in
+            ignore
+              (Experiment.run_sequential scenario (Manager.config scheme level)
+                 ~n:12 (fun ~i ->
+                   Generator.generate scenario rng params
+                     ~id:(Printf.sprintf "t%d" i)));
+            let lines =
+              String.split_on_char '\n'
+                (String.trim (Journal.to_string journal))
+            in
+            (scheme, level, lines, registry))
+          [ Consistency.View; Consistency.Global ])
+      Scheme.all
+  in
+  let analyzed =
+    List.map
+      (fun (scheme, level, lines, registry) ->
+        match Blame.of_lines lines with
+        | Ok b -> (scheme, level, lines, registry, b)
+        | Error why ->
+          Printf.eprintf "blame bench: %s/%s journal unreadable: %s\n"
+            (Scheme.name scheme) (Consistency.name level) why;
+          exit 2)
+      corpus
+  in
+  (* Throughput: repeated full replays, CPU-timed.  The rate lands in
+     the JSON as a trajectory field (not gated). *)
+  let reps = 10 in
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    List.iter (fun (_, _, lines, _, _) -> ignore (Blame.of_lines lines)) analyzed
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let safe_div a b = if b <= 0. then 0. else a /. b in
+  let journals_per_sec =
+    safe_div (float_of_int (reps * List.length analyzed)) elapsed
+  in
+  let the_cell what b =
+    match Critical_path.agg_cells (Blame.agg b) with
+    | [ c ] -> c
+    | cells ->
+      Printf.eprintf "blame bench: %s: expected 1 aggregate cell, got %d\n" what
+        (List.length cells);
+      exit 2
+  in
+  let segments_of c =
+    List.fold_left
+      (fun a (r : Critical_path.row) -> a + r.Critical_path.row_spans)
+      0 c.Critical_path.cell_rows
+  in
+  let rows =
+    List.map
+      (fun (scheme, level, _, registry, b) ->
+        let what =
+          Printf.sprintf "%s/%s" (Scheme.name scheme) (Consistency.name level)
+        in
+        let c = the_cell what b in
+        let labels =
+          [
+            ("scheme", Scheme.name scheme);
+            ("consistency", Consistency.name level);
+          ]
+        in
+        let registry_total =
+          match Registry.histogram registry "txn_latency_ms" labels with
+          | Some h -> Obs_histogram.sum h
+          | None -> 0.
+        in
+        let blame_total = c.Critical_path.cell_total_ms in
+        let reconciled =
+          Float.abs (registry_total -. blame_total)
+          <= 1e-6 +. (1e-9 *. Float.abs registry_total)
+        in
+        let dominant_kind, dominant_ms =
+          match c.Critical_path.cell_rows with
+          | r :: _ ->
+            ( Critical_path.kind_name r.Critical_path.row_kind,
+              r.Critical_path.row_total_ms )
+          | [] -> ("-", 0.)
+        in
+        (scheme, level, b, c, reconciled, dominant_kind, dominant_ms))
+      analyzed
+  in
+  Table.print
+    ~title:"per-cell blame decomposition (12 txns/cell, u=4, n=4)"
+    ~headers:
+      [
+        "scheme"; "level"; "txns"; "committed"; "total ms"; "top segment"; "ms";
+        "share"; "reconciled";
+      ]
+    (List.map
+       (fun (scheme, level, _b, c, reconciled, dk, dms) ->
+         [
+           Scheme.name scheme;
+           Consistency.name level;
+           string_of_int c.Critical_path.cell_txns;
+           string_of_int c.Critical_path.cell_committed;
+           Printf.sprintf "%.3f" c.Critical_path.cell_total_ms;
+           dk;
+           Printf.sprintf "%.3f" dms;
+           Printf.sprintf "%.1f%%"
+             (100. *. safe_div dms c.Critical_path.cell_total_ms);
+           (if reconciled then "yes" else "NO");
+         ])
+       rows);
+  Printf.printf "  throughput: %.0f journal replays/sec (%d reps, %.2fs CPU)\n"
+    journals_per_sec reps elapsed;
+  if List.exists (fun (_, _, _, _, reconciled, _, _) -> not reconciled) rows
+  then begin
+    Printf.eprintf
+      "blame bench: segment totals diverge from the registry histograms\n";
+    exit 1
+  end;
+  let segments_total =
+    List.fold_left (fun acc (_, _, _, c, _, _, _) -> acc + segments_of c) 0 rows
+  in
+  write_json_file ~what:"blame"
+    (List.map
+       (fun (scheme, level, b, c, reconciled, dk, dms) ->
+         Obs_json.obj
+           [
+             ("workload", Obs_json.quote "blame");
+             ("scheme", Obs_json.quote (Scheme.name scheme));
+             ("level", Obs_json.quote (Consistency.name level));
+             ("txns", string_of_int c.Critical_path.cell_txns);
+             ("committed", string_of_int c.Critical_path.cell_committed);
+             ("aborted", string_of_int c.Critical_path.cell_aborted);
+             ("segments", string_of_int (segments_of c));
+             ("decode_errors", string_of_int (Blame.decode_errors b));
+             ("uncovered", string_of_int (List.length (Blame.uncovered b)));
+             ("total_ms", Obs_json.number c.Critical_path.cell_total_ms);
+             ("dominant", Obs_json.quote dk);
+             ("dominant_ms", Obs_json.number dms);
+             ("reconciled", if reconciled then "true" else "false");
+           ])
+       rows
+    @ [
+        Obs_json.obj
+          [
+            ("workload", Obs_json.quote "blame-throughput");
+            ("journals", string_of_int (List.length rows));
+            ("segments_total", string_of_int segments_total);
+            ("journals_per_sec", Obs_json.number journals_per_sec);
+          ];
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Journal: binary vs JSONL flight-recorder encoding                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1714,6 +1888,7 @@ let sections =
     ("ablations", section_ablations);
     ("obs", section_obs);
     ("certify", section_certify);
+    ("blame", section_blame);
     ("journal", section_journal);
     ("micro", section_micro);
   ]

@@ -41,6 +41,8 @@ module Health = Cloudtx_core.Health
 module Timeseries = Cloudtx_obs.Timeseries
 module Report = Cloudtx_obs.Report
 module Report_io = Cloudtx_core.Report_io
+module Blame = Cloudtx_core.Blame
+module Critical_path = Cloudtx_obs.Critical_path
 module Json = Cloudtx_obs.Json
 module Plan = Cloudtx_chaos.Plan
 module Campaign = Cloudtx_chaos.Campaign
@@ -321,10 +323,10 @@ let alerts_sink = function
     in
     (Some log, fun () -> close_out oc)
 
-(* One Health bridge per journal: {!Cloudtx_obs.Journal.set_observer} is
-   a single slot, so the monitor and the windowed time series must share
-   the same attach — the bridge feeds the monitor first, then the
-   timeseries, for every record. *)
+(* One Health bridge per journal: the monitor and the windowed time
+   series share one attach (the bridge feeds the monitor first, then
+   the timeseries, per record); further consumers — the blame collector
+   — register their own {!Cloudtx_obs.Journal.add_observer} tap. *)
 type live_monitor = {
   lm_monitor : Monitor.t;
   lm_timeseries : Timeseries.t option;
@@ -816,8 +818,21 @@ let report_cmd journal metrics alerts window rules json_out md_out =
       | Some m -> Report_io.alert_lines_of_monitor m
       | None -> [])
   in
+  (* The blame decomposition (DESIGN §9) rides on the markdown view
+     only, so the JSON byte-identity gate above stays a pure function
+     of the windowed series. *)
+  let blame_lines =
+    match journal with
+    | None -> []
+    | Some path -> (
+      match Blame.of_file path with
+      | Ok b -> Blame.to_markdown_lines b
+      | Error why ->
+        Format.eprintf "%s: cannot build blame section@.  %s@." path why;
+        exit 2)
+  in
   let json () = Report.to_json report in
-  let md () = Report.to_markdown ~alert_lines report in
+  let md () = Report.to_markdown ~alert_lines ~blame_lines report in
   Option.iter
     (fun path ->
       write_file path (json ());
@@ -881,6 +896,128 @@ let report_term =
             ~doc:
               "Write the report as markdown to $(docv).  With neither \
                $(b,--json) nor $(b,--md), markdown goes to stdout."))
+
+(* ------------------------------------------------------------------ *)
+(* explain / blame: the latency blame engine (DESIGN §9)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit-code convention (documented once in README): 0 = ok, 1 =
+   analysis violation (a timeline fails to cover the end-to-end latency
+   within the documented slack, or the requested transaction is
+   missing), 2 = unreadable/undecodable journal — the error names the
+   first bad frame or line. *)
+
+let check_coverage what b =
+  match Blame.uncovered b with
+  | [] -> ()
+  | bad ->
+    let worst = List.hd bad in
+    Format.eprintf
+      "%s: COVERAGE VIOLATION@.  %d timeline(s) fail to cover end-to-end \
+       latency; worst: txn %s slack %.9f ms (bound %.9f ms)@."
+      what (List.length bad) worst.Critical_path.txn
+      (Critical_path.coverage_slack_ms worst)
+      (Critical_path.slack_bound_ms worst);
+    exit 1
+
+let explain_cmd path txn json =
+  match Blame.of_file ~keep_timelines:true path with
+  | Error why ->
+    Format.eprintf "%s: cannot explain journal@.  %s@." path why;
+    exit 2
+  | Ok b ->
+    let tl =
+      match txn with
+      | Some id -> (
+        match Blame.find b ~txn:id with
+        | Some tl -> tl
+        | None ->
+          Format.eprintf "%s: transaction %S not found (%d finished)@." path
+            id (Blame.finished b);
+          exit 1)
+      | None -> (
+        match Blame.slowest b with
+        | Some tl -> tl
+        | None ->
+          Format.eprintf "%s: no finished transactions to explain@." path;
+          exit 1)
+    in
+    if json then print_endline (Critical_path.timeline_to_json tl)
+    else List.iter print_endline (Critical_path.timeline_to_text tl);
+    check_coverage "explain" b
+
+let explain_term =
+  Term.(
+    const explain_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL"
+            ~doc:
+              "Flight-recorder journal written by $(b,--journal-out) (JSONL \
+               or binary, auto-detected); replayed into per-transaction \
+               critical-path timelines.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "txn" ] ~docv:"ID"
+            ~doc:
+              "Transaction to explain.  Default: the slowest finished \
+               transaction in the journal.")
+    $ Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:"Print the timeline as JSON instead of the text rendering."))
+
+let blame_cmd path top json_out md_out =
+  match Blame.of_file ~top_k:top path with
+  | Error why ->
+    Format.eprintf "%s: cannot build blame profile@.  %s@." path why;
+    exit 2
+  | Ok b ->
+    Option.iter
+      (fun p ->
+        write_file p (Blame.to_json b);
+        Format.printf "wrote %s (blame, JSON)@." p)
+      json_out;
+    let md () = String.concat "\n" (Blame.to_markdown_lines b) ^ "\n" in
+    Option.iter
+      (fun p ->
+        write_file p (md ());
+        Format.printf "wrote %s (blame, markdown)@." p)
+      md_out;
+    if json_out = None && md_out = None then print_string (md ());
+    check_coverage "blame" b
+
+let blame_term =
+  Term.(
+    const blame_cmd
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL"
+            ~doc:
+              "Flight-recorder journal written by $(b,--journal-out) (JSONL \
+               or binary, auto-detected); aggregated into per-cell blame \
+               tables (mean/p50/p99 time-in-segment) and the top-k slowest \
+               transactions.")
+    $ Arg.(
+        value & opt int 5
+        & info [ "top" ] ~docv:"K"
+            ~doc:"Slowest transactions to keep with full timelines.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the blame profile as JSON to $(docv).")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "md" ] ~docv:"FILE"
+            ~doc:
+              "Write the blame profile as markdown to $(docv).  With \
+               neither $(b,--json) nor $(b,--md), markdown goes to \
+               stdout."))
 
 (* ------------------------------------------------------------------ *)
 (* health                                                              *)
@@ -1382,7 +1519,8 @@ let journal_file dir (cell : Campaign.cell) (plan : Plan.t) ~suffix =
     (String.map (function ':' -> '-' | c -> c) (Campaign.cell_name cell))
     plan.Plan.seed suffix
 
-let report_case dir shrink certify journal_format (case : Campaign.case) =
+let report_case dir shrink certify journal_format explain_worst
+    (case : Campaign.case) =
   let cell = case.Campaign.cell and plan = case.Campaign.plan in
   Format.printf "VIOLATION %s seed=%Ld@.  %s@.  plan: %s@."
     (Campaign.cell_name cell) plan.Plan.seed case.Campaign.failure.Campaign.what
@@ -1393,6 +1531,20 @@ let report_case dir shrink certify journal_format (case : Campaign.case) =
       write_lines path case.Campaign.failure.Campaign.journal;
       Format.printf "  journal: %s@." path)
     dir;
+  (* Attach the slowest transaction's critical-path timeline to the
+     verdict — a pure function of the captured journal lines, so the
+     sweep's output stays bit-reproducible. *)
+  if explain_worst then begin
+    match Blame.of_lines case.Campaign.failure.Campaign.journal with
+    | Error why -> Format.printf "  explain-worst: journal unreadable (%s)@." why
+    | Ok b -> (
+      match Blame.slowest b with
+      | None -> Format.printf "  explain-worst: no finished transaction@."
+      | Some tl ->
+        List.iter
+          (fun l -> Format.printf "  %s@." l)
+          (Critical_path.timeline_to_text tl))
+  end;
   if shrink then begin
     let dedup = false in
     (* A violation under hardened delivery would also shrink, but in
@@ -1421,7 +1573,8 @@ let report_case dir shrink certify journal_format (case : Campaign.case) =
   end
 
 let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
-    certify journal_format journal_out metrics_interval metrics_out =
+    certify journal_format journal_out metrics_interval metrics_out
+    explain_worst =
   let dedup = not no_dedup in
   let cells = match cell with Some c -> [ c ] | None -> Campaign.all_cells in
   Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
@@ -1461,7 +1614,9 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
         (List.length verdict.Campaign.failures);
       verdict.Campaign.failures
   in
-  List.iter (report_case journal_dir shrink certify journal_format) failures;
+  List.iter
+    (report_case journal_dir shrink certify journal_format explain_worst)
+    failures;
   if failures <> [] then exit 1
 
 let chaos_term =
@@ -1544,7 +1699,15 @@ let chaos_term =
               "Aggregate a windowed time series live over each run and \
                write the snapshot JSONL to $(docv) whatever the verdict \
                (each run overwrites it; see $(b,--journal-out)).  Feed it \
-               to $(b,cloudtx report --metrics)."))
+               to $(b,cloudtx report --metrics).")
+    $ Arg.(
+        value & flag
+        & info [ "explain-worst" ]
+            ~doc:
+              "Attach the slowest transaction's critical-path timeline (see \
+               $(b,cloudtx explain)) to each failing cell's verdict, \
+               reconstructed from the captured journal — bit-reproducible \
+               like the rest of the sweep."))
 
 (* ------------------------------------------------------------------ *)
 (* journal: format tooling (cat / convert)                             *)
@@ -1682,6 +1845,23 @@ let cmds =
             both — with both, the online and offline reports must agree \
             byte-for-byte.")
       report_term;
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Reconstruct one transaction's critical-path timeline from a \
+            flight-recorder journal: every wall-clock segment (policy \
+            fetches, 2PV/2PVC rounds, lock waits, stalls, decision \
+            propagation) blamed on its causal step, summing to the \
+            end-to-end latency.")
+      explain_term;
+    Cmd.v
+      (Cmd.info "blame"
+         ~doc:
+           "Aggregate per-transaction critical paths from a flight-recorder \
+            journal into blame tables: mean/p50/p99 time-in-segment per \
+            scheme x level cell, plus the slowest transactions with their \
+            dominant segments.")
+      blame_term;
     journal_cmd;
     Cmd.v (Cmd.info "health" ~doc:"Run the full scheme x level grid and print a health snapshot.") health_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section VI-B trade-off grid.") sweep_term;

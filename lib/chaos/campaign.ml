@@ -307,6 +307,9 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
     | exn -> fail (Printf.sprintf "exception: %s" (Printexc.to_string exn))
   in
   write_snapshot ();
+  (* Flush the file sink: without this a [journal_path] capture loses
+     its buffered tail and truncates the last record mid-line. *)
+  Journal.close journal;
   result
 
 (* ------------------------------------------------------------------ *)

@@ -266,7 +266,7 @@ let attach ?timeseries journal monitor =
     | Cloudtx_obs.Journal.Jsonl -> feed
     | Cloudtx_obs.Journal.Binary -> feed_bin
   in
-  Cloudtx_obs.Journal.set_observer journal (fun ~seq ~time_ms ~node ~dir ~payload ->
+  Cloudtx_obs.Journal.add_observer journal (fun ~seq ~time_ms ~node ~dir ~payload ->
       feed t ~seq ~time_ms ~node ~dir ~payload);
   t
 

@@ -33,8 +33,10 @@ val feed :
 val decode_errors : t -> int
 
 (** [attach journal monitor] registers a streaming observer on [journal]
-    (see {!Cloudtx_obs.Journal.set_observer}) feeding [monitor] — the
-    live [--monitor] path.  Returns the bridge for {!decode_errors}. *)
+    (see {!Cloudtx_obs.Journal.add_observer}) feeding [monitor] — the
+    live [--monitor] path.  Composes with other observers (e.g. a
+    [Blame] collector) in registration order.  Returns the bridge for
+    {!decode_errors}. *)
 val attach :
   ?timeseries:Cloudtx_obs.Timeseries.t ->
   Cloudtx_obs.Journal.t ->

@@ -144,9 +144,10 @@ type t = {
   mutable dropped : int;
   mutable seq : int;
   mutable oc : out_channel option;
-  mutable observer :
+  mutable observers :
     (seq:int -> time_ms:float -> node:string -> dir:string -> payload:string -> unit)
-    option;
+    list;
+      (** Registration order; fan-out per record.  Empty = zero cost. *)
   mutable on_drop : (int -> unit) option;
   scratch : Buffer.t;  (** JSONL line under construction. *)
   wbody : Wbuf.t;  (** Binary frame body under construction. *)
@@ -163,7 +164,7 @@ let noop =
     dropped = 0;
     seq = 0;
     oc = None;
-    observer = None;
+    observers = [];
     on_drop = None;
     scratch = Buffer.create 0;
     wbody = Wbuf.create 16;
@@ -181,7 +182,7 @@ let create ~clock ?(format = Jsonl) ?(max_buffer_bytes = max_int) ?path () =
       dropped = 0;
       seq = 0;
       oc = None;
-      observer = None;
+      observers = [];
       on_drop = None;
       scratch = Buffer.create 256;
       wbody = Wbuf.create 256;
@@ -201,7 +202,7 @@ let create ~clock ?(format = Jsonl) ?(max_buffer_bytes = max_int) ?path () =
 
 let enabled t = t.live
 let format t = t.format
-let set_observer t f = if t.live then t.observer <- Some f
+let add_observer t f = if t.live then t.observers <- t.observers @ [ f ]
 let set_on_drop t f = if t.live then t.on_drop <- Some f
 
 (* Bytes charged against the in-memory cap: the actual encoded size of
@@ -225,7 +226,7 @@ let evict t =
   end
 
 (* Shared tail of the record paths: buffer the encoded entry, charge the
-   cap, write through, notify the observer. *)
+   cap, write through, notify the observers. *)
 let push_entry t ~time_ms ~node ~dir entry payload_pos payload_len =
   Queue.push entry t.entries;
   t.buffered_bytes <- t.buffered_bytes + entry_cost t entry;
@@ -235,11 +236,13 @@ let push_entry t ~time_ms ~node ~dir entry payload_pos payload_len =
   | Some oc -> (
     output_string oc entry;
     match t.format with Jsonl -> output_char oc '\n' | Binary -> ()));
-  match t.observer with
-  | None -> ()
-  | Some f ->
+  match t.observers with
+  | [] -> ()
+  | observers ->
     let payload = String.sub entry payload_pos payload_len in
-    f ~seq:t.seq ~time_ms ~node ~dir ~payload
+    List.iter
+      (fun f -> f ~seq:t.seq ~time_ms ~node ~dir ~payload)
+      observers
 
 (* Binary record: the whole frame is built in the reused writer
    (checksum straight over its backing bytes), then extracted as the

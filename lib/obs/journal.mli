@@ -34,7 +34,7 @@
     evicted (drop-oldest) and counted in {!dropped} — the resulting
     [seq] gap is exactly what the replay auditor flags, so a truncated
     buffer is self-describing.  Eviction never affects the write-through
-    file or {!set_observer} delivery.
+    file or {!add_observer} delivery.
 
     Zero cost when disabled: {!noop} never records and every operation is
     a single branch.  Instrumentation that renders payloads must guard on
@@ -72,14 +72,16 @@ val enabled : t -> bool
     this: JSON text for {!Jsonl}, [Codec_bin] bytes for {!Binary}. *)
 val format : t -> format
 
-(** [set_observer t f] registers a streaming tap: [f] is called once per
+(** [add_observer t f] registers a streaming tap: [f] is called once per
     record, after it is journaled, with the envelope fields and the raw
     payload ({e in the journal's format} — JSON text for a JSONL journal,
     [Codec_bin] bytes for a binary one).  This is how the live health
-    monitor ([run --monitor]) sees the same stream a [watch <file>]
-    replay does.  One observer; a second call replaces the first.  No-op
-    on {!noop}. *)
-val set_observer :
+    monitor ([run --monitor]) and the blame collector see the same
+    stream a [watch <file>] replay does.  Observers form a list and are
+    invoked in registration order, so the monitor, time-series bridge
+    and blame collector compose without hand-threading one bridge; an
+    empty list costs a single branch per record.  No-op on {!noop}. *)
+val add_observer :
   t ->
   (seq:int -> time_ms:float -> node:string -> dir:string -> payload:string -> unit) ->
   unit

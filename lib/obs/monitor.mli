@@ -1,7 +1,7 @@
 (** Watchtower: the streaming health engine.
 
     A monitor consumes the same per-record event stream the flight
-    recorder journals — live (via {!Journal.set_observer}) or offline (a
+    recorder journals — live (via {!Journal.add_observer}) or offline (a
     journal file replayed through [Cloudtx_core.Health]) — and evaluates
     the declarative {!Slo.rules} online.  Each rule owns a
     firing/resolved alert lifecycle; every transition lands in up to

@@ -211,7 +211,7 @@ let bar scale v =
 
 let add_line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
 
-let to_markdown ?(alert_lines = []) t =
+let to_markdown ?(alert_lines = []) ?(blame_lines = []) t =
   let buf = Buffer.create 4096 in
   let tot = t.totals in
   add_line buf "# cloudtx run report";
@@ -293,5 +293,9 @@ let to_markdown ?(alert_lines = []) t =
     add_line buf "```";
     List.iter (fun l -> add_line buf "%s" l) alert_lines;
     add_line buf "```"
+  end;
+  if blame_lines <> [] then begin
+    add_line buf "";
+    List.iter (fun l -> add_line buf "%s" l) blame_lines
   end;
   Buffer.contents buf

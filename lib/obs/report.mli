@@ -70,5 +70,10 @@ val to_json : t -> string
     commit/abort mix, staleness trajectory, alert overlay and the knee
     callout.  [alert_lines] (e.g. {!Slo.console_line} renderings, or raw
     alert-log records) are appended as an alert-timeline section when
-    non-empty. *)
-val to_markdown : ?alert_lines:string list -> t -> string
+    non-empty; [blame_lines] (a pre-rendered markdown blame section,
+    e.g. [Cloudtx_core.Blame.to_markdown_lines]) follow it — the blame
+    decomposition rides on the markdown view only, so {!to_json} stays
+    a pure function of the series and the online/offline byte-identity
+    gate is unaffected. *)
+val to_markdown :
+  ?alert_lines:string list -> ?blame_lines:string list -> t -> string

@@ -12,7 +12,7 @@
 
     It consumes the same neutral {!Monitor.event} stream the Watchtower
     does, so the two canonical feeds — live through
-    [Journal.set_observer]/[Cloudtx_core.Health.attach], and offline by
+    [Journal.add_observer]/[Cloudtx_core.Health.attach], and offline by
     replaying a journal file — produce identical series by construction.
     Window assignment is purely a function of each record's [time_ms],
     so reordered journal records land in the right window.

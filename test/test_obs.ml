@@ -602,7 +602,7 @@ module Journal = Cloudtx_obs.Journal
 let test_journal_buffer_cap () =
   let journal = Journal.create ~clock:(fun () -> 0.) ~max_buffer_bytes:512 () in
   let observed = ref 0 and last_seq = ref 0 and drop_calls = ref 0 in
-  Journal.set_observer journal (fun ~seq ~time_ms:_ ~node:_ ~dir:_ ~payload:_ ->
+  Journal.add_observer journal (fun ~seq ~time_ms:_ ~node:_ ~dir:_ ~payload:_ ->
       incr observed;
       last_seq := seq);
   Journal.set_on_drop journal (fun n -> drop_calls := !drop_calls + n);
