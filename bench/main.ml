@@ -100,7 +100,7 @@ let check_skip_fields =
     "edges_per_sec"; "jsonl_records_per_sec"; "bin_records_per_sec";
     "jsonl_mb_per_sec"; "bin_mb_per_sec"; "encode_speedup"; "decode_speedup";
     "jsonl_decode_records_per_sec"; "bin_decode_records_per_sec"; "wall_s";
-    "sketch_ns_per_observe"; "exact_ns_per_observe";
+    "sketch_ns_per_observe"; "exact_ns_per_observe"; "delay_ns_per_call";
   ]
 
 module Pjson = Cloudtx_policy.Json
@@ -1874,6 +1874,130 @@ let section_obs () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: adaptive timeouts, breakers, gray-fault sweep           *)
+(* ------------------------------------------------------------------ *)
+
+let section_resilience () =
+  let module Timeout_policy = Cloudtx_protocol.Timeout_policy in
+  let module Resilience = Cloudtx_core.Resilience in
+  print_newline ();
+  print_endline
+    "== Resilience -- adaptive timeouts, circuit breakers, gray faults ==";
+  (* Policy math: the jittered backoff schedule is a pure function of
+     (seed, machine, epoch, strikes), so the delays themselves are
+     deterministic gate fields — any drift in the backoff or jitter
+     arithmetic shows up as a baseline mismatch.  The per-call cost is
+     the (ungated) trajectory. *)
+  let a =
+    match Timeout_policy.adaptive () with
+    | Timeout_policy.Adaptive a -> a
+    | Timeout_policy.Fixed -> assert false
+  in
+  let name_hash = Timeout_policy.hash_name "tm-t1" in
+  let delay strikes =
+    Timeout_policy.delay a ~base:10. ~name_hash ~epoch:1 ~strikes
+  in
+  let calls = 200_000 in
+  let t0 = Sys.time () in
+  let acc = ref 0. in
+  for i = 1 to calls do
+    acc := !acc +. Timeout_policy.delay a ~base:10. ~name_hash ~epoch:i ~strikes:(i land 3)
+  done;
+  let delay_ns = (Sys.time () -. t0) /. float_of_int calls *. 1e9 in
+  ignore !acc;
+  Printf.printf
+    "  backoff schedule (base 10ms): %.3f / %.3f / %.3f / %.3f ms; %.0f \
+     ns/delay\n"
+    (delay 0) (delay 1) (delay 2) (delay 3) delay_ns;
+  (* Budget exhaustion: a participant dies before the commit request and
+     never recovers.  The adaptive budgets must still land a clean abort
+     in bounded time — the outcome fields are the gate. *)
+  let budget_row =
+    let s =
+      Scenario.retail ~latency:(Latency.Constant 1.) ~n_servers:3 ~n_subjects:1
+        ()
+    in
+    let cluster = s.Scenario.cluster in
+    Transport.at (Cluster.transport cluster) ~delay:6.5 (fun () ->
+        Participant.crash (Cluster.participant cluster "server-2"));
+    let config =
+      Manager.config ~vote_timeout:25. ~decision_retry:10.
+        ~timeout_policy:(Timeout_policy.adaptive ()) Scheme.Deferred
+        Consistency.View
+    in
+    let result = ref None in
+    let txn =
+      Scenario.spread_transaction s ~id:"t1" ~subject:"clerk-1" ~queries:3 ()
+    in
+    Manager.submit cluster config txn ~on_done:(fun o -> result := Some o);
+    ignore (Cluster.run cluster);
+    match !result with
+    | None ->
+      Printf.eprintf "resilience bench: budget run hung\n";
+      exit 2
+    | Some o ->
+      Printf.printf "  dead-participant abort: %s after %.1f simulated ms\n"
+        (Outcome.reason_name o.Outcome.reason)
+        (o.Outcome.finished_at -. o.Outcome.submitted_at);
+      Obs_json.obj
+        [
+          ("workload", Obs_json.quote "budget-exhaustion");
+          ("committed", (if o.Outcome.committed then "true" else "false"));
+          ("reason", Obs_json.quote (Outcome.reason_name o.Outcome.reason));
+        ]
+  in
+  (* Gray-fault sweep: every cell must survive the same seeded slow-fault
+     plans under the adaptive policy with breakers armed, including the
+     campaign's graceful-degradation layers (retry budgets, post-heal
+     probe, breaker convergence).  Violations gate at zero per cell. *)
+  let plans = 3 and base_seed = 9000L in
+  let t0 = Sys.time () in
+  let rows =
+    List.map
+      (fun cell ->
+        let v =
+          Campaign.run
+            ~policy:(Timeout_policy.adaptive ())
+            ~resilience:(Resilience.config ())
+            ~certify:true ~cells:[ cell ] ~base_seed ~plans ()
+        in
+        Printf.printf "  gray sweep %-24s %d plan(s), %d violation(s)\n"
+          (Campaign.cell_name cell) v.Campaign.plans_run
+          (List.length v.Campaign.failures);
+        Obs_json.obj
+          [
+            ("workload", Obs_json.quote "gray-sweep");
+            ("scheme", Obs_json.quote (Scheme.name cell.Campaign.scheme));
+            ("level", Obs_json.quote (Consistency.name cell.Campaign.level));
+            ("plans", string_of_int v.Campaign.plans_run);
+            ("violations", string_of_int (List.length v.Campaign.failures));
+          ])
+      Campaign.all_cells
+  in
+  let wall = Sys.time () -. t0 in
+  Printf.printf "  gray sweep wall time: %.2f s\n" wall;
+  write_json_file ~what:"resilience"
+    (Obs_json.obj
+       [
+         ("workload", Obs_json.quote "backoff-schedule");
+         ("delay_strike0_ms", Obs_json.number (delay 0));
+         ("delay_strike1_ms", Obs_json.number (delay 1));
+         ("delay_strike2_ms", Obs_json.number (delay 2));
+         ("delay_strike3_ms", Obs_json.number (delay 3));
+         ("delay_ns_per_call", Obs_json.number delay_ns);
+       ]
+    :: budget_row :: rows
+    @ [
+        Obs_json.obj
+          [
+            ("workload", Obs_json.quote "gray-sweep-total");
+            ("cells", string_of_int (List.length rows));
+            ("plans_per_cell", string_of_int plans);
+            ("wall_s", Obs_json.number wall);
+          ];
+      ])
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1890,6 +2014,7 @@ let sections =
     ("certify", section_certify);
     ("blame", section_blame);
     ("journal", section_journal);
+    ("resilience", section_resilience);
     ("micro", section_micro);
   ]
 

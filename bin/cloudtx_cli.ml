@@ -47,6 +47,8 @@ module Json = Cloudtx_obs.Json
 module Plan = Cloudtx_chaos.Plan
 module Campaign = Cloudtx_chaos.Campaign
 module Shrink = Cloudtx_chaos.Shrink
+module Timeout_policy = Cloudtx_protocol.Timeout_policy
+module Resilience = Cloudtx_core.Resilience
 
 open Cmdliner
 
@@ -215,7 +217,7 @@ let metrics_out_arg =
 let rules_term =
   let open Slo in
   let mk stuck_ms staleness_versions staleness_ms abort_window abort_rate
-      livelock_kills =
+      livelock_kills flap_window flap_transitions reject_window reject_count =
     {
       stuck_ms;
       staleness_versions;
@@ -223,6 +225,10 @@ let rules_term =
       abort_window;
       abort_rate;
       livelock_kills;
+      flap_window;
+      flap_transitions;
+      reject_window;
+      reject_count;
     }
   in
   Term.(
@@ -267,7 +273,32 @@ let rules_term =
         & info [ "livelock-kills" ]
             ~doc:
               "Fire $(b,livelock) when the same logical transaction dies as \
-               a wait-die victim this many consecutive times."))
+               a wait-die victim this many consecutive times.")
+    $ Arg.(
+        value
+        & opt float default.flap_window
+        & info [ "flap-window" ]
+            ~doc:"Sliding window (simulated ms) for $(b,breaker_flap).")
+    $ Arg.(
+        value
+        & opt int default.flap_transitions
+        & info [ "flap-transitions" ]
+            ~doc:
+              "Fire $(b,breaker_flap) when one server's circuit breaker \
+               changes state at least this many times within the window.")
+    $ Arg.(
+        value
+        & opt float default.reject_window
+        & info [ "reject-window" ]
+            ~doc:"Sliding window (simulated ms) for $(b,admission_storm).")
+    $ Arg.(
+        value
+        & opt int default.reject_count
+        & info [ "reject-count" ]
+            ~doc:
+              "Fire $(b,admission_storm) at or above this many admission \
+               rejections (bounded in-flight or breaker fail-fasts) within \
+               the window."))
 
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
@@ -1519,8 +1550,8 @@ let journal_file dir (cell : Campaign.cell) (plan : Plan.t) ~suffix =
     (String.map (function ':' -> '-' | c -> c) (Campaign.cell_name cell))
     plan.Plan.seed suffix
 
-let report_case dir shrink certify journal_format explain_worst
-    (case : Campaign.case) =
+let report_case dir shrink certify journal_format explain_worst ~policy
+    ~resilience (case : Campaign.case) =
   let cell = case.Campaign.cell and plan = case.Campaign.plan in
   Format.printf "VIOLATION %s seed=%Ld@.  %s@.  plan: %s@."
     (Campaign.cell_name cell) plan.Plan.seed case.Campaign.failure.Campaign.what
@@ -1551,7 +1582,10 @@ let report_case dir shrink certify journal_format explain_worst
        practice failures come from the --no-dedup escape hatch; replaying
        candidates must use the same delivery mode that failed. *)
     let fails p =
-      match Campaign.run_plan ~dedup ~certify ~journal_format cell p with
+      match
+        Campaign.run_plan ~dedup ~certify ~journal_format ~policy ?resilience
+          cell p
+      with
       | Ok () -> None
       | Error f -> Some f.Campaign.what
     in
@@ -1563,7 +1597,10 @@ let report_case dir shrink certify journal_format explain_worst
         (Plan.to_string minimal) what;
       Option.iter
         (fun dir ->
-          match Campaign.run_plan ~dedup ~certify ~journal_format cell minimal with
+          match
+            Campaign.run_plan ~dedup ~certify ~journal_format ~policy
+              ?resilience cell minimal
+          with
           | Error f ->
             let path = journal_file dir cell minimal ~suffix:"-min" in
             write_lines path f.Campaign.journal;
@@ -1574,8 +1611,11 @@ let report_case dir shrink certify journal_format explain_worst
 
 let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
     certify journal_format journal_out metrics_interval metrics_out
-    explain_worst =
+    explain_worst horizon policy with_resilience =
   let dedup = not no_dedup in
+  let resilience =
+    if with_resilience then Some (Resilience.config ()) else None
+  in
   let cells = match cell with Some c -> [ c ] | None -> Campaign.all_cells in
   Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
     journal_dir;
@@ -1595,7 +1635,8 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
             match
               Campaign.run_plan ~dedup ~certify ~journal_format
                 ?journal_path:journal_out ?metrics_path:metrics_out
-                ?metrics_width_ms:metrics_interval cell plan
+                ?metrics_width_ms:metrics_interval ~policy ?resilience cell
+                plan
             with
             | Ok () ->
               Format.printf "ok %s seed=%Ld@." (Campaign.cell_name cell)
@@ -1606,8 +1647,8 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
     | None ->
       let verdict =
         Campaign.run ~dedup ~certify ~journal_format ?journal_path:journal_out
-          ?metrics_path:metrics_out ?metrics_width_ms:metrics_interval ~cells
-          ~base_seed ~plans:seeds ()
+          ?metrics_path:metrics_out ?metrics_width_ms:metrics_interval ~policy
+          ?resilience ?horizon ~cells ~base_seed ~plans:seeds ()
       in
       Format.printf "%d plan(s) x %d cell(s) = %d run(s), %d violation(s)@."
         seeds (List.length cells) verdict.Campaign.plans_run
@@ -1615,7 +1656,8 @@ let chaos_cmd seeds base_seed cell plan_file shrink journal_dir no_dedup
       verdict.Campaign.failures
   in
   List.iter
-    (report_case journal_dir shrink certify journal_format explain_worst)
+    (report_case journal_dir shrink certify journal_format explain_worst
+       ~policy ~resilience)
     failures;
   if failures <> [] then exit 1
 
@@ -1707,7 +1749,39 @@ let chaos_term =
               "Attach the slowest transaction's critical-path timeline (see \
                $(b,cloudtx explain)) to each failing cell's verdict, \
                reconstructed from the captured journal — bit-reproducible \
-               like the rest of the sweep."))
+               like the rest of the sweep.")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "horizon" ] ~docv:"MS"
+            ~doc:
+              "Fault horizon for generated plans in simulated ms (default \
+               100).  Every window scales with it: fault start times land \
+               in [0, 0.6*MS), holds in [0.03*MS, 0.25*MS), and the \
+               gray-fault extra delays proportionally.  Explicit \
+               $(b,--plan) files carry their own horizon (plan grammar \
+               v2).")
+    $ Arg.(
+        value
+        & opt (enum [ ("fixed", Timeout_policy.Fixed); ("adaptive", Timeout_policy.adaptive ()) ]) Timeout_policy.Fixed
+        & info [ "policy" ] ~docv:"POLICY"
+            ~doc:
+              "TM timeout policy: $(b,fixed) (the paper's constants; \
+               journals stay byte-identical to pre-policy captures) or \
+               $(b,adaptive) (per-peer RTT estimation, exponential backoff \
+               with deterministic jitter, capped vote/retry budgets).  \
+               Under $(b,adaptive) the campaign adds a graceful-degradation \
+               layer: no TM may exceed its decision-retry budget.")
+    $ Arg.(
+        value & flag
+        & info [ "resilience" ]
+            ~doc:
+              "Arm per-server circuit breakers and admission control on \
+               every submit (defaults: 3 strikes to open, 200 ms cooldown). \
+               Adds a post-heal probe layer: after the faults heal and one \
+               cooldown passes, a probe transaction must complete cleanly, \
+               every breaker must re-close, and nothing may be left in \
+               flight."))
 
 (* ------------------------------------------------------------------ *)
 (* journal: format tooling (cat / convert)                             *)

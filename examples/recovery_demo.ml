@@ -106,6 +106,7 @@ let () =
 let plan =
   {
     Plan.seed = 42L;
+    horizon = Plan.fault_horizon;
     ops = [ Plan.Crash_coordinator { txn = 0; at = 7.5; restart_after = 12. } ];
   }
 

@@ -20,6 +20,11 @@ module Health = Cloudtx_core.Health
 module Server = Cloudtx_store.Server
 module Wal = Cloudtx_store.Wal
 module Tpc = Cloudtx_txn.Tpc
+module Resilience = Cloudtx_core.Resilience
+module Timeout_policy = Cloudtx_protocol.Timeout_policy
+module Json = Cloudtx_policy.Json
+module Codec = Cloudtx_protocol.Codec
+module Tm = Cloudtx_protocol.Tm_machine
 
 type cell = { scheme : Scheme.t; level : Consistency.level }
 
@@ -60,7 +65,8 @@ let quiesce_steps = 400_000
 exception Violation of string
 
 let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
-    ?journal_path ?metrics_path ?metrics_width_ms (cell : cell) (plan : Plan.t)
+    ?journal_path ?metrics_path ?metrics_width_ms
+    ?(policy = Timeout_policy.Fixed) ?resilience (cell : cell) (plan : Plan.t)
     =
   let sc =
     Scenario.retail ~seed:plan.Plan.seed ?variant ~dedup ~inquiry_timeout
@@ -70,6 +76,15 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
   let tr = Cluster.transport cluster in
   let journal =
     Transport.enable_journal ?format:journal_format ?path:journal_path tr
+  in
+  (* The resilience gate (when on) shares the run's journal, so breaker
+     and admission events land in the same record stream Watchtower and
+     the regression tests replay. *)
+  let gate =
+    Option.map
+      (fun rcfg ->
+        (rcfg, Resilience.create ~journal ~registry:(Transport.registry tr) rcfg))
+      resilience
   in
   (* Windowed metrics ride the same observer slot as the journal write-
      through: one Health bridge feeds a monitor (default SLO rules) and
@@ -83,7 +98,8 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
     ignore (Health.attach ~timeseries:ts journal monitor));
   let net = Transport.network tr in
   let cfg =
-    Manager.config ~vote_timeout ~decision_retry cell.scheme cell.level
+    Manager.config ~vote_timeout ~decision_retry ~timeout_policy:policy
+      cell.scheme cell.level
   in
   let outcomes = Array.make n_txns None in
   let handles = Array.make n_txns None in
@@ -96,8 +112,9 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
     in
     handles.(i) <-
       Some
-        (Manager.submit_handle ~dedup cluster cfg txn ~on_done:(fun o ->
-             outcomes.(i) <- Some o))
+        (Manager.submit_handle ~dedup
+           ?resilience:(Option.map snd gate)
+           cluster cfg txn ~on_done:(fun o -> outcomes.(i) <- Some o))
   in
   let server_of i = List.nth sc.Scenario.servers (i mod n_servers) in
   let tm_name i = "tm-" ^ txn_ids.(i mod n_txns) in
@@ -150,12 +167,39 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
             (Some (Latency.Uniform { lo = 0.; hi = jitter })));
       Transport.at tr ~delay:(at +. duration) (fun () ->
           Network.set_reorder_jitter net None)
+    | Plan.Slow_server { server; extra; at; duration } ->
+      let s = server_of server in
+      Transport.at tr ~delay:at (fun () -> Network.set_slowdown net s extra);
+      Transport.at tr ~delay:(at +. duration) (fun () ->
+          Network.clear_slowdown net s)
+    | Plan.Latency_burst { extra; at; duration } ->
+      Transport.at tr ~delay:at (fun () -> Network.set_burst_extra net extra);
+      Transport.at tr ~delay:(at +. duration) (fun () ->
+          Network.set_burst_extra net 0.)
+    | Plan.Lossy_link { src; dst; p; at; duration } ->
+      let s = server_of src and d = server_of dst in
+      if not (String.equal s d) then begin
+        Transport.at tr ~delay:at (fun () ->
+            Network.set_link_drop net ~src:s ~dst:d p);
+        Transport.at tr ~delay:(at +. duration) (fun () ->
+            Network.clear_link_drop net ~src:s ~dst:d)
+      end
   in
   let heal_everything () =
     Network.heal_all net;
     Network.set_drop net 0.;
     Network.set_duplicate net 0.;
     Network.set_reorder_jitter net None;
+    Network.set_burst_extra net 0.;
+    List.iter
+      (fun s ->
+        Network.clear_slowdown net s;
+        List.iter
+          (fun d ->
+            Network.clear_link_drop net ~src:s ~dst:d;
+            Network.clear_link_drop net ~src:d ~dst:s)
+          sc.Scenario.servers)
+      sc.Scenario.servers;
     List.iter
       (fun s ->
         if Transport.crashed tr s then
@@ -168,7 +212,7 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
   let horizon =
     List.fold_left
       (fun acc op -> Float.max acc (Plan.op_end op))
-      Plan.fault_horizon plan.Plan.ops
+      plan.Plan.horizon plan.Plan.ops
     +. 1.
   in
   (* Canonical JSONL lines whatever the journal format: binary contents
@@ -202,6 +246,52 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
     | `Step_limit ->
       raise (Violation "liveness: simulation did not quiesce after heals")
     | _ -> ());
+    (* Graceful degradation (resilience gate on): after the heal and one
+       full breaker cooldown, a probe transaction must sail through —
+       every open breaker re-closes on its probe and no admission slot
+       is left occupied.  The cooldown is measured from quiescence, not
+       the horizon, because a breaker can trip on a late straggler. *)
+    (match gate with
+    | None -> ()
+    | Some (rcfg, rt) ->
+      let probe_outcome = ref None in
+      let subject = List.nth sc.Scenario.subjects 0 in
+      let probe =
+        Scenario.spread_transaction sc ~id:"probe" ~subject
+          ~queries:n_servers ~start:0 ()
+      in
+      Transport.at tr ~delay:(rcfg.Resilience.cooldown +. 1.) (fun () ->
+          ignore
+            (Manager.submit_handle ~dedup ~resilience:rt cluster cfg probe
+               ~on_done:(fun o -> probe_outcome := Some o)));
+      (match Transport.run tr ~max_steps:quiesce_steps with
+      | `Step_limit -> raise (Violation "resilience: probe did not quiesce")
+      | _ -> ());
+      (match !probe_outcome with
+      | None -> raise (Violation "resilience: probe never reached an outcome")
+      | Some o -> (
+        match o.Outcome.reason with
+        | Outcome.Timed_out | Outcome.Budget_exhausted | Outcome.Breaker_open
+        | Outcome.Admission_rejected ->
+          raise
+            (Violation
+               (Printf.sprintf "resilience: post-heal probe failed with %s"
+                  (Outcome.reason_name o.Outcome.reason)))
+        | _ -> ()));
+      List.iter
+        (fun (server, st) ->
+          if st <> Resilience.Closed then
+            raise
+              (Violation
+                 (Printf.sprintf
+                    "resilience: breaker for %s stuck %s after heal + probe"
+                    server (Resilience.state_name st))))
+        (Resilience.states rt);
+      if Resilience.in_flight rt <> 0 then
+        raise
+          (Violation
+             (Printf.sprintf "resilience: %d transactions left in flight"
+                (Resilience.in_flight rt))));
     (* Liveness: every transaction reached a terminal outcome. *)
     Array.iteri
       (fun i o ->
@@ -288,6 +378,52 @@ let run_plan ?(dedup = true) ?(certify = false) ?variant ?journal_format
           | Error why ->
             raise (Violation (Printf.sprintf "untrusted commit %s: %s" txn why)))
       outcomes;
+    (* Graceful degradation (adaptive policy): retransmission is
+       budgeted.  Count journaled [retry-fired] timer inputs per TM and
+       reject any machine that fired more than the budget (+1 covers a
+       retry already armed when the budget check trips). *)
+    (match policy with
+    | Timeout_policy.Fixed -> ()
+    | Timeout_policy.Adaptive a ->
+      (* Per TM *incarnation*: a coordinator restart recreates the
+         machine (a fresh [create] record) and legitimately re-earns the
+         budget, so the count resets there. *)
+      let current = Hashtbl.create 8 and peak = Hashtbl.create 8 in
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Error _ -> ()
+          | Ok j -> (
+            let str k = Result.bind (Json.member k j) Json.to_str in
+            match (str "dir", str "node") with
+            | Ok "create", Ok node -> Hashtbl.replace current node 0
+            | Ok "input", Ok node
+              when String.length node >= 3
+                   && String.equal (String.sub node 0 3) "tm-" -> (
+              match
+                Result.bind (Json.member "payload" j) (fun p ->
+                    Result.bind (Json.member "t" p) Json.to_str)
+              with
+              | Ok "retry-fired" ->
+                let n =
+                  1 + Option.value ~default:0 (Hashtbl.find_opt current node)
+                in
+                Hashtbl.replace current node n;
+                if n > Option.value ~default:0 (Hashtbl.find_opt peak node)
+                then Hashtbl.replace peak node n
+              | _ -> ())
+            | _ -> ()))
+        (journal_lines ());
+      Hashtbl.iter
+        (fun node n ->
+          if n > a.Timeout_policy.retry_budget + 1 then
+            raise
+              (Violation
+                 (Printf.sprintf
+                    "resilience: %s fired %d decision retries in one \
+                     incarnation (budget %d)"
+                    node n a.Timeout_policy.retry_budget)))
+        peak);
     (* The journal itself must replay clean. *)
     (match Audit.run ~lines:(journal_lines ()) with
     | Ok _ -> ()
@@ -324,12 +460,13 @@ type verdict = {
 }
 
 let run ?dedup ?certify ?variant ?journal_format ?journal_path ?metrics_path
-    ?metrics_width_ms ?(cells = all_cells) ?(base_seed = 1000L) ~plans () =
+    ?metrics_width_ms ?policy ?resilience ?horizon ?(cells = all_cells)
+    ?(base_seed = 1000L) ~plans () =
   let failures = ref [] in
   let count = ref 0 in
   let ps =
     List.init plans (fun i ->
-        Plan.random ~seed:(Int64.add base_seed (Int64.of_int i)))
+        Plan.random ?horizon ~seed:(Int64.add base_seed (Int64.of_int i)) ())
   in
   List.iter
     (fun cell ->
@@ -338,7 +475,7 @@ let run ?dedup ?certify ?variant ?journal_format ?journal_path ?metrics_path
           incr count;
           match
             run_plan ?dedup ?certify ?variant ?journal_format ?journal_path
-              ?metrics_path ?metrics_width_ms cell plan
+              ?metrics_path ?metrics_width_ms ?policy ?resilience cell plan
           with
           | Ok () -> ()
           | Error failure ->

@@ -53,7 +53,17 @@ type failure = {
     ({!Cloudtx_obs.Timeseries.to_jsonl}, window width [metrics_width_ms])
     built live from the run's journal stream — written whatever the
     verdict, so a failing cell still yields a flight deck;
-    [variant] selects the participants' decision-logging discipline. *)
+    [variant] selects the participants' decision-logging discipline;
+    [policy] is the TM timeout policy (default [Fixed], which keeps
+    journals byte-identical to pre-policy captures).  Under [Adaptive] a
+    fifth assertion layer checks graceful degradation: no TM fires more
+    decision retries than the policy's budget allows.
+    [resilience] arms per-server circuit breakers and admission control
+    ({!Cloudtx_core.Resilience}) on every submit, and adds a sixth
+    layer: after the heal plus one breaker cooldown, a probe
+    transaction must complete without any timeout-shaped or fast-fail
+    reason, every breaker must be [Closed] again, and the in-flight
+    count must be zero. *)
 val run_plan :
   ?dedup:bool ->
   ?certify:bool ->
@@ -62,6 +72,8 @@ val run_plan :
   ?journal_path:string ->
   ?metrics_path:string ->
   ?metrics_width_ms:float ->
+  ?policy:Cloudtx_protocol.Timeout_policy.t ->
+  ?resilience:Cloudtx_core.Resilience.config ->
   cell ->
   Plan.t ->
   (unit, failure) result
@@ -73,7 +85,9 @@ type verdict = { plans_run : int; failures : case list }
     [base_seed+1], …) across [cells] (default: all 8).
     [journal_path]/[metrics_path] are passed to every {!run_plan} — each
     run overwrites the same file, so they are mainly useful for
-    single-run sweeps ([plans = 1] with one cell). *)
+    single-run sweeps ([plans = 1] with one cell).  [horizon] scales
+    every generated plan's fault windows ({!Plan.random}); [policy] and
+    [resilience] are passed to every {!run_plan}. *)
 val run :
   ?dedup:bool ->
   ?certify:bool ->
@@ -82,6 +96,9 @@ val run :
   ?journal_path:string ->
   ?metrics_path:string ->
   ?metrics_width_ms:float ->
+  ?policy:Cloudtx_protocol.Timeout_policy.t ->
+  ?resilience:Cloudtx_core.Resilience.config ->
+  ?horizon:float ->
   ?cells:cell list ->
   ?base_seed:int64 ->
   plans:int ->

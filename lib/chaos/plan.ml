@@ -10,11 +10,27 @@ type op =
   | Drop_burst of { p : float; at : float; duration : float }
   | Duplicate_burst of { p : float; at : float; duration : float }
   | Reorder_burst of { jitter : float; at : float; duration : float }
+  | Slow_server of { server : int; extra : float; at : float; duration : float }
+  | Latency_burst of { extra : float; at : float; duration : float }
+  | Lossy_link of {
+      src : int;
+      dst : int;
+      p : float;
+      at : float;
+      duration : float;
+    }
 
-type t = { seed : int64; ops : op list }
+type t = { seed : int64; horizon : float; ops : op list }
 
-(* Fault windows live inside [0, fault_horizon); the campaign heals
-   everything at the horizon, so every plan's faults are finite. *)
+(* Grammar v2 added the gray-failure ops (slow-server, latency-burst,
+   lossy-link) and the per-plan horizon; a version-less plan JSON is v1
+   (horizon 100, old ops only) and still loads. *)
+let grammar_version = 2
+
+(* Fault windows live inside [0, horizon); the campaign heals everything
+   at the horizon, so every plan's faults are finite.  This constant is
+   the default horizon ([Plan.random ?horizon], [of_json] with no
+   "horizon" field). *)
 let fault_horizon = 100.
 
 let op_end = function
@@ -25,15 +41,22 @@ let op_end = function
   | Drop_burst { at; duration; _ } -> at +. duration
   | Duplicate_burst { at; duration; _ } -> at +. duration
   | Reorder_burst { at; duration; _ } -> at +. duration
+  | Slow_server { at; duration; _ } -> at +. duration
+  | Latency_burst { at; duration; _ } -> at +. duration
+  | Lossy_link { at; duration; _ } -> at +. duration
 
-let random ~seed =
+let random ?(horizon = fault_horizon) ~seed () =
   let rng = Splitmix.create seed in
   let n_ops = 1 + Splitmix.int rng 4 in
-  let at () = Splitmix.uniform rng ~lo:0. ~hi:60. in
-  let hold () = Splitmix.uniform rng ~lo:3. ~hi:25. in
+  (* Windows scale with the horizon: at horizon 100 these are the
+     historical 0..60 start and 3..25 hold ranges. *)
+  let at () = Splitmix.uniform rng ~lo:0. ~hi:(0.6 *. horizon) in
+  let hold () =
+    Splitmix.uniform rng ~lo:(0.03 *. horizon) ~hi:(0.25 *. horizon)
+  in
   let ops =
     List.init n_ops (fun _ ->
-        match Splitmix.int rng 7 with
+        match Splitmix.int rng 10 with
         | 0 ->
           Crash_server
             { server = Splitmix.int rng 3; at = at (); restart_after = hold () }
@@ -56,12 +79,37 @@ let random ~seed =
           Duplicate_burst
             { p = Splitmix.uniform rng ~lo:0.2 ~hi:0.7; at = at ();
               duration = hold () }
-        | _ ->
+        | 6 ->
           Reorder_burst
             { jitter = Splitmix.uniform rng ~lo:1. ~hi:8.; at = at ();
-              duration = hold () })
+              duration = hold () }
+        | 7 ->
+          Slow_server
+            {
+              server = Splitmix.int rng 3;
+              extra = Splitmix.uniform rng ~lo:(0.05 *. horizon) ~hi:(0.4 *. horizon);
+              at = at ();
+              duration = hold ();
+            }
+        | 8 ->
+          Latency_burst
+            {
+              extra = Splitmix.uniform rng ~lo:(0.02 *. horizon) ~hi:(0.2 *. horizon);
+              at = at ();
+              duration = hold ();
+            }
+        | _ ->
+          let src = Splitmix.int rng 3 in
+          Lossy_link
+            {
+              src;
+              dst = (src + 1 + Splitmix.int rng 2) mod 3;
+              p = Splitmix.uniform rng ~lo:0.3 ~hi:0.9;
+              at = at ();
+              duration = hold ();
+            })
   in
-  { seed; ops }
+  { seed; horizon; ops }
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -94,6 +142,17 @@ let op_to_json op =
   | Reorder_burst { jitter; at; duration } ->
     tag "reorder-burst"
       [ ("jitter", Float jitter); ("at", Float at);
+        ("duration", Float duration) ]
+  | Slow_server { server; extra; at; duration } ->
+    tag "slow-server"
+      [ ("server", Int server); ("extra", Float extra); ("at", Float at);
+        ("duration", Float duration) ]
+  | Latency_burst { extra; at; duration } ->
+    tag "latency-burst"
+      [ ("extra", Float extra); ("at", Float at); ("duration", Float duration) ]
+  | Lossy_link { src; dst; p; at; duration } ->
+    tag "lossy-link"
+      [ ("src", Int src); ("dst", Int dst); ("p", Float p); ("at", Float at);
         ("duration", Float duration) ]
 
 let op_of_json j =
@@ -137,21 +196,57 @@ let op_of_json j =
     let* at = float_f "at" in
     let* duration = float_f "duration" in
     Ok (Reorder_burst { jitter; at; duration })
+  | "slow-server" ->
+    let* server = int_f "server" in
+    let* extra = float_f "extra" in
+    let* at = float_f "at" in
+    let* duration = float_f "duration" in
+    Ok (Slow_server { server; extra; at; duration })
+  | "latency-burst" ->
+    let* extra = float_f "extra" in
+    let* at = float_f "at" in
+    let* duration = float_f "duration" in
+    Ok (Latency_burst { extra; at; duration })
+  | "lossy-link" ->
+    let* src = int_f "src" in
+    let* dst = int_f "dst" in
+    let* p = float_f "p" in
+    let* at = float_f "at" in
+    let* duration = float_f "duration" in
+    Ok (Lossy_link { src; dst; p; at; duration })
   | other -> Error (Printf.sprintf "unknown chaos op %S" other)
 
 let to_json t =
   Obj
     [
+      ("version", Int grammar_version);
       ("seed", String (Int64.to_string t.seed));
+      ("horizon", Float t.horizon);
       ("ops", List (List.map op_to_json t.ops));
     ]
 
 let of_json j =
+  (* "version" and "horizon" are absent in v1 plan files; default them
+     rather than reject, so pre-v2 captures keep loading. *)
+  let* version =
+    match member "version" j with
+    | Ok v -> to_int v
+    | Error _ -> Ok 1
+  in
+  let* () =
+    if version >= 1 && version <= grammar_version then Ok ()
+    else Error (Printf.sprintf "unsupported plan grammar version %d" version)
+  in
   let* seed = Result.bind (member "seed" j) to_str in
   let* seed =
     match Int64.of_string_opt seed with
     | Some s -> Ok s
     | None -> Error (Printf.sprintf "bad plan seed %S" seed)
+  in
+  let* horizon =
+    match member "horizon" j with
+    | Ok h -> to_float h
+    | Error _ -> Ok fault_horizon
   in
   let* ops = Result.bind (member "ops" j) to_list in
   let* ops =
@@ -163,7 +258,7 @@ let of_json j =
       (Ok []) ops
     |> Result.map List.rev
   in
-  Ok { seed; ops }
+  Ok { seed; horizon; ops }
 
 let to_string t = Json.to_string (to_json t)
 let of_string s = Result.bind (Json.parse s) of_json
@@ -184,6 +279,14 @@ let pp_op ppf op =
     Format.fprintf ppf "duplicate p=%.2f @%.1f for %.1f" p at duration
   | Reorder_burst { jitter; at; duration } ->
     Format.fprintf ppf "reorder j=%.1f @%.1f for %.1f" jitter at duration
+  | Slow_server { server; extra; at; duration } ->
+    Format.fprintf ppf "slow server#%d +%.1fms @%.1f for %.1f" server extra at
+      duration
+  | Latency_burst { extra; at; duration } ->
+    Format.fprintf ppf "latency +%.1fms @%.1f for %.1f" extra at duration
+  | Lossy_link { src; dst; p; at; duration } ->
+    Format.fprintf ppf "lossy %d->%d p=%.2f @%.1f for %.1f" src dst p at
+      duration
 
 let pp ppf t =
   Format.fprintf ppf "plan(seed=%Ld)" t.seed;

@@ -2,11 +2,14 @@
 
     A plan is a finite schedule of fault operations injected into one
     simulated run: crash/restart a data server or a transaction's
-    coordinator, partition server pairs or isolate a coordinator, and
+    coordinator, partition server pairs or isolate a coordinator,
     time-bounded network misbehaviour bursts (loss, duplication, reorder
-    jitter).  Every fault is paired with its own end (restart, heal,
-    burst expiry) and all windows fall inside [{!fault_horizon}], so a
-    campaign can assert terminal safety and liveness after the horizon.
+    jitter) — and, since grammar v2, the {e gray} faults: a slow server,
+    a global latency burst, and a one-directional lossy link, which
+    degrade without ever failing cleanly.  Every fault is paired with its
+    own end (restart, heal, burst expiry) and all windows fall inside the
+    plan's [horizon], so a campaign can assert terminal safety and
+    liveness after the horizon.
 
     Node references are small integers resolved modulo the cluster size
     at injection time, which keeps plans valid under shrinking and
@@ -24,20 +27,46 @@ type op =
   | Drop_burst of { p : float; at : float; duration : float }
   | Duplicate_burst of { p : float; at : float; duration : float }
   | Reorder_burst of { jitter : float; at : float; duration : float }
+  | Slow_server of { server : int; extra : float; at : float; duration : float }
+      (** Gray fault: [server] stays up but every message it sends or
+          receives takes [extra] ms longer. *)
+  | Latency_burst of { extra : float; at : float; duration : float }
+      (** Gray fault: every delivery in the cluster takes [extra] ms
+          longer for the window. *)
+  | Lossy_link of {
+      src : int;
+      dst : int;
+      p : float;
+      at : float;
+      duration : float;
+    }
+      (** Gray fault: the {e directional} [src]→[dst] link drops each
+          message with probability [p] (the reverse direction is
+          untouched — replies vanish while requests arrive, or vice
+          versa). *)
 
-type t = { seed : int64; ops : op list }
+type t = { seed : int64; horizon : float; ops : op list }
 (** [seed] drives both the plan's own generation and the simulated run
-    it is injected into, so a plan reproduces its run bit-for-bit. *)
+    it is injected into, so a plan reproduces its run bit-for-bit.
+    [horizon] is the fault horizon: all windows close before it and the
+    campaign heals everything at it. *)
 
-(** All fault start times and windows fall before this simulated
-    millisecond; campaigns heal everything at the horizon. *)
+(** Plan JSON grammar version (2).  Serialized plans carry
+    ["version": 2]; a version-less plan file is v1 (pre-gray-fault, no
+    horizon field) and still loads with [horizon = fault_horizon]. *)
+val grammar_version : int
+
+(** The default fault horizon (100 simulated ms). *)
 val fault_horizon : float
 
 (** When this fault's own end (restart / heal / expiry) fires. *)
 val op_end : op -> float
 
-(** [random ~seed] draws 1–4 ops deterministically from [seed]. *)
-val random : seed:int64 -> t
+(** [random ~seed ()] draws 1–4 ops deterministically from [seed].
+    [horizon] (default {!fault_horizon}) scales every window: start
+    times in [0, 0.6·h), holds in [0.03·h, 0.25·h), gray-fault extra
+    delays proportionally. *)
+val random : ?horizon:float -> seed:int64 -> unit -> t
 
 val to_json : t -> Cloudtx_policy.Json.t
 val of_json : Cloudtx_policy.Json.t -> (t, string) result

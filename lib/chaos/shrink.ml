@@ -34,6 +34,24 @@ let weaken (op : Plan.op) =
       Plan.Reorder_burst { jitter; at; duration = halve duration };
       Plan.Reorder_burst { jitter = halve jitter; at; duration };
     ]
+  | Plan.Slow_server { server; extra; at; duration }
+    when duration > 2. || extra > 1. ->
+    [
+      Plan.Slow_server { server; extra; at; duration = halve duration };
+      Plan.Slow_server { server; extra = halve extra; at; duration };
+    ]
+  | Plan.Latency_burst { extra; at; duration } when duration > 2. || extra > 1.
+    ->
+    [
+      Plan.Latency_burst { extra; at; duration = halve duration };
+      Plan.Latency_burst { extra = halve extra; at; duration };
+    ]
+  | Plan.Lossy_link { src; dst; p; at; duration } when duration > 2. || p > 0.15
+    ->
+    [
+      Plan.Lossy_link { src; dst; p; at; duration = halve duration };
+      Plan.Lossy_link { src; dst; p = halve p; at; duration };
+    ]
   | _ -> []
 
 let replace_nth ops i op = List.mapi (fun j o -> if j = i then op else o) ops

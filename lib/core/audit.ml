@@ -183,7 +183,7 @@ let note_tm_input st ~seq ~node (t : tm_state) = function
           Hashtbl.replace s.latest domain version)
         policies
     | _ -> ())
-  | Tm.Watchdog_fired _ | Tm.Retry_fired -> ()
+  | Tm.Watchdog_fired _ | Tm.Retry_fired | Tm.Rtt_sample _ -> ()
 
 let note_ps_input st ~seq = function
   | Ps.Deliver { src; msg } ->
@@ -388,6 +388,10 @@ let handle_line st ~lineno line =
     | "create" -> handle_create st ~seq ~node_name payload
     | "input" -> handle_input st ~seq ~node_name payload
     | "action" -> handle_action st ~seq ~node_name payload
+    | "event" ->
+      (* Driver-side resilience events (breaker transitions, admission
+         verdicts): not machine steps, nothing to replay. *)
+      ()
     | other -> failf "seq %d (%s): dir %S unknown" seq node_name other)
 
 let run ~lines =

@@ -29,6 +29,9 @@ type txn_state = {
   mutable t_phase : string;  (** execute → commit → decide. *)
   mutable t_prepare : float option;
   mutable t_decided : float option;
+  mutable t_pending_decision : string list;
+      (** Participants sent the decision but not yet acked — the peers a
+          [retry.stall] segment indicts. *)
   mutable t_segments : Cp.segment list;  (** Reverse chronological. *)
 }
 
@@ -155,38 +158,58 @@ type classification = {
 
 let plain kind = { c_kind = kind; c_peer = ""; c_detail = ""; c_carve = None }
 
-let classify_tm_input t payload =
+(* [None] marks a transparent record — one that must not close the gap
+   (an [Rtt_sample] is journaled at the same instant as the delivery it
+   measures; letting it close the gap would steal the delivery's
+   attribution). *)
+let classify_tm_input t st payload =
   match Codec.tm_input_of_json payload with
   | Error _ ->
     t.decode_errors <- t.decode_errors + 1;
-    plain Cp.Other
-  | Ok (Tm.Watchdog_fired _) -> plain Cp.Timeout_stall
-  | Ok Tm.Retry_fired -> plain Cp.Retry_stall
+    Some (plain Cp.Other)
+  | Ok (Tm.Rtt_sample _) -> None
+  | Ok (Tm.Watchdog_fired _) -> Some (plain Cp.Timeout_stall)
+  | Ok Tm.Retry_fired ->
+    (* Blame the silence on the participants still owing a decision ack. *)
+    Some
+      {
+        c_kind = Cp.Retry_stall;
+        c_peer = String.concat "," (List.sort compare st.t_pending_decision);
+        c_detail = "";
+        c_carve = None;
+      }
   | Ok (Tm.Deliver { src; msg }) -> (
     match msg with
     | Message.Master_version_reply _ ->
-      { c_kind = Cp.Policy_fetch; c_peer = src; c_detail = ""; c_carve = None }
+      Some
+        { c_kind = Cp.Policy_fetch; c_peer = src; c_detail = ""; c_carve = None }
     | Message.Execute_reply { query_id; _ } ->
-      { c_kind = Cp.Exec; c_peer = src; c_detail = query_id; c_carve = Some src }
+      Some
+        { c_kind = Cp.Exec; c_peer = src; c_detail = query_id; c_carve = Some src }
     | Message.Validate_reply { round; _ } ->
-      {
-        c_kind = Cp.Validate_round;
-        c_peer = src;
-        c_detail = "round " ^ string_of_int round;
-        c_carve = Some src;
-      }
+      Some
+        {
+          c_kind = Cp.Validate_round;
+          c_peer = src;
+          c_detail = "round " ^ string_of_int round;
+          c_carve = Some src;
+        }
     | Message.Commit_reply { round; _ } ->
-      {
-        c_kind = Cp.Vote_round;
-        c_peer = src;
-        c_detail = "round " ^ string_of_int round;
-        c_carve = Some src;
-      }
+      Some
+        {
+          c_kind = Cp.Vote_round;
+          c_peer = src;
+          c_detail = "round " ^ string_of_int round;
+          c_carve = Some src;
+        }
     | Message.Decision_ack _ ->
-      { c_kind = Cp.Decide; c_peer = src; c_detail = ""; c_carve = None }
+      st.t_pending_decision <-
+        List.filter (fun p -> not (String.equal p src)) st.t_pending_decision;
+      Some { c_kind = Cp.Decide; c_peer = src; c_detail = ""; c_carve = None }
     | Message.Inquiry _ ->
-      { c_kind = Cp.Inquiry_stall; c_peer = src; c_detail = ""; c_carve = None }
-    | _ -> plain Cp.Other)
+      Some
+        { c_kind = Cp.Inquiry_stall; c_peer = src; c_detail = ""; c_carve = None }
+    | _ -> Some (plain Cp.Other))
 
 (* Close the wall-clock gap [st.t_last, time_ms] on the TM's node as one
    classified segment, with the peer server's lock-wait and proof-eval
@@ -260,6 +283,7 @@ let on_tm_create t ~seq ~time_ms ~node ~txn ~scheme ~level ~submitted_at =
         t_phase = "execute";
         t_prepare = None;
         t_decided = None;
+        t_pending_decision = [];
         t_segments = [];
       }
     in
@@ -316,6 +340,9 @@ let on_tm_action t st ~time_ms payload =
       st.t_decided <- Some time_ms;
       st.t_phase <- "decide"
     | _ -> ())
+  | Ok (Tm.Send { dst; msg = Message.Decision _ }) ->
+    if not (List.mem dst st.t_pending_decision) then
+      st.t_pending_decision <- dst :: st.t_pending_decision
   | Ok (Tm.Finish { committed; reason; _ }) ->
     finish_txn t st ~time_ms ~committed ~reason:(Outcome.reason_name reason)
   | Ok _ -> ()
@@ -324,16 +351,17 @@ let on_tm t ~seq ~time_ms ~dir ~txn payload =
   match Hashtbl.find_opt t.txns txn with
   | None -> ()  (* Create evicted from a capped buffer: skip the txn. *)
   | Some st ->
-    if time_ms > st.t_last then begin
-      let cls =
-        match dir with
-        | "input" -> classify_tm_input t payload
-        | "create" -> plain Cp.Recovery
-        | _ -> plain Cp.Other
-      in
-      emit_gap t st ~seq ~time_ms cls
-    end;
-    st.t_last <- time_ms;
+    let cls =
+      match dir with
+      | "input" -> classify_tm_input t st payload
+      | "create" -> Some (plain Cp.Recovery)
+      | _ -> Some (plain Cp.Other)
+    in
+    (match cls with
+    | None -> ()  (* transparent record: the gap stays open *)
+    | Some cls ->
+      if time_ms > st.t_last then emit_gap t st ~seq ~time_ms cls;
+      st.t_last <- time_ms);
     if dir = "action" then on_tm_action t st ~time_ms payload
 
 let on_ps_action t ~time_ms ~node payload =
@@ -402,6 +430,8 @@ let feed_json t ~seq ~time_ms ~node ~dir payload =
     | Some (Tm_node txn) -> on_tm t ~seq ~time_ms ~dir ~txn payload
     | Some Ps_node -> on_ps_action t ~time_ms ~node payload
     | None -> ())
+  (* Driver-side resilience events: not machine steps, no latency edge. *)
+  | "event" -> ()
   | _ -> t.decode_errors <- t.decode_errors + 1
 
 let feed t ~seq ~time_ms ~node ~dir ~payload =
@@ -411,17 +441,20 @@ let feed t ~seq ~time_ms ~node ~dir ~payload =
 
 (* Observer payloads arrive in the journal's own format: JSON text for a
    JSONL journal, [Codec_bin] bytes for a binary one. *)
-let feed_bin t ~seq ~time_ms ~node ~dir:_ ~payload =
-  match Codec_bin.payload_of_string payload with
-  | Ok p ->
-    let dir =
-      match p with
-      | Codec_bin.Create_tm _ | Codec_bin.Create_ps _ -> "create"
-      | Codec_bin.Tm_input _ | Codec_bin.Ps_input _ -> "input"
-      | Codec_bin.Tm_action _ | Codec_bin.Ps_action _ -> "action"
-    in
-    feed_json t ~seq ~time_ms ~node ~dir (Codec_bin.payload_to_json p)
-  | Error _ -> t.decode_errors <- t.decode_errors + 1
+let feed_bin t ~seq ~time_ms ~node ~dir ~payload =
+  if String.equal dir "event" then ()
+    (* Raw JSON text, not a Codec_bin payload — and no latency edge. *)
+  else
+    match Codec_bin.payload_of_string payload with
+    | Ok p ->
+      let dir =
+        match p with
+        | Codec_bin.Create_tm _ | Codec_bin.Create_ps _ -> "create"
+        | Codec_bin.Tm_input _ | Codec_bin.Ps_input _ -> "input"
+        | Codec_bin.Tm_action _ | Codec_bin.Ps_action _ -> "action"
+      in
+      feed_json t ~seq ~time_ms ~node ~dir (Codec_bin.payload_to_json p)
+    | Error _ -> t.decode_errors <- t.decode_errors + 1
 
 let attach ?keep_timelines ?top_k journal =
   let t = create ?keep_timelines ?top_k () in

@@ -220,6 +220,8 @@ let feed_json ex ~seq ~time_ms ~node ~dir payload =
       | Error _ ->
         if Hashtbl.mem ex.kinds node then
           ex.decode_errors <- ex.decode_errors + 1))
+  (* Driver-side resilience events: no data accesses, nothing to certify. *)
+  | "event" -> ()
   | _ -> ex.decode_errors <- ex.decode_errors + 1
 
 let feed_line ex line =

@@ -116,7 +116,7 @@ let on_tm_input t ~seq ~time_ms ~node ~txn payload =
     | Message.Commit_reply { txn; proofs; _ } ->
       emit_proofs t ~seq ~time_ms ~txn proofs
     | _ -> ())
-  | Ok (Tm.Watchdog_fired _ | Tm.Retry_fired) -> ignore node
+  | Ok (Tm.Watchdog_fired _ | Tm.Retry_fired | Tm.Rtt_sample _) -> ignore node
 
 let emit_latency t ~seq ~time_ms txn =
   match Hashtbl.find_opt t.phase_times txn with
@@ -212,9 +212,38 @@ let on_ps_action t ~seq ~time_ms ~node payload =
       policy_versions
   | Ok _ -> emit t ~seq ~time_ms (Monitor.Activity { node })
 
+(* dir="event" records: driver-side resilience events (breaker
+   transitions, admission rejections) journaled as JSON text on the
+   synthetic "resilience" node — decoded into the Watchtower's
+   breaker_flap / admission_storm vocabulary.  Unknown event kinds pass
+   through as plain activity (forward compatibility, not an error). *)
+let on_event t ~seq ~time_ms ~node payload =
+  let str k = Result.bind (Json.member k payload) Json.to_str in
+  match str "event" with
+  | Ok "breaker" -> (
+    match (str "server", str "from", str "to") with
+    | Ok server, Ok from_, Ok to_ ->
+      emit t ~seq ~time_ms (Monitor.Breaker_transition { server; from_; to_ })
+    | _ ->
+      t.decode_errors <- t.decode_errors + 1;
+      emit t ~seq ~time_ms (Monitor.Activity { node }))
+  | Ok "admission" -> (
+    match (str "txn", str "reason") with
+    | Ok txn, Ok reason ->
+      let server = Result.to_option (str "server") in
+      emit t ~seq ~time_ms (Monitor.Admission_reject { txn; reason; server })
+    | _ ->
+      t.decode_errors <- t.decode_errors + 1;
+      emit t ~seq ~time_ms (Monitor.Activity { node }))
+  | Ok _ -> emit t ~seq ~time_ms (Monitor.Activity { node })
+  | Error _ ->
+    t.decode_errors <- t.decode_errors + 1;
+    emit t ~seq ~time_ms (Monitor.Activity { node })
+
 let feed_json t ~seq ~time_ms ~node ~dir payload =
   match dir with
   | "create" -> on_create t ~seq ~time_ms ~node payload
+  | "event" -> on_event t ~seq ~time_ms ~node payload
   | "input" -> (
     match Hashtbl.find_opt t.kinds node with
     | Some (Tm_node txn) -> on_tm_input t ~seq ~time_ms ~node ~txn payload
@@ -245,19 +274,28 @@ let feed t ~seq ~time_ms ~node ~dir ~payload =
 
 (* Observer payloads arrive in the journal's own format: JSON text for a
    JSONL journal, [Codec_bin] bytes for a binary one. *)
-let feed_bin t ~seq ~time_ms ~node ~dir:_ ~payload =
-  match Codec_bin.payload_of_string payload with
-  | Ok p ->
-    let dir =
-      match p with
-      | Codec_bin.Create_tm _ | Codec_bin.Create_ps _ -> "create"
-      | Codec_bin.Tm_input _ | Codec_bin.Ps_input _ -> "input"
-      | Codec_bin.Tm_action _ | Codec_bin.Ps_action _ -> "action"
-    in
-    feed_json t ~seq ~time_ms ~node ~dir (Codec_bin.payload_to_json p)
-  | Error _ ->
-    t.decode_errors <- t.decode_errors + 1;
-    emit t ~seq ~time_ms (Monitor.Activity { node })
+let feed_bin t ~seq ~time_ms ~node ~dir ~payload =
+  if String.equal dir "event" then
+    (* Event frames carry JSON text as the raw payload, not Codec_bin
+       bytes. *)
+    match Json.parse payload with
+    | Ok j -> on_event t ~seq ~time_ms ~node j
+    | Error _ ->
+      t.decode_errors <- t.decode_errors + 1;
+      emit t ~seq ~time_ms (Monitor.Activity { node })
+  else
+    match Codec_bin.payload_of_string payload with
+    | Ok p ->
+      let dir =
+        match p with
+        | Codec_bin.Create_tm _ | Codec_bin.Create_ps _ -> "create"
+        | Codec_bin.Tm_input _ | Codec_bin.Ps_input _ -> "input"
+        | Codec_bin.Tm_action _ | Codec_bin.Ps_action _ -> "action"
+      in
+      feed_json t ~seq ~time_ms ~node ~dir (Codec_bin.payload_to_json p)
+    | Error _ ->
+      t.decode_errors <- t.decode_errors + 1;
+      emit t ~seq ~time_ms (Monitor.Activity { node })
 
 let attach ?timeseries journal monitor =
   let t = create ?timeseries monitor in

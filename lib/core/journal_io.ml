@@ -52,16 +52,25 @@ let decode_binary_contents s =
       List.fold_left
         (fun acc (f : Journal.frame) ->
           let* acc = acc in
-          match Codec_bin.payload_of_string f.Journal.payload with
-          | Error m ->
-            Error (Printf.sprintf "frame with seq %d: %s" f.Journal.seq m)
-          | Ok p ->
-            let payload = Codec.to_string (Codec_bin.payload_to_json p) in
+          if String.equal f.Journal.dir "event" then
+            (* Event records (resilience breaker/admission) carry their
+               JSON text as the raw frame payload in both formats. *)
             Ok
               (Journal.render_jsonl ~seq:f.Journal.seq
                  ~time_ms:f.Journal.time_ms ~node:f.Journal.node
-                 ~dir:f.Journal.dir ~payload
-              :: acc))
+                 ~dir:f.Journal.dir ~payload:f.Journal.payload
+              :: acc)
+          else
+            match Codec_bin.payload_of_string f.Journal.payload with
+            | Error m ->
+              Error (Printf.sprintf "frame with seq %d: %s" f.Journal.seq m)
+            | Ok p ->
+              let payload = Codec.to_string (Codec_bin.payload_to_json p) in
+              Ok
+                (Journal.render_jsonl ~seq:f.Journal.seq
+                   ~time_ms:f.Journal.time_ms ~node:f.Journal.node
+                   ~dir:f.Journal.dir ~payload
+                :: acc))
         (Ok []) frames
     in
     Ok
@@ -135,6 +144,15 @@ let jsonl_to_binary lines =
           let* node = Result.bind (Json.member "node" j) Json.to_str in
           let* dir = Result.bind (Json.member "dir" j) Json.to_str in
           let* payload = Json.member "payload" j in
+          if dir = "event" then begin
+            (* Pass the rendered JSON through as the raw frame payload;
+               no typed re-encode (and no node kind) applies. *)
+            let text = Codec.to_string payload in
+            Journal.encode_frame buf ~seq ~time_ms ~node ~dir
+              ~emit:(fun b -> Cloudtx_obs.Wbuf.str b text);
+            Ok ()
+          end
+          else
           let* kind =
             if dir = "create" then begin
               let* k = Result.bind (Json.member "kind" payload) Json.to_str in

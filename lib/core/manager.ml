@@ -27,6 +27,7 @@ type config = Tm.config = {
   decision_retry : float;
   read_only_optimization : bool;
   snapshot_reads : bool;
+  timeout_policy : Cloudtx_protocol.Timeout_policy.t;
 }
 
 let config = Tm.config
@@ -40,6 +41,10 @@ type driver = {
   on_done : Outcome.t -> unit;
   dedup : bool;
   seen : (int, unit) Hashtbl.t; (* delivered wire seqs, for idempotence *)
+  adaptive : bool; (* non-Fixed timeout policy: measure and feed RTTs *)
+  rtt_sent : (string, float) Hashtbl.t;
+      (* per-peer time of the latest outstanding send, consumed by the
+         first delivery from that peer into an Rtt_sample input *)
   mutable machine_dead : bool;
       (* set by [crash]: volatile machine state is gone; pre-crash timers
          that fire later must not touch it *)
@@ -203,6 +208,8 @@ let finish d (cfg : config) ~committed ~reason ~commit_rounds =
 let rec perform d (cfg : config) (a : Tm.action) =
   match a with
   | Tm.Send { dst; msg } ->
+    if d.adaptive && not (Hashtbl.mem d.rtt_sent dst) then
+      Hashtbl.replace d.rtt_sent dst (now d);
     Transport.send (transport d) ~src:d.name ~dst msg
   | Tm.Arm_watchdog { epoch; delay } ->
     Transport.at (transport d) ~delay (fun () ->
@@ -244,12 +251,101 @@ type handle = driver
 
 let txn_id d = d.txn_id
 
-let submit_handle ?ts ?(dedup = true) cluster (cfg : config) txn ~on_done =
+(* Distinct servers of the transaction's queries, in first-use order —
+   the set a resilience gate indicts or protects. *)
+let txn_servers txn =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (q : Cloudtx_txn.Query.t) ->
+      if Hashtbl.mem seen q.Cloudtx_txn.Query.server then acc
+      else begin
+        Hashtbl.add seen q.Cloudtx_txn.Query.server ();
+        q.Cloudtx_txn.Query.server :: acc
+      end)
+    [] txn.Transaction.queries
+  |> List.rev
+
+(* Fast-fail at submit: no machine, no protocol traffic, no create
+   record — just the resilience event (already journaled by [admit]),
+   the outcome metrics, and a dead handle whose crash/restart are
+   no-ops. *)
+let reject_fast cluster (cfg : config) txn ~submitted_at ~reason ~on_done =
+  let transport = Cluster.transport cluster in
+  let reg = Transport.registry transport in
+  if Registry.enabled reg then
+    Registry.incr reg "txn_total"
+      (("outcome", "abort") :: scheme_labels cfg);
+  let outcome =
+    {
+      Outcome.txn = txn.Transaction.id;
+      scheme = cfg.scheme;
+      level = cfg.level;
+      committed = false;
+      reason;
+      submitted_at;
+      finished_at = submitted_at;
+      commit_rounds = 0;
+      proofs_evaluated = 0;
+      view = Cloudtx_protocol.View.create ~txn:txn.Transaction.id;
+    }
+  in
+  let d =
+    {
+      cluster;
+      machine = Tm.create cfg txn ~submitted_at;
+      cfg;
+      name = "tm-" ^ txn.Transaction.id;
+      txn_id = txn.Transaction.id;
+      on_done;
+      dedup = false;
+      seen = Hashtbl.create 1;
+      adaptive = false;
+      rtt_sent = Hashtbl.create 1;
+      machine_dead = true;
+      durable = None;
+      finished = true;
+      txn_span = Tracer.no_span;
+      query_span = Tracer.no_span;
+      round_span = Tracer.no_span;
+      phase_span = Tracer.no_span;
+      commit_started_at = Float.nan;
+      decided_at = Float.nan;
+    }
+  in
+  on_done outcome;
+  d
+
+let submit_handle ?ts ?(dedup = true) ?resilience cluster (cfg : config) txn
+    ~on_done =
   if txn.Transaction.queries = [] then
     invalid_arg "Manager.submit: transaction has no queries";
   let name = "tm-" ^ txn.Transaction.id in
   let transport = Cluster.transport cluster in
   let submitted_at = Option.value ~default:(Transport.now transport) ts in
+  match
+    match resilience with
+    | None -> Ok ()
+    | Some r ->
+      Resilience.admit r ~txn:txn.Transaction.id ~servers:(txn_servers txn)
+        ~now:submitted_at
+  with
+  | Error `Admission ->
+    reject_fast cluster cfg txn ~submitted_at
+      ~reason:Outcome.Admission_rejected ~on_done
+  | Error (`Breaker _) ->
+    reject_fast cluster cfg txn ~submitted_at ~reason:Outcome.Breaker_open
+      ~on_done
+  | Ok () ->
+  let on_done =
+    match resilience with
+    | None -> on_done
+    | Some r ->
+      let servers = txn_servers txn in
+      fun (o : Outcome.t) ->
+        Resilience.note_outcome r ~txn:txn.Transaction.id ~servers
+          ~now:o.Outcome.finished_at ~reason:o.Outcome.reason;
+        on_done o
+  in
   let machine = Tm.create cfg txn ~submitted_at in
   let d =
     {
@@ -261,6 +357,11 @@ let submit_handle ?ts ?(dedup = true) cluster (cfg : config) txn ~on_done =
       on_done;
       dedup;
       seen = Hashtbl.create 32;
+      adaptive =
+        (match cfg.timeout_policy with
+        | Cloudtx_protocol.Timeout_policy.Fixed -> false
+        | Cloudtx_protocol.Timeout_policy.Adaptive _ -> true);
+      rtt_sent = Hashtbl.create 8;
       machine_dead = false;
       durable = None;
       finished = false;
@@ -278,6 +379,17 @@ let submit_handle ?ts ?(dedup = true) cluster (cfg : config) txn ~on_done =
         Transport.mark transport ~node:name ("dedup:" ^ Message.label msg)
       else begin
         if d.dedup then Hashtbl.replace d.seen seq ();
+        (* Measured request->first-reply RTT feeds the adaptive timeout
+           policy's per-peer sketch; journaled as a machine input so
+           replay sees identical estimates (and identical delays). *)
+        if d.adaptive then begin
+          match Hashtbl.find_opt d.rtt_sent src with
+          | Some t0 ->
+            Hashtbl.remove d.rtt_sent src;
+            dispatch d cfg
+              (Tm.Rtt_sample { peer = src; ms = Transport.now transport -. t0 })
+          | None -> ()
+        end;
         dispatch d cfg (Tm.Deliver { src; msg })
       end);
   Transport.mark transport ~node:name "txn_start";
@@ -311,8 +423,8 @@ let submit_handle ?ts ?(dedup = true) cluster (cfg : config) txn ~on_done =
   List.iter (perform d cfg) actions;
   d
 
-let submit ?ts cluster cfg txn ~on_done =
-  ignore (submit_handle ?ts cluster cfg txn ~on_done : handle)
+let submit ?ts ?resilience cluster cfg txn ~on_done =
+  ignore (submit_handle ?ts ?resilience cluster cfg txn ~on_done : handle)
 
 let crash d =
   d.machine_dead <- true;

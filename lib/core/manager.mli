@@ -48,6 +48,14 @@ type config = {
           transaction's start timestamp: no shared locks, no blocking, no
           wait-die deaths for readers. Writes are unaffected. Default
           false. *)
+  timeout_policy : Cloudtx_protocol.Timeout_policy.t;
+      (** How the coordinator arms its vote watchdog and decision-retry
+          timers.  [Fixed] (default) uses [vote_timeout]/[decision_retry]
+          verbatim — journals are byte-identical to pre-v4 captures.
+          [Adaptive] estimates per-peer RTTs, backs off exponentially
+          with deterministic jitter, and converts exhausted retry budgets
+          into clean aborts ([Budget_exhausted]).  See
+          {!Cloudtx_protocol.Timeout_policy}. *)
 }
 
 val config :
@@ -57,6 +65,7 @@ val config :
   ?decision_retry:float ->
   ?read_only_optimization:bool ->
   ?snapshot_reads:bool ->
+  ?timeout_policy:Cloudtx_protocol.Timeout_policy.t ->
   Scheme.t ->
   Consistency.level ->
   config
@@ -72,6 +81,7 @@ val config :
     unique). *)
 val submit :
   ?ts:float ->
+  ?resilience:Resilience.t ->
   Cluster.t ->
   config ->
   Cloudtx_txn.Transaction.t ->
@@ -86,10 +96,18 @@ type handle
     [dedup] (default true) drops re-delivered wire messages on their
     transport sequence number — the coordinator-side half of idempotent
     delivery under duplication.  [false] is an escape hatch for chaos
-    tests demonstrating the failure mode. *)
+    tests demonstrating the failure mode.
+
+    [resilience] gates the submit through shared circuit breakers and
+    admission control ({!Resilience}).  A rejected transaction fails fast
+    and deterministically: no machine, no protocol traffic, no journal
+    create record — [on_done] fires immediately with reason
+    {!Outcome.Breaker_open} or {!Outcome.Admission_rejected}.  Admitted
+    transactions report their outcome back as breaker evidence. *)
 val submit_handle :
   ?ts:float ->
   ?dedup:bool ->
+  ?resilience:Resilience.t ->
   Cluster.t ->
   config ->
   Cloudtx_txn.Transaction.t ->

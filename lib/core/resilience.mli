@@ -1,0 +1,71 @@
+(** Driver-side resilience: per-server circuit breakers and manager
+    admission control.
+
+    A {!t} is shared by every {!Manager.submit_handle ~resilience} on a
+    cluster.  At submit the manager calls {!admit}; an [Error] becomes a
+    deterministic fast-fail outcome ([Breaker_open] /
+    [Admission_rejected]) with no machine created and no protocol
+    traffic.  At completion the manager calls {!note_outcome}, which
+    feeds the breakers their evidence: timeout-shaped outcomes
+    ([Timed_out], [Budget_exhausted]) indict the transaction's servers;
+    any other outcome proves them responsive and resets their streaks.
+
+    Breaker lifecycle per server: [Closed] trips to [Open] after
+    [failure_threshold] consecutive indictments; an [Open] breaker past
+    its [cooldown] moves to [Half_open] at the next admit and adopts
+    that transaction as its single probe; the probe's outcome closes or
+    re-opens it.
+
+    Every transition and rejection is journaled as a [dir="event"]
+    record on the synthetic node ["resilience"] (JSON text in both
+    journal formats) — the stream Watchtower's [breaker_flap] /
+    [admission_storm] rules consume, live or on replay.  All decisions
+    are pure functions of (breaker state, in-flight count, sim clock):
+    no wall time, no RNG, so chaos verdicts stay seed-deterministic. *)
+
+type breaker_state = Closed | Open | Half_open
+
+val state_name : breaker_state -> string
+
+type config = {
+  failure_threshold : int;  (** Consecutive indictments to trip (>= 1). *)
+  cooldown : float;  (** Open hold time in sim ms before probing (> 0). *)
+  max_in_flight : int;  (** Admission bound; 0 disables admission. *)
+}
+
+(** Defaults: threshold 3, cooldown 200 ms, admission disabled. *)
+val config :
+  ?failure_threshold:int -> ?cooldown:float -> ?max_in_flight:int -> unit -> config
+
+type t
+
+(** [create ?journal ?registry cfg] — breakers start [Closed], nothing
+    in flight.  Events are journaled to [journal] and counted in
+    [registry] ([breaker_transitions_total], [admission_rejects_total],
+    [resilience_in_flight]). *)
+val create : ?journal:Cloudtx_obs.Journal.t -> ?registry:Cloudtx_obs.Registry.t -> config -> t
+
+(** Gate one transaction.  [Ok ()] admits it (and counts it in flight —
+    pair every [Ok] with a {!note_outcome}); [Error `Admission] is the
+    in-flight bound, [Error (`Breaker server)] an open breaker. *)
+val admit :
+  t ->
+  txn:string ->
+  servers:string list ->
+  now:float ->
+  (unit, [ `Admission | `Breaker of string ]) result
+
+(** Feed one admitted transaction's outcome back as breaker evidence and
+    release its in-flight slot. *)
+val note_outcome :
+  t -> txn:string -> servers:string list -> now:float -> reason:Outcome.reason -> unit
+
+(** Breaker states, sorted by server name (campaign convergence
+    assertions). *)
+val states : t -> (string * breaker_state) list
+
+val in_flight : t -> int
+val admission_rejects : t -> int
+
+(** Fast-fails due to an open breaker. *)
+val fail_fasts : t -> int

@@ -1,4 +1,4 @@
-let format_version = 3
+let format_version = 4
 
 type format = Jsonl | Binary
 

@@ -19,6 +19,8 @@ type event =
       version : int;
       result : bool;
     }
+  | Breaker_transition of { server : string; from_ : string; to_ : string }
+  | Admission_reject of { txn : string; reason : string; server : string option }
   | Activity of { node : string }
 
 type txn_state = {
@@ -47,6 +49,9 @@ type t = {
   mutable window_aborts : int;
   kills : (string, int) Hashtbl.t;  (* base txn -> consecutive wait-die *)
   yes_votes : (string * string, int) Hashtbl.t;  (* txn, node -> vote seq *)
+  flips : (string, float Queue.t) Hashtbl.t;
+      (* server -> breaker transition times inside the flap window *)
+  rejects : float Queue.t;  (* admission rejection times inside the window *)
   (* alert state *)
   active : (string * string, Slo.alert) Hashtbl.t;  (* rule, subject *)
   mutable all : Slo.alert list;  (* reverse firing order *)
@@ -70,6 +75,8 @@ let create ?(rules = Slo.default) ?(registry = Registry.noop)
     window_aborts = 0;
     kills = Hashtbl.create 8;
     yes_votes = Hashtbl.create 16;
+    flips = Hashtbl.create 8;
+    rejects = Queue.create ();
     active = Hashtbl.create 8;
     all = [];
     next_id = 0;
@@ -322,6 +329,64 @@ let note_proof t ~seq ~time_ms txn node domain ~result =
              "%s voted YES at seq %d, then its %s proof evaluated FALSE" node
              vote_seq domain)
 
+(* breaker_flap: one server's circuit breaker changed state at least
+   [flap_transitions] times within the last [flap_window] ms — it is
+   oscillating between trip and probe instead of holding a verdict. *)
+let note_breaker t ~seq ~time_ms server ~from_ ~to_ =
+  let w = t.rules.Slo.flap_window in
+  if Float.is_finite w then begin
+    let q =
+      match Hashtbl.find_opt t.flips server with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.flips server q;
+        q
+    in
+    Queue.push time_ms q;
+    while (not (Queue.is_empty q)) && Queue.peek q < time_ms -. w do
+      ignore (Queue.pop q)
+    done;
+    let n = Queue.length q in
+    if n >= t.rules.Slo.flap_transitions then
+      fire t ~seq ~time_ms ~rule:"breaker_flap" ~severity:Slo.Warning
+        ~subject:server ~node:"resilience"
+        ~detail:
+          (Printf.sprintf
+             "breaker changed state %d times within %.0fms (latest %s->%s)" n w
+             from_ to_)
+    else
+      resolve t ~seq ~time_ms ~rule:"breaker_flap" ~subject:server
+        ~detail:
+          (Printf.sprintf "%d transitions in window (latest %s->%s)" n from_ to_)
+  end
+
+(* admission_storm: [reject_count] admission rejections — bounded
+   in-flight or open-breaker fail-fasts — within [reject_window] ms. *)
+let note_reject t ~seq ~time_ms ~txn ~reason ~server =
+  let w = t.rules.Slo.reject_window in
+  if Float.is_finite w then begin
+    Queue.push time_ms t.rejects;
+    while
+      (not (Queue.is_empty t.rejects)) && Queue.peek t.rejects < time_ms -. w
+    do
+      ignore (Queue.pop t.rejects)
+    done;
+    let n = Queue.length t.rejects in
+    let where =
+      match server with Some s -> " at " ^ s | None -> ""
+    in
+    if n >= t.rules.Slo.reject_count then
+      fire t ~seq ~time_ms ~rule:"admission_storm" ~severity:Slo.Warning
+        ~subject:"cluster" ~node:"resilience"
+        ~detail:
+          (Printf.sprintf "%d rejections within %.0fms (latest %s: %s%s)" n w
+             txn reason where)
+    else
+      resolve t ~seq ~time_ms ~rule:"admission_storm" ~subject:"cluster"
+        ~detail:(Printf.sprintf "%d rejections in window" n)
+  end
+
 let forget_txn t txn =
   Hashtbl.remove t.txns txn;
   Hashtbl.filter_map_inplace
@@ -365,6 +430,10 @@ let observe t ~seq ~time_ms event =
   | Proof_result { txn; node; domain; version; result } ->
     note_replica t ~seq ~time_ms node domain version;
     note_proof t ~seq ~time_ms txn node domain ~result
+  | Breaker_transition { server; from_; to_ } ->
+    note_breaker t ~seq ~time_ms server ~from_ ~to_
+  | Admission_reject { txn; reason; server } ->
+    note_reject t ~seq ~time_ms ~txn ~reason ~server
   | Activity _ -> ());
   sweep_stuck t ~seq ~time_ms;
   sweep_staleness t ~seq ~time_ms

@@ -53,6 +53,14 @@ type event =
       version : int;
       result : bool;
     }
+  | Breaker_transition of { server : string; from_ : string; to_ : string }
+      (** A server's circuit breaker changed state
+          (closed/open/half-open) — feeds the [breaker_flap] rule. *)
+  | Admission_reject of { txn : string; reason : string; server : string option }
+      (** The manager fast-failed a submit — bounded in-flight
+          ([reason = "admission-rejected"]) or an open breaker
+          ([reason = "breaker-open"], [server] named) — feeds the
+          [admission_storm] rule. *)
   | Activity of { node : string }
 
 type t

@@ -14,6 +14,10 @@ type rules = {
   abort_window : int;
   abort_rate : float;
   livelock_kills : int;
+  flap_window : float;
+  flap_transitions : int;
+  reject_window : float;
+  reject_count : int;
 }
 
 let default =
@@ -24,6 +28,10 @@ let default =
     abort_window = 20;
     abort_rate = 0.5;
     livelock_kills = 3;
+    flap_window = 1000.;
+    flap_transitions = 4;
+    reject_window = 1000.;
+    reject_count = 10;
   }
 
 type alert = {

@@ -30,7 +30,15 @@ val format_version : int
       at or above [abort_rate] fires.
     - [livelock_kills] — the same logical transaction (restart suffixes
       ["-r<N>"] stripped) dying as a wait-die victim this many consecutive
-      times fires. *)
+      times fires.
+    - [flap_window] / [flap_transitions] — a server whose circuit breaker
+      changed state at least [flap_transitions] times within the last
+      [flap_window] simulated ms is flapping (oscillating between trip
+      and probe instead of holding a verdict).
+    - [reject_window] / [reject_count] — at least [reject_count]
+      admission rejections (bounded in-flight or open-breaker fail-fasts)
+      within the last [reject_window] simulated ms is an admission
+      storm. *)
 type rules = {
   stuck_ms : float;
   staleness_versions : int;
@@ -38,10 +46,16 @@ type rules = {
   abort_window : int;
   abort_rate : float;
   livelock_kills : int;
+  flap_window : float;
+  flap_transitions : int;
+  reject_window : float;
+  reject_count : int;
 }
 
 (** [stuck_ms = 1000.]; [staleness_versions = 3]; [staleness_ms = infinity];
-    [abort_window = 20]; [abort_rate = 0.5]; [livelock_kills = 3]. *)
+    [abort_window = 20]; [abort_rate = 0.5]; [livelock_kills = 3];
+    [flap_window = 1000.]; [flap_transitions = 4]; [reject_window = 1000.];
+    [reject_count = 10]. *)
 val default : rules
 
 (** One alert through its firing/resolved lifecycle.  [subject] names

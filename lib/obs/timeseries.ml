@@ -139,7 +139,8 @@ let observe t ~seq:_ ~time_ms event =
   | Monitor.Replica_version { node; domain; version }
   | Monitor.Proof_result { node; domain; version; _ } ->
     note_replica t w node domain version
-  | Monitor.Txn_step _ | Monitor.Vote _ | Monitor.Activity _ -> ()
+  | Monitor.Txn_step _ | Monitor.Vote _ | Monitor.Activity _
+  | Monitor.Breaker_transition _ | Monitor.Admission_reject _ -> ()
 
 let note_alert t transition (a : Slo.alert) =
   match transition with

@@ -14,7 +14,7 @@ module Value = Cloudtx_store.Value
 module Lock_manager = Cloudtx_store.Lock_manager
 open Json
 
-let version = 3
+let version = 4
 let to_string = Json.to_string
 let map_result = Pcodec.map_result
 
@@ -422,18 +422,72 @@ let master_mode_of_json j =
   | "every-round" -> Ok `Every_round
   | other -> Error (Printf.sprintf "master mode %S unknown" other)
 
+let timeout_policy_to_json = function
+  | Timeout_policy.Fixed -> Obj [ ("kind", String "fixed") ]
+  | Timeout_policy.Adaptive a ->
+    Obj
+      [
+        ("kind", String "adaptive");
+        ("seed", String (Int64.to_string a.Timeout_policy.seed));
+        ("rtt_multiplier", Float a.Timeout_policy.rtt_multiplier);
+        ("min_timeout", Float a.Timeout_policy.min_timeout);
+        ("backoff_factor", Float a.Timeout_policy.backoff_factor);
+        ("backoff_max", Float a.Timeout_policy.backoff_max);
+        ("jitter", Float a.Timeout_policy.jitter);
+        ("vote_budget", Int a.Timeout_policy.vote_budget);
+        ("retry_budget", Int a.Timeout_policy.retry_budget);
+      ]
+
+let timeout_policy_of_json j =
+  let* kind = Result.bind (member "kind" j) to_str in
+  match kind with
+  | "fixed" -> Ok Timeout_policy.Fixed
+  | "adaptive" ->
+    let* seed_s = Result.bind (member "seed" j) to_str in
+    let* seed =
+      match Int64.of_string_opt seed_s with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "timeout policy seed %S not an int64" seed_s)
+    in
+    let* rtt_multiplier = Result.bind (member "rtt_multiplier" j) to_float in
+    let* min_timeout = Result.bind (member "min_timeout" j) to_float in
+    let* backoff_factor = Result.bind (member "backoff_factor" j) to_float in
+    let* backoff_max = Result.bind (member "backoff_max" j) to_float in
+    let* jitter = Result.bind (member "jitter" j) to_float in
+    let* vote_budget = Result.bind (member "vote_budget" j) to_int in
+    let* retry_budget = Result.bind (member "retry_budget" j) to_int in
+    Ok
+      (Timeout_policy.Adaptive
+         {
+           Timeout_policy.seed;
+           rtt_multiplier;
+           min_timeout;
+           backoff_factor;
+           backoff_max;
+           jitter;
+           vote_budget;
+           retry_budget;
+         })
+  | other -> Error (Printf.sprintf "timeout policy kind %S unknown" other)
+
 let config_to_json (cfg : Tm_machine.config) =
   Obj
-    [
-      ("scheme", String (Scheme.name cfg.Tm_machine.scheme));
-      ("level", String (Consistency.name cfg.Tm_machine.level));
-      ("master_mode", master_mode_to_json cfg.Tm_machine.master_mode);
-      ("max_rounds", Int cfg.Tm_machine.max_rounds);
-      ("vote_timeout", Float cfg.Tm_machine.vote_timeout);
-      ("decision_retry", Float cfg.Tm_machine.decision_retry);
-      ("read_only_optimization", Bool cfg.Tm_machine.read_only_optimization);
-      ("snapshot_reads", Bool cfg.Tm_machine.snapshot_reads);
-    ]
+    ([
+       ("scheme", String (Scheme.name cfg.Tm_machine.scheme));
+       ("level", String (Consistency.name cfg.Tm_machine.level));
+       ("master_mode", master_mode_to_json cfg.Tm_machine.master_mode);
+       ("max_rounds", Int cfg.Tm_machine.max_rounds);
+       ("vote_timeout", Float cfg.Tm_machine.vote_timeout);
+       ("decision_retry", Float cfg.Tm_machine.decision_retry);
+       ("read_only_optimization", Bool cfg.Tm_machine.read_only_optimization);
+       ("snapshot_reads", Bool cfg.Tm_machine.snapshot_reads);
+     ]
+    @
+    (* Omitted for Fixed, so pre-v4 journal bytes are reproduced
+       exactly; decoders default an absent field to Fixed. *)
+    match cfg.Tm_machine.timeout_policy with
+    | Timeout_policy.Fixed -> []
+    | p -> [ ("timeout_policy", timeout_policy_to_json p) ])
 
 let scheme_of_json j =
   let* s = to_str j in
@@ -458,6 +512,12 @@ let config_of_json j =
     Result.bind (member "read_only_optimization" j) to_bool
   in
   let* snapshot_reads = Result.bind (member "snapshot_reads" j) to_bool in
+  let* timeout_policy =
+    match opt_field j "timeout_policy" timeout_policy_of_json with
+    | Ok (Some p) -> Ok p
+    | Ok None -> Ok Timeout_policy.Fixed
+    | Error e -> Error e
+  in
   Ok
     {
       Tm_machine.scheme;
@@ -468,6 +528,7 @@ let config_of_json j =
       decision_retry;
       read_only_optimization;
       snapshot_reads;
+      timeout_policy;
     }
 
 let variant_to_json = function
@@ -496,6 +557,9 @@ let reason_of_json j =
   | "rounds-exhausted" -> Ok Outcome.Rounds_exhausted
   | "timed-out" -> Ok Outcome.Timed_out
   | "coordinator-crash" -> Ok Outcome.Coordinator_crash
+  | "budget-exhausted" -> Ok Outcome.Budget_exhausted
+  | "breaker-open" -> Ok Outcome.Breaker_open
+  | "admission-rejected" -> Ok Outcome.Admission_rejected
   | other -> Error (Printf.sprintf "outcome reason %S unknown" other)
 
 (* ------------------------------------------------------------------ *)
@@ -507,6 +571,8 @@ let tm_input_to_json = function
     tag "deliver" [ ("src", String src); ("msg", message_to_json msg) ]
   | Tm_machine.Watchdog_fired { epoch } -> tag "watchdog-fired" [ ("epoch", Int epoch) ]
   | Tm_machine.Retry_fired -> tag "retry-fired" []
+  | Tm_machine.Rtt_sample { peer; ms } ->
+    tag "rtt-sample" [ ("peer", String peer); ("ms", Float ms) ]
 
 let tm_input_of_json j =
   let* t = tag_of j in
@@ -519,6 +585,10 @@ let tm_input_of_json j =
     let* epoch = Result.bind (member "epoch" j) to_int in
     Ok (Tm_machine.Watchdog_fired { epoch })
   | "retry-fired" -> Ok Tm_machine.Retry_fired
+  | "rtt-sample" ->
+    let* peer = Result.bind (member "peer" j) to_str in
+    let* ms = Result.bind (member "ms" j) to_float in
+    Ok (Tm_machine.Rtt_sample { peer; ms })
   | other -> Error (Printf.sprintf "TM input tag %S unknown" other)
 
 let obs_to_json = function

@@ -43,6 +43,13 @@ val message_of_json : Json.t -> (Message.t, string) result
 
 val config_to_json : Tm_machine.config -> Json.t
 val config_of_json : Json.t -> (Tm_machine.config, string) result
+
+(** The [timeout_policy] config field is encoded only when non-[Fixed]
+    (and decoding defaults its absence to [Fixed]), so journals recorded
+    under the [Fixed] policy are byte-identical to pre-v4 journals. *)
+
+val timeout_policy_to_json : Timeout_policy.t -> Json.t
+val timeout_policy_of_json : Json.t -> (Timeout_policy.t, string) result
 val variant_to_json : Cloudtx_txn.Tpc.variant -> Json.t
 val variant_of_json : Json.t -> (Cloudtx_txn.Tpc.variant, string) result
 

@@ -606,6 +606,62 @@ let emit_config b (cfg : Tm_machine.config) =
   add_bool b cfg.Tm_machine.read_only_optimization;
   add_bool b cfg.Tm_machine.snapshot_reads
 
+(* The timeout policy is NOT part of [emit_config]'s frame: a [Fixed]
+   Create_tm keeps payload kind 0 and the exact v3 config bytes, and a
+   non-[Fixed] one uses the self-describing kind 6 which appends the
+   policy after the config — so v3 journals decode unchanged with no
+   version threading through [read_config]. *)
+let add_i64 b v =
+  for i = 0 to 7 do
+    Wbuf.u8 b
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+  done
+
+let read_i64 r =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  !v
+
+let emit_timeout_policy b = function
+  | Timeout_policy.Fixed -> add_tag b 0
+  | Timeout_policy.Adaptive a ->
+    add_tag b 1;
+    add_i64 b a.Timeout_policy.seed;
+    add_f64 b a.Timeout_policy.rtt_multiplier;
+    add_f64 b a.Timeout_policy.min_timeout;
+    add_f64 b a.Timeout_policy.backoff_factor;
+    add_f64 b a.Timeout_policy.backoff_max;
+    add_f64 b a.Timeout_policy.jitter;
+    add_int b a.Timeout_policy.vote_budget;
+    add_int b a.Timeout_policy.retry_budget
+
+let read_timeout_policy r =
+  match byte r with
+  | 0 -> Timeout_policy.Fixed
+  | 1 ->
+    let seed = read_i64 r in
+    let rtt_multiplier = read_f64 r in
+    let min_timeout = read_f64 r in
+    let backoff_factor = read_f64 r in
+    let backoff_max = read_f64 r in
+    let jitter = read_f64 r in
+    let vote_budget = read_int r in
+    let retry_budget = read_int r in
+    Timeout_policy.Adaptive
+      {
+        Timeout_policy.seed;
+        rtt_multiplier;
+        min_timeout;
+        backoff_factor;
+        backoff_max;
+        jitter;
+        vote_budget;
+        retry_budget;
+      }
+  | n -> corrupt "timeout policy: bad tag %d" n
+
 let read_config r =
   let scheme =
     let s = read_str r in
@@ -634,6 +690,8 @@ let read_config r =
     decision_retry;
     read_only_optimization;
     snapshot_reads;
+    (* Kind-0 Create_tm frames carry no policy; kind 6 overrides this. *)
+    timeout_policy = Timeout_policy.Fixed;
   }
 
 let emit_variant b = function
@@ -658,7 +716,10 @@ let emit_reason b (reason : Outcome.reason) =
     | Outcome.Wait_die -> 4
     | Outcome.Rounds_exhausted -> 5
     | Outcome.Timed_out -> 6
-    | Outcome.Coordinator_crash -> 7)
+    | Outcome.Coordinator_crash -> 7
+    | Outcome.Budget_exhausted -> 8
+    | Outcome.Breaker_open -> 9
+    | Outcome.Admission_rejected -> 10)
 
 let read_reason r =
   match byte r with
@@ -670,6 +731,9 @@ let read_reason r =
   | 5 -> Outcome.Rounds_exhausted
   | 6 -> Outcome.Timed_out
   | 7 -> Outcome.Coordinator_crash
+  | 8 -> Outcome.Budget_exhausted
+  | 9 -> Outcome.Breaker_open
+  | 10 -> Outcome.Admission_rejected
   | n -> corrupt "outcome reason: bad tag %d" n
 
 (* ------------------------------------------------------------------ *)
@@ -685,6 +749,10 @@ let emit_tm_input b = function
     add_tag b 1;
     add_int b epoch
   | Tm_machine.Retry_fired -> add_tag b 2
+  | Tm_machine.Rtt_sample { peer; ms } ->
+    add_tag b 3;
+    add_str b peer;
+    add_f64 b ms
 
 let read_tm_input r =
   match byte r with
@@ -694,6 +762,10 @@ let read_tm_input r =
     Tm_machine.Deliver { src; msg }
   | 1 -> Tm_machine.Watchdog_fired { epoch = read_int r }
   | 2 -> Tm_machine.Retry_fired
+  | 3 ->
+    let peer = read_str r in
+    let ms = read_f64 r in
+    Tm_machine.Rtt_sample { peer; ms }
   | n -> corrupt "TM input: bad tag %d" n
 
 let emit_obs b = function
@@ -1191,9 +1263,17 @@ type payload =
   | Ps_input of Ps_machine.input
   | Ps_action of Ps_machine.action
 
+(* Kind 0 keeps the v3 frame layout byte-for-byte (and is always used
+   under the Fixed policy); kind 6 is the same frame with the timeout
+   policy appended after the config, used only when one is set. *)
 let emit_create_tm b ~config ~txn ~submitted_at =
-  add_tag b 0;
+  (match config.Tm_machine.timeout_policy with
+  | Timeout_policy.Fixed -> add_tag b 0
+  | _ -> add_tag b 6);
   emit_config b config;
+  (match config.Tm_machine.timeout_policy with
+  | Timeout_policy.Fixed -> ()
+  | p -> emit_timeout_policy b p);
   emit_transaction b txn;
   add_f64 b submitted_at
 
@@ -1235,6 +1315,13 @@ let read_payload r =
     let txn = read_transaction r in
     let submitted_at = read_f64 r in
     Create_tm { config; txn; submitted_at }
+  | 6 ->
+    let config = read_config r in
+    let timeout_policy = read_timeout_policy r in
+    let txn = read_transaction r in
+    let submitted_at = read_f64 r in
+    Create_tm
+      { config = { config with Tm_machine.timeout_policy }; txn; submitted_at }
   | 1 ->
     let variant = read_variant r in
     let inquiry_timeout = read_f64 r in

@@ -9,8 +9,10 @@
       writer) — no intermediate JSON tree, no intermediate strings.
     - {b Self-describing payloads.}  A journal payload starts with a
       kind tag byte (0 create-tm, 1 create-ps, 2 tm-input, 3 tm-action,
-      4 ps-input, 5 ps-action), so a binary journal decodes without
-      tracking per-node machine kinds.
+      4 ps-input, 5 ps-action; since v4, 6 is create-tm with a
+      non-[Fixed] timeout policy appended after the config — kind 0
+      keeps the v3 layout byte-for-byte), so a binary journal decodes
+      without tracking per-node machine kinds.
     - {b Canonical JSON on decode.}  {!payload_to_json} re-renders a
       decoded payload through {!Codec}, so a binary record converts to
       exactly the canonical JSON a JSONL journal would have recorded —

@@ -7,6 +7,9 @@ type reason =
   | Rounds_exhausted
   | Timed_out
   | Coordinator_crash
+  | Budget_exhausted
+  | Breaker_open
+  | Admission_rejected
 
 let reason_name = function
   | Committed -> "committed"
@@ -17,6 +20,9 @@ let reason_name = function
   | Rounds_exhausted -> "rounds-exhausted"
   | Timed_out -> "timed-out"
   | Coordinator_crash -> "coordinator-crash"
+  | Budget_exhausted -> "budget-exhausted"
+  | Breaker_open -> "breaker-open"
+  | Admission_rejected -> "admission-rejected"
 
 let pp_reason ppf r = Format.fprintf ppf "%s" (reason_name r)
 

@@ -12,6 +12,16 @@ type reason =
   | Coordinator_crash
       (** The coordinator crashed before logging a decision; its restart
           presumes abort (Section V's Presumed Abort discipline). *)
+  | Budget_exhausted
+      (** The adaptive timeout policy's vote budget ran out: the TM
+          struck out [vote_budget] consecutive watchdog expiries and
+          converted the stall into a clean abort. *)
+  | Breaker_open
+      (** Failed fast at submit: a circuit breaker for one of the
+          transaction's servers was open ({!Cloudtx_core.Resilience}). *)
+  | Admission_rejected
+      (** Rejected at submit by the manager's admission control: the
+          in-flight transaction bound was reached. *)
 
 val reason_name : reason -> string
 val pp_reason : Format.formatter -> reason -> unit

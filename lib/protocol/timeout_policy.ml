@@ -1,0 +1,106 @@
+(* Pluggable timeout discipline for the TM machine.  [Fixed] preserves
+   the original constant-timeout semantics bit-for-bit; [Adaptive] derives
+   watchdog delays from per-peer RTT estimates (Obs.Sketch quantiles over
+   journaled [Rtt_sample] inputs), applies exponential backoff with
+   deterministic seeded jitter across strikes, and converts exhausted
+   budgets into clean aborts instead of unbounded retry loops.  Every
+   quantity that influences a delay is either journaled (RTT samples) or
+   a pure function of machine state and the policy's seed, so the audit
+   replay reproduces Arm_watchdog/Arm_retry delays byte-exactly. *)
+
+type adaptive = {
+  seed : int64;
+  rtt_multiplier : float;
+  min_timeout : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+  vote_budget : int;
+  retry_budget : int;
+}
+
+type t = Fixed | Adaptive of adaptive
+
+let adaptive ?(seed = 1L) ?(rtt_multiplier = 3.) ?(min_timeout = 5.)
+    ?(backoff_factor = 2.) ?(backoff_max = 240.) ?(jitter = 0.2)
+    ?(vote_budget = 4) ?(retry_budget = 6) () =
+  if rtt_multiplier <= 0. then
+    invalid_arg "Timeout_policy.adaptive: rtt_multiplier must be positive";
+  if min_timeout <= 0. then
+    invalid_arg "Timeout_policy.adaptive: min_timeout must be positive";
+  if backoff_factor < 1. then
+    invalid_arg "Timeout_policy.adaptive: backoff_factor must be >= 1";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Timeout_policy.adaptive: jitter must be in [0, 1)";
+  if vote_budget < 1 then
+    invalid_arg "Timeout_policy.adaptive: vote_budget must be >= 1";
+  if retry_budget < 0 then
+    invalid_arg "Timeout_policy.adaptive: retry_budget must be >= 0";
+  Adaptive
+    {
+      seed;
+      rtt_multiplier;
+      min_timeout;
+      backoff_factor;
+      backoff_max;
+      jitter;
+      vote_budget;
+      retry_budget;
+    }
+
+let name = function Fixed -> "fixed" | Adaptive _ -> "adaptive"
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic jitter                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Splitmix64 finalizer: a strong 64-bit mixer, inlined here because the
+   protocol library must not depend on the simulator's RNG. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* FNV-1a over the machine name, so two TMs with the same policy seed
+   still draw independent jitter streams. *)
+let hash_name s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+(* Uniform draw in [0, 1) from (seed, salt): golden-gamma salting keeps
+   nearby salts decorrelated. *)
+let uniform ~seed ~salt =
+  let h = mix64 (Int64.add seed (Int64.mul 0x9e3779b97f4a7c15L salt)) in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+(* [delay a ~base ~name_hash ~epoch ~strikes] — the armed delay after
+   [strikes] consecutive timer expiries of the wait that started at timer
+   [epoch]: exponential backoff capped at [backoff_max], then a
+   multiplicative jitter of at most +/- jitter/2 drawn deterministically
+   from (seed, name, epoch, strikes). *)
+let delay a ~base ~name_hash ~epoch ~strikes =
+  let backed =
+    Float.min a.backoff_max (base *. (a.backoff_factor ** float_of_int strikes))
+  in
+  if a.jitter = 0. then backed
+  else begin
+    let salt =
+      Int64.add name_hash
+        (Int64.of_int ((epoch * 8191) + (strikes * 131) + 7))
+    in
+    let u = uniform ~seed:a.seed ~salt in
+    backed *. (1. +. (a.jitter *. (u -. 0.5)))
+  end

@@ -1,0 +1,73 @@
+(** Pluggable timeout discipline for the TM machine.
+
+    [Fixed] preserves the original semantics bit-for-bit: the watchdog
+    always arms with [config.vote_timeout], a single expiry aborts with
+    [Timed_out], and decision retransmission re-arms forever with
+    [config.decision_retry].
+
+    [Adaptive] replaces the constants with per-peer RTT estimation
+    (Obs.Sketch quantiles over journaled [Rtt_sample] inputs),
+    exponential backoff with deterministic seeded jitter across
+    consecutive expiries ("strikes"), and capped budgets: [vote_budget]
+    watchdog strikes convert into a clean [Budget_exhausted] abort, and
+    decision retransmission stops re-arming after [retry_budget]
+    retries (participants' Inquiry timers pull the decision from then
+    on, so termination is preserved without an unbounded [Arm_retry]
+    loop).
+
+    Determinism: every delay is a pure function of the policy's [seed],
+    the machine's name, the timer epoch, the strike count, and the RTT
+    samples the driver journaled — so an audit replay reproduces
+    [Arm_watchdog]/[Arm_retry] delays byte-exactly. *)
+
+type adaptive = {
+  seed : int64;  (** Jitter stream seed; part of the journaled config. *)
+  rtt_multiplier : float;
+      (** Watchdog base = [rtt_multiplier] x the slowest peer's p99 RTT. *)
+  min_timeout : float;  (** Floor for the watchdog base delay (ms). *)
+  backoff_factor : float;  (** Per-strike delay multiplier (>= 1). *)
+  backoff_max : float;  (** Cap on any armed delay (ms). *)
+  jitter : float;
+      (** Multiplicative jitter amplitude in [0, 1): the armed delay is
+          scaled by a deterministic factor in [1 - j/2, 1 + j/2). *)
+  vote_budget : int;
+      (** Consecutive watchdog strikes before a [Budget_exhausted]
+          abort (>= 1). *)
+  retry_budget : int;
+      (** Decision retransmissions before the retry timer stops
+          re-arming (>= 0). *)
+}
+
+type t = Fixed | Adaptive of adaptive
+
+(** [adaptive ()] — an [Adaptive] policy with conservative defaults
+    (x3 p99, 5 ms floor, doubling backoff capped at 240 ms, 20% jitter,
+    4 vote strikes, 6 decision retries).  Raises [Invalid_argument] on
+    out-of-range parameters. *)
+val adaptive :
+  ?seed:int64 ->
+  ?rtt_multiplier:float ->
+  ?min_timeout:float ->
+  ?backoff_factor:float ->
+  ?backoff_max:float ->
+  ?jitter:float ->
+  ?vote_budget:int ->
+  ?retry_budget:int ->
+  unit ->
+  t
+
+val name : t -> string
+
+(** FNV-1a of a machine name — precompute once per machine and pass to
+    {!delay}. *)
+val hash_name : string -> int64
+
+(** Deterministic uniform draw in [0, 1) from (seed, salt). *)
+val uniform : seed:int64 -> salt:int64 -> float
+
+(** [delay a ~base ~name_hash ~epoch ~strikes] — the delay to arm after
+    [strikes] consecutive expiries of the wait that started at timer
+    [epoch]: [min backoff_max (base * backoff_factor^strikes)] scaled by
+    the deterministic jitter factor. *)
+val delay :
+  adaptive -> base:float -> name_hash:int64 -> epoch:int -> strikes:int -> float

@@ -2,6 +2,7 @@ module Transaction = Cloudtx_txn.Transaction
 module Query = Cloudtx_txn.Query
 module Proof = Cloudtx_policy.Proof
 module Policy = Cloudtx_policy.Policy
+module Sketch = Cloudtx_obs.Sketch
 
 type master_mode = [ `Once | `Every_round ]
 
@@ -14,11 +15,13 @@ type config = {
   decision_retry : float;
   read_only_optimization : bool;
   snapshot_reads : bool;
+  timeout_policy : Timeout_policy.t;
 }
 
 let config ?(master_mode = `Every_round) ?(max_rounds = 16) ?(vote_timeout = 0.)
     ?(decision_retry = 0.) ?(read_only_optimization = false)
-    ?(snapshot_reads = false) scheme level =
+    ?(snapshot_reads = false) ?(timeout_policy = Timeout_policy.Fixed) scheme
+    level =
   {
     scheme;
     level;
@@ -28,6 +31,7 @@ let config ?(master_mode = `Every_round) ?(max_rounds = 16) ?(vote_timeout = 0.)
     decision_retry;
     read_only_optimization;
     snapshot_reads;
+    timeout_policy;
   }
 
 type awaiting_master =
@@ -70,14 +74,19 @@ type input =
   | Deliver of { src : string; msg : Message.t }
   | Watchdog_fired of { epoch : int }
   | Retry_fired
+  | Rtt_sample of { peer : string; ms : float }
 
 type t = {
   cfg : config;
   txn : Transaction.t;
   name : string;
+  name_hash : int64; (* jitter stream key, precomputed *)
   view : View.t;
   submitted_at : float;
   queries : Query.t array;
+  rtt : (string, Sketch.t) Hashtbl.t; (* per-peer RTT estimates *)
+  mutable strikes : int; (* consecutive watchdog expiries of this wait *)
+  mutable retries : int; (* decision retransmissions so far *)
   mutable out : action list; (* reversed accumulator for the current step *)
   mutable qidx : int;
   mutable phase : phase;
@@ -102,9 +111,13 @@ let create cfg txn ~submitted_at =
     cfg;
     txn;
     name = "tm-" ^ txn.Transaction.id;
+    name_hash = Timeout_policy.hash_name ("tm-" ^ txn.Transaction.id);
     view = View.create ~txn:txn.Transaction.id;
     submitted_at;
     queries = Array.of_list txn.Transaction.queries;
+    rtt = Hashtbl.create 8;
+    strikes = 0;
+    retries = 0;
     out = [];
     qidx = 0;
     phase = Executing;
@@ -136,16 +149,44 @@ let send s ~dst msg = emit s (Send { dst; msg })
 let mark s label = emit s (Mark label)
 let obs s o = emit s (Obs o)
 
+(* Adaptive watchdog base: [rtt_multiplier] x the slowest peer's p99 RTT,
+   floored at [min_timeout].  Before any sample arrives, fall back to the
+   configured [vote_timeout] (or the floor when timers were disabled). *)
+let watchdog_base s (a : Timeout_policy.adaptive) =
+  let worst = ref 0. in
+  Hashtbl.iter
+    (fun _ sk ->
+      if Sketch.count sk > 0 then
+        worst := Float.max !worst (Sketch.percentile sk 99.))
+    s.rtt;
+  if !worst > 0. then Float.max a.min_timeout (a.rtt_multiplier *. !worst)
+  else if s.cfg.vote_timeout > 0. then s.cfg.vote_timeout
+  else a.min_timeout
+
+(* Bump the epoch (invalidating older timers) and arm with the policy's
+   delay: the fixed constant, or the backed-off jittered RTT estimate. *)
+let rearm_watchdog s =
+  s.watchdog_epoch <- s.watchdog_epoch + 1;
+  let delay =
+    match s.cfg.timeout_policy with
+    | Timeout_policy.Fixed -> s.cfg.vote_timeout
+    | Timeout_policy.Adaptive a ->
+      Timeout_policy.delay a ~base:(watchdog_base s a) ~name_hash:s.name_hash
+        ~epoch:s.watchdog_epoch ~strikes:s.strikes
+  in
+  emit s (Arm_watchdog { epoch = s.watchdog_epoch; delay })
+
 (* Every point where the TM starts waiting on remote replies arms a timer;
-   any progress that starts a new wait re-arms it (bumping the epoch,
-   which invalidates older timers), and reaching a decision defuses it.
-   With [vote_timeout] = 0 the TM blocks indefinitely, the paper's
-   implicit assumption. *)
+   any progress that starts a new wait re-arms it (resetting the adaptive
+   strike count), and reaching a decision defuses it.  Under [Fixed] with
+   [vote_timeout] = 0 the TM blocks indefinitely, the paper's implicit
+   assumption; [Adaptive] always arms. *)
 let arm_watchdog s =
-  if s.cfg.vote_timeout > 0. then begin
-    s.watchdog_epoch <- s.watchdog_epoch + 1;
-    emit s (Arm_watchdog { epoch = s.watchdog_epoch; delay = s.cfg.vote_timeout })
-  end
+  match s.cfg.timeout_policy with
+  | Timeout_policy.Fixed -> if s.cfg.vote_timeout > 0. then rearm_watchdog s
+  | Timeout_policy.Adaptive _ ->
+    s.strikes <- 0;
+    rearm_watchdog s
 
 (* Distinct servers of queries 0..k inclusive, in first-use order. *)
 let servers_upto s k =
@@ -201,13 +242,27 @@ let finish s =
     (Finish { committed; reason = s.reason; commit_rounds = s.commit_rounds })
 
 let arm_decision_retry s =
-  if s.cfg.decision_retry > 0. then
-    emit s (Arm_retry { delay = s.cfg.decision_retry })
+  match s.cfg.timeout_policy with
+  | Timeout_policy.Fixed ->
+    if s.cfg.decision_retry > 0. then
+      emit s (Arm_retry { delay = s.cfg.decision_retry })
+  | Timeout_policy.Adaptive a ->
+    let base =
+      if s.cfg.decision_retry > 0. then s.cfg.decision_retry else a.min_timeout
+    in
+    emit s
+      (Arm_retry
+         {
+           delay =
+             Timeout_policy.delay a ~base ~name_hash:s.name_hash
+               ~epoch:s.watchdog_epoch ~strikes:s.retries;
+         })
 
 let decide s ~commit ~reason ~targets =
   s.decision <- Some commit;
   s.reason <- reason;
   s.phase <- Deciding;
+  s.retries <- 0;
   obs s (Round_close { resolution = None });
   obs s Phase_close;
   obs s
@@ -242,23 +297,70 @@ let abort_now s reason =
 
 let on_watchdog s ~epoch =
   if s.watchdog_epoch = epoch && s.decision = None then begin
-    s.validation <- None;
-    s.awaiting_master <- No_fetch;
-    (* Past the last query (commit phase) every server is a target. *)
-    let k = min s.qidx (Array.length s.queries - 1) in
-    decide s ~commit:false ~reason:Outcome.Timed_out ~targets:(servers_upto s k)
+    match s.cfg.timeout_policy with
+    | Timeout_policy.Adaptive a when s.strikes + 1 < a.vote_budget ->
+      (* Strike within budget: back off and keep waiting — the peer may
+         be slow, not dead.  No resend (the request is still in flight or
+         lost; either way the next expiry escalates). *)
+      s.strikes <- s.strikes + 1;
+      mark s (Printf.sprintf "watchdog:strike:%d" s.strikes);
+      rearm_watchdog s
+    | policy ->
+      s.validation <- None;
+      s.awaiting_master <- No_fetch;
+      let reason =
+        match policy with
+        | Timeout_policy.Fixed -> Outcome.Timed_out
+        | Timeout_policy.Adaptive _ -> Outcome.Budget_exhausted
+      in
+      (* Past the last query (commit phase) every server is a target. *)
+      let k = min s.qidx (Array.length s.queries - 1) in
+      decide s ~commit:false ~reason ~targets:(servers_upto s k)
   end
 
 let on_retry s =
   if s.phase = Deciding then begin
-    let commit = Option.get s.decision in
-    List.iter
-      (fun dst ->
-        if not (List.mem dst s.acked) then
-          send s ~dst (Message.Decision { txn = s.txn.Transaction.id; commit }))
-      s.decision_targets;
-    arm_decision_retry s
+    let budget_left =
+      match s.cfg.timeout_policy with
+      | Timeout_policy.Fixed -> true
+      | Timeout_policy.Adaptive a ->
+        s.retries <- s.retries + 1;
+        s.retries <= a.retry_budget
+    in
+    if budget_left then begin
+      let commit = Option.get s.decision in
+      List.iter
+        (fun dst ->
+          if not (List.mem dst s.acked) then
+            send s ~dst
+              (Message.Decision { txn = s.txn.Transaction.id; commit }))
+        s.decision_targets;
+      arm_decision_retry s
+    end
+    else begin
+      (* Budget spent: stop retransmitting and release the client.  The
+         decision is forced-logged, so presumed abort lets the
+         coordinator forget un-acked targets — their Inquiry timers pull
+         the decision from the (still-answering) finished machine, and
+         termination holds without an unbounded Arm_retry loop. *)
+      mark s "retry:budget-exhausted";
+      finish s
+    end
   end
+
+let on_rtt s ~peer ~ms =
+  match s.cfg.timeout_policy with
+  | Timeout_policy.Fixed -> () (* not journaled under Fixed; ignore *)
+  | Timeout_policy.Adaptive _ ->
+    let sk =
+      match Hashtbl.find_opt s.rtt peer with
+      | Some sk -> sk
+      | None ->
+        let sk = Sketch.create () in
+        Hashtbl.add s.rtt peer sk;
+        sk
+    in
+    Sketch.observe sk ms
 
 let advance s next =
   s.qidx <- s.qidx + 1;
@@ -602,4 +704,5 @@ let handle s input =
       match input with
       | Deliver { src; msg } -> dispatch s ~src msg
       | Watchdog_fired { epoch } -> on_watchdog s ~epoch
-      | Retry_fired -> on_retry s)
+      | Retry_fired -> on_retry s
+      | Rtt_sample { peer; ms } -> on_rtt s ~peer ~ms)

@@ -37,6 +37,11 @@ type config = {
           commits. *)
   snapshot_reads : bool;
       (** Ask servers to serve read-only queries from an MVCC snapshot. *)
+  timeout_policy : Timeout_policy.t;
+      (** How timer delays are derived.  {!Timeout_policy.Fixed} (the
+          default) uses [vote_timeout]/[decision_retry] verbatim;
+          {!Timeout_policy.Adaptive} derives them from journaled
+          {!input.Rtt_sample}s with backoff, jitter and budgets. *)
 }
 
 val config :
@@ -46,6 +51,7 @@ val config :
   ?decision_retry:float ->
   ?read_only_optimization:bool ->
   ?snapshot_reads:bool ->
+  ?timeout_policy:Timeout_policy.t ->
   Scheme.t ->
   Consistency.level ->
   config
@@ -96,6 +102,10 @@ type input =
   | Deliver of { src : string; msg : Message.t }
   | Watchdog_fired of { epoch : int }
   | Retry_fired
+  | Rtt_sample of { peer : string; ms : float }
+      (** A measured round-trip to [peer], fed by the driver (and
+          journaled, so replay sees the same estimates).  Emits no
+          actions; ignored under {!Timeout_policy.Fixed}. *)
 
 type t
 

@@ -12,6 +12,14 @@ type t = {
   mutable reorder_jitter : Latency.t option;
   mutable partitions : Pair_set.t;
   links : (string * string, Latency.t) Hashtbl.t;
+  (* Gray-failure knobs.  All default to "absent"/0 and, critically,
+     draw no RNG when unset — pre-existing seeded runs consume the RNG
+     stream identically. *)
+  link_drop : (string * string, float) Hashtbl.t;
+      (* directional (src, dst) loss probability on top of [drop] *)
+  mutable burst_extra : float;  (* global extra delay per delivery *)
+  slowdowns : (string, float) Hashtbl.t;
+      (* per-node extra delay, applied when the node sends or receives *)
 }
 
 let create ?(drop = 0.) ?(duplicate = 0.) ?reorder_jitter ~latency ~rng () =
@@ -23,6 +31,9 @@ let create ?(drop = 0.) ?(duplicate = 0.) ?reorder_jitter ~latency ~rng () =
     reorder_jitter;
     partitions = Pair_set.empty;
     links = Hashtbl.create 8;
+    link_drop = Hashtbl.create 8;
+    burst_extra = 0.;
+    slowdowns = Hashtbl.create 8;
   }
 
 let set_drop t p = t.drop <- p
@@ -34,6 +45,19 @@ let canonical a b = if String.compare a b <= 0 then (a, b) else (b, a)
 let set_link t a b model = Hashtbl.replace t.links (canonical a b) model
 let clear_link t a b = Hashtbl.remove t.links (canonical a b)
 
+let set_link_drop t ~src ~dst p =
+  if p <= 0. then Hashtbl.remove t.link_drop (src, dst)
+  else Hashtbl.replace t.link_drop (src, dst) p
+
+let clear_link_drop t ~src ~dst = Hashtbl.remove t.link_drop (src, dst)
+let set_burst_extra t d = t.burst_extra <- Float.max 0. d
+
+let set_slowdown t node d =
+  if d <= 0. then Hashtbl.remove t.slowdowns node
+  else Hashtbl.replace t.slowdowns node d
+
+let clear_slowdown t node = Hashtbl.remove t.slowdowns node
+
 let partition t a b = t.partitions <- Pair_set.add (canonical a b) t.partitions
 let heal t a b = t.partitions <- Pair_set.remove (canonical a b) t.partitions
 let heal_all t = t.partitions <- Pair_set.empty
@@ -42,6 +66,13 @@ let partitioned t a b = Pair_set.mem (canonical a b) t.partitions
 let fate t ~src ~dst =
   if String.equal src dst then `Deliver_each [ 0. ]
   else if partitioned t src dst then `Lost
+  else if
+    (* Directional lossy-link coin: drawn only when an entry exists, so
+       runs without the fault consume no extra RNG. *)
+    match Hashtbl.find_opt t.link_drop (src, dst) with
+    | Some p -> Splitmix.bool t.rng ~p
+    | None -> false
+  then `Lost
   else if t.drop > 0. && Splitmix.bool t.rng ~p:t.drop then `Lost
   else begin
     let model =
@@ -49,13 +80,21 @@ let fate t ~src ~dst =
       | Some link -> link
       | None -> t.latency
     in
+    (* Deterministic additive slow-path delay: a global latency burst
+       plus per-node slowdowns on either endpoint.  No RNG. *)
+    let extra =
+      t.burst_extra
+      +. (match Hashtbl.find_opt t.slowdowns src with Some d -> d | None -> 0.)
+      +. (match Hashtbl.find_opt t.slowdowns dst with Some d -> d | None -> 0.)
+    in
     (* With both knobs at their defaults this draws exactly one latency
        sample, so pre-existing runs consume the RNG identically. *)
     let sample () =
       let d = Latency.sample model t.rng in
-      match t.reorder_jitter with
+      (match t.reorder_jitter with
       | None -> d
-      | Some j -> d +. Latency.sample j t.rng
+      | Some j -> d +. Latency.sample j t.rng)
+      +. extra
     in
     let first = sample () in
     let rec dups acc =

@@ -41,6 +41,28 @@ val set_duplicate : t -> float -> unit
     disables it). *)
 val set_reorder_jitter : t -> Latency.t option -> unit
 
+(** [set_link_drop t ~src ~dst p] sets a {e directional} loss probability
+    on the [src]→[dst] link, on top of the global [drop] — the lossy-link
+    gray fault (e.g. replies from one server vanish while requests get
+    through).  [p <= 0.] clears it.  The coin is only flipped for links
+    with an override, so runs without the fault consume the RNG stream
+    identically. *)
+val set_link_drop : t -> src:string -> dst:string -> float -> unit
+
+val clear_link_drop : t -> src:string -> dst:string -> unit
+
+(** [set_burst_extra t d] adds [d] ms to every delivery — the
+    latency-burst gray fault.  Deterministic (no RNG draw); [0.] (the
+    default) disables. *)
+val set_burst_extra : t -> float -> unit
+
+(** [set_slowdown t node d] adds [d] ms to every delivery [node] sends or
+    receives — the slow-server gray fault.  Deterministic; [d <= 0.]
+    clears. *)
+val set_slowdown : t -> string -> float -> unit
+
+val clear_slowdown : t -> string -> unit
+
 (** [partition t a b] blocks traffic in both directions between [a] and
     [b]. *)
 val partition : t -> string -> string -> unit

@@ -426,12 +426,14 @@ let crashy_plan () =
     | Plan.Crash_server _ | Plan.Crash_coordinator _ | Plan.Isolate_coordinator _
     | Plan.Partition _ ->
       true
-    | Plan.Drop_burst _ | Plan.Duplicate_burst _ | Plan.Reorder_burst _ -> false
+    | Plan.Drop_burst _ | Plan.Duplicate_burst _ | Plan.Reorder_burst _
+    | Plan.Slow_server _ | Plan.Latency_burst _ | Plan.Lossy_link _ ->
+      false
   in
   let rec scan seed =
     if seed > 4400 then Alcotest.fail "no crash/partition plan in seed range"
     else
-      let plan = Plan.random ~seed:(Int64.of_int seed) in
+      let plan = Plan.random ~seed:(Int64.of_int seed) () in
       if List.exists is_faulty plan.Plan.ops then plan else scan (seed + 1)
   in
   scan 4300

@@ -24,16 +24,16 @@ let describe (c : Campaign.case) =
 (* ------------------------------------------------------------------ *)
 
 let test_plan_generation_deterministic () =
-  let a = Plan.random ~seed:99L and b = Plan.random ~seed:99L in
+  let a = Plan.random ~seed:99L () and b = Plan.random ~seed:99L () in
   Alcotest.(check string) "same seed, same plan" (Plan.to_string a)
     (Plan.to_string b);
-  let c = Plan.random ~seed:100L in
+  let c = Plan.random ~seed:100L () in
   Alcotest.(check bool) "different seed, different plan" true
     (not (String.equal (Plan.to_string a) (Plan.to_string c)))
 
 let test_plan_json_round_trip () =
   for i = 0 to 19 do
-    let plan = Plan.random ~seed:(Int64.of_int (500 + i)) in
+    let plan = Plan.random ~seed:(Int64.of_int (500 + i)) () in
     match Plan.of_string (Plan.to_string plan) with
     | Ok back ->
       Alcotest.(check string) "round trip" (Plan.to_string plan)
@@ -43,7 +43,7 @@ let test_plan_json_round_trip () =
 
 let test_plan_faults_bounded () =
   for i = 0 to 49 do
-    let plan = Plan.random ~seed:(Int64.of_int (900 + i)) in
+    let plan = Plan.random ~seed:(Int64.of_int (900 + i)) () in
     Alcotest.(check bool) "1-4 ops" true
       (let n = List.length plan.Plan.ops in
        n >= 1 && n <= 4);
@@ -94,7 +94,7 @@ let find_failure () =
     if seed >= limit then
       Alcotest.fail "no dedup-off failure found in the seed range"
     else
-      let plan = Plan.random ~seed:(Int64.of_int seed) in
+      let plan = Plan.random ~seed:(Int64.of_int seed) () in
       match Campaign.run_plan ~dedup:false fragile_cell plan with
       | Error failure -> (plan, failure)
       | Ok () -> scan (seed + 1) limit

@@ -34,6 +34,10 @@ let quiet =
     abort_window = 0;
     abort_rate = 1.1;
     livelock_kills = max_int;
+    flap_window = infinity;
+    flap_transitions = max_int;
+    reject_window = infinity;
+    reject_count = max_int;
   }
 
 let alert_shape what ?(open_ = false) ~rule ~severity ~subject m =
